@@ -1,0 +1,24 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: test bench experiments selfcheck cover fmt vet
+
+test:
+	go test ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+experiments:
+	go run ./cmd/experiments
+
+selfcheck:
+	go run ./cmd/selfcheck
+
+cover:
+	go test -cover ./...
+
+fmt:
+	gofmt -w .
+
+vet:
+	go vet ./...

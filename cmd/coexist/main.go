@@ -1,0 +1,96 @@
+// Command coexist runs one WiFi/ZigBee coexistence scenario and reports
+// both networks' performance, with and without SledZig.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"sledzig"
+)
+
+func main() {
+	log.SetFlags(0)
+	mod := flag.String("mod", "qam64", "modulation: qam16, qam64, qam256")
+	ch := flag.Int("ch", 3, "protected overlapped channel (1-4)")
+	dwz := flag.Float64("dwz", 4, "WiFi Tx to ZigBee Rx distance (m)")
+	dz := flag.Float64("dz", 1, "ZigBee link distance (m)")
+	duty := flag.Float64("duty", 1, "WiFi duty ratio (1 = saturated)")
+	duration := flag.Float64("t", 10, "simulated seconds")
+	seed := flag.Int64("seed", 1, "random seed")
+	energyCCA := flag.Bool("energy-cca", true, "ZigBee CCA uses energy detect")
+	nodes := flag.Int("nodes", 1, "number of contending ZigBee transmitters")
+	acks := flag.Bool("acks", false, "use 802.15.4 acknowledgments with retries")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text")
+	flag.Parse()
+
+	m, ok := map[string]sledzig.Modulation{
+		"qam16": sledzig.QAM16, "qam64": sledzig.QAM64, "qam256": sledzig.QAM256,
+	}[*mod]
+	if !ok {
+		log.Fatalf("unknown modulation %q", *mod)
+	}
+	rate := map[sledzig.Modulation]sledzig.CodeRate{
+		sledzig.QAM16: sledzig.Rate12, sledzig.QAM64: sledzig.Rate23, sledzig.QAM256: sledzig.Rate34,
+	}[m]
+	if *ch < 1 || *ch > 4 {
+		log.Fatalf("channel must be 1-4")
+	}
+
+	base := sledzig.CoexistenceConfig{
+		Modulation:  m,
+		CodeRate:    rate,
+		Channel:     sledzig.Channel(*ch),
+		DWZ:         *dwz,
+		DZ:          *dz,
+		DutyRatio:   *duty,
+		Duration:    *duration,
+		Seed:        *seed,
+		EnergyCCA:   *energyCCA,
+		ZigBeeNodes: *nodes,
+		UseAcks:     *acks,
+	}
+
+	if !*asJSON {
+		fmt.Printf("scenario: %v on CH%d, d_WZ=%.1f m, d_Z=%.1f m, WiFi duty %.0f%%\n\n",
+			m, *ch, *dwz, *dz, *duty*100)
+	}
+	results := map[string]*sledzig.CoexistenceResult{}
+	for _, useSled := range []bool{false, true} {
+		cfg := base
+		cfg.UseSledZig = useSled
+		res, err := sledzig.SimulateCoexistence(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		name := "normal WiFi"
+		if useSled {
+			name = "SledZig    "
+		}
+		if *asJSON {
+			key := "normal"
+			if useSled {
+				key = "sledzig"
+			}
+			results[key] = res
+			continue
+		}
+		fmt.Printf("%s: ZigBee %6.1f kbit/s (%d sent, %d ok, %d corrupted, %d CCA drops, %d collisions, %d retries)\n",
+			name, res.ZigBeeThroughputBps/1e3,
+			res.ZigBeeFramesSent, res.ZigBeeDelivered, res.ZigBeeCorrupted,
+			res.ZigBeeCCADrops, res.ZigBeeCollisions, res.ZigBeeRetries)
+		fmt.Printf("             WiFi   %d frames, %.0f%% airtime, %d failed, goodput factor %.3f, in-band RSSI %.1f dBm\n",
+			res.WiFiFramesSent, 100*res.WiFiAirtimeFraction, res.WiFiFramesFailed,
+			res.WiFiGoodputFraction, res.InBandRSSIDBm)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

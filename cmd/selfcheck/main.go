@@ -1,0 +1,151 @@
+// Command selfcheck runs a fast cross-module sanity suite — the smoke
+// test a user runs right after cloning, without waiting for the full
+// go test sweep. Exit status 0 means every check passed.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"sledzig"
+	"sledzig/internal/core"
+	"sledzig/internal/exp"
+	"sledzig/internal/wifi"
+)
+
+func main() {
+	failures := 0
+	check := func(name string, fn func() error) {
+		start := time.Now()
+		err := fn()
+		if err != nil {
+			failures++
+			fmt.Printf("  FAIL  %-42s %v\n", name, err)
+			return
+		}
+		fmt.Printf("  ok    %-42s %s\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	fmt.Println("sledzig self-check")
+	check("theory: power reduction constants", func() error {
+		for m, want := range map[sledzig.Modulation]float64{
+			sledzig.QAM16: 7.0, sledzig.QAM64: 13.2, sledzig.QAM256: 19.3,
+		} {
+			got := sledzig.PowerReductionDB(m)
+			if got < want-0.05 || got > want+0.05 {
+				return fmt.Errorf("%v: %.2f dB, want %.1f", m, got, want)
+			}
+		}
+		return nil
+	})
+
+	check("paper Table II positions (exact)", func() error {
+		got, want, err := exp.TableII(wifi.ConventionPaper)
+		if err != nil {
+			return err
+		}
+		if len(got) != len(want) {
+			return fmt.Errorf("%d positions, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return fmt.Errorf("position %d: %d vs %d", i, got[i], want[i])
+			}
+		}
+		return nil
+	})
+
+	check("encode -> waveform -> decode round trip", func() error {
+		enc, err := sledzig.NewEncoder(sledzig.Config{
+			Modulation: sledzig.QAM64, CodeRate: sledzig.Rate34, Channel: sledzig.CH2,
+		})
+		if err != nil {
+			return err
+		}
+		payload := []byte("selfcheck payload")
+		frame, err := enc.Encode(payload)
+		if err != nil {
+			return err
+		}
+		wave, err := frame.Waveform()
+		if err != nil {
+			return err
+		}
+		dec, err := sledzig.NewDecoder(sledzig.Config{})
+		if err != nil {
+			return err
+		}
+		got, ch, err := dec.Decode(wave)
+		if err != nil {
+			return err
+		}
+		if ch != sledzig.CH2 || string(got) != string(payload) {
+			return fmt.Errorf("round trip mismatch (channel %v)", ch)
+		}
+		return nil
+	})
+
+	check("band suppression on real waveforms", func() error {
+		payload := make([]byte, 400)
+		rand.New(rand.NewSource(1)).Read(payload)
+		drop, err := sledzig.MeasureBandReduction(sledzig.Config{
+			Modulation: sledzig.QAM256, CodeRate: sledzig.Rate34, Channel: sledzig.CH4,
+		}, payload)
+		if err != nil {
+			return err
+		}
+		if drop < 12 {
+			return fmt.Errorf("only %.1f dB", drop)
+		}
+		return nil
+	})
+
+	check("coexistence simulation (2 s)", func() error {
+		res, err := sledzig.SimulateCoexistence(sledzig.CoexistenceConfig{
+			Modulation: sledzig.QAM256, CodeRate: sledzig.Rate34, Channel: sledzig.CH3,
+			UseSledZig: true, DWZ: 4, DZ: 1, DutyRatio: 1, Duration: 2, Seed: 1, EnergyCCA: true,
+		})
+		if err != nil {
+			return err
+		}
+		if res.ZigBeeThroughputBps < 30e3 {
+			return fmt.Errorf("SledZig throughput only %.1f kbit/s", res.ZigBeeThroughputBps/1e3)
+		}
+		return nil
+	})
+
+	check("waveform-level mixing (PER flip)", func() error {
+		res, err := exp.RunPhyLevel(exp.PhyLevelConfig{Seed: 1, Trials: 4})
+		if err != nil {
+			return err
+		}
+		if res.NormalPER < 0.75 || res.SledZigPER > 0.25 {
+			return fmt.Errorf("PER normal %.2f / sledzig %.2f", res.NormalPER, res.SledZigPER)
+		}
+		return nil
+	})
+
+	check("channel sensing", func() error {
+		rng := rand.New(rand.NewSource(2))
+		capture := make([]complex128, 1<<14)
+		for i := range capture {
+			capture[i] = complex(rng.NormFloat64(), rng.NormFloat64()) * 1e-5
+		}
+		zb, err := core.ChannelSensor{}.BandLevels(capture)
+		if err != nil {
+			return err
+		}
+		if len(zb) != 4 {
+			return fmt.Errorf("%d band levels", len(zb))
+		}
+		return nil
+	})
+
+	if failures > 0 {
+		fmt.Printf("%d check(s) FAILED\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("all checks passed")
+}

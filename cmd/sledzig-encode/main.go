@@ -1,0 +1,105 @@
+// Command sledzig-encode encodes a payload with SledZig and reports the
+// frame's structure: extra bits, overhead, airtime, and the measured
+// power drop inside the protected ZigBee channel.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"sledzig"
+	"sledzig/internal/iq"
+)
+
+func main() {
+	log.SetFlags(0)
+	mod := flag.String("mod", "qam64", "modulation: qam16, qam64, qam256")
+	rate := flag.String("rate", "3/4", "coding rate: 1/2, 2/3, 3/4, 5/6")
+	ch := flag.Int("ch", 2, "protected overlapped channel (1-4)")
+	text := flag.String("payload", "", "payload text (default: random bytes)")
+	size := flag.Int("len", 200, "random payload length when -payload is empty")
+	out := flag.String("out", "", "write the PPDU waveform to this .cf32 file (GNU Radio format, 20 MS/s)")
+	flag.Parse()
+
+	m, ok := map[string]sledzig.Modulation{
+		"qam16": sledzig.QAM16, "qam64": sledzig.QAM64, "qam256": sledzig.QAM256,
+	}[*mod]
+	if !ok {
+		log.Fatalf("unknown modulation %q", *mod)
+	}
+	r, ok := map[string]sledzig.CodeRate{
+		"1/2": sledzig.Rate12, "2/3": sledzig.Rate23, "3/4": sledzig.Rate34, "5/6": sledzig.Rate56,
+	}[*rate]
+	if !ok {
+		log.Fatalf("unknown rate %q", *rate)
+	}
+	if *ch < 1 || *ch > 4 {
+		log.Fatalf("channel must be 1-4")
+	}
+	cfg := sledzig.Config{Modulation: m, CodeRate: r, Channel: sledzig.Channel(*ch)}
+
+	payload := []byte(*text)
+	if len(payload) == 0 {
+		payload = make([]byte, *size)
+		rand.New(rand.NewSource(1)).Read(payload)
+	}
+
+	enc, err := sledzig.NewEncoder(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	frame, err := enc.Encode(payload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	drop, err := sledzig.MeasureBandReduction(cfg, payload)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("mode:             %v r=%v, protecting CH%d\n", m, r, *ch)
+	fmt.Printf("payload:          %d bytes\n", len(payload))
+	fmt.Printf("frame:            %d OFDM symbols, %.0f us airtime\n", frame.NumSymbols(), frame.AirtimeSeconds()*1e6)
+	fmt.Printf("extra bits:       %d total (%d per symbol)\n", frame.ExtraBits(), enc.ExtraBitsPerSymbol())
+	fmt.Printf("WiFi overhead:    %.2f%%\n", 100*enc.OverheadFraction())
+	fmt.Printf("in-channel drop:  %.1f dB (measured from the generated waveform)\n", drop)
+
+	wave, err := frame.Waveform()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("waveform:         %d samples at 20 MS/s\n", len(wave))
+	if *out != "" {
+		toFile := append([]complex128(nil), wave...)
+		iq.NormalizePeak(toFile, 0.8)
+		if err := iq.WriteFile(*out, toFile); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("written:          %s (cf32, peak 0.8 — ready for a USRP sink)\n", *out)
+	}
+
+	// Round-trip check so the tool doubles as a self-test.
+	dec, err := sledzig.NewDecoder(sledzig.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	got, detected, err := dec.Decode(wave)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ok = len(got) == len(payload)
+	for i := range payload {
+		if !ok || got[i] != payload[i] {
+			ok = false
+			break
+		}
+	}
+	if !ok {
+		fmt.Fprintln(os.Stderr, "round trip FAILED")
+		os.Exit(1)
+	}
+	fmt.Printf("round trip:       ok (receiver detected %v)\n", detected)
+}

@@ -1,0 +1,79 @@
+// Command spectrum prints the WiFi frequency spectrum under a normal
+// payload and under a SledZig payload (the paper's Fig. 5b), as a coarse
+// text plot plus per-MHz levels.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"strings"
+
+	"sledzig/internal/core"
+	"sledzig/internal/exp"
+	"sledzig/internal/wifi"
+)
+
+func main() {
+	log.SetFlags(0)
+	mod := flag.String("mod", "qam16", "modulation: qam16, qam64, qam256")
+	ch := flag.Int("ch", 2, "protected overlapped channel (1-4)")
+	seed := flag.Int64("seed", 1, "payload seed")
+	flag.Parse()
+
+	m, ok := map[string]wifi.Modulation{
+		"qam16": wifi.QAM16, "qam64": wifi.QAM64, "qam256": wifi.QAM256,
+	}[*mod]
+	if !ok {
+		log.Fatalf("unknown modulation %q", *mod)
+	}
+	rate := map[wifi.Modulation]wifi.CodeRate{
+		wifi.QAM16: wifi.Rate12, wifi.QAM64: wifi.Rate23, wifi.QAM256: wifi.Rate34,
+	}[m]
+	if *ch < 1 || *ch > 4 {
+		log.Fatalf("channel must be 1-4")
+	}
+	spec, err := exp.Fig5b(wifi.ConventionPaper, wifi.Mode{Modulation: m, CodeRate: rate}, core.ZigBeeChannel(*ch), *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(spec)
+	fmt.Printf("\nband-power drop in CH%d: %.1f dB\n\n", *ch, spec.BandDropDB())
+
+	// ASCII spectrum: one column per 0.5 MHz, height by dB level.
+	fmt.Println("ASCII PSD (each row 3 dB; # = SledZig, . = normal):")
+	const buckets = 40
+	levels := make([]float64, buckets)
+	ref := make([]float64, buckets)
+	for i, f := range spec.FreqMHz {
+		b := int((f + 10) / 0.5)
+		if b < 0 || b >= buckets {
+			continue
+		}
+		levels[b] += math.Pow(10, spec.SledZigDB[i]/10)
+		ref[b] += math.Pow(10, spec.NormalDB[i]/10)
+	}
+	for row := 0; row >= -30; row -= 3 {
+		line := make([]byte, buckets)
+		for b := range line {
+			line[b] = ' '
+			if db(ref[b]) >= float64(row) {
+				line[b] = '.'
+			}
+			if db(levels[b]) >= float64(row) {
+				line[b] = '#'
+			}
+		}
+		fmt.Printf("%4d dB |%s|\n", row, string(line))
+	}
+	fmt.Printf("         %s\n", strings.Repeat("-", buckets))
+	fmt.Println("         -10 MHz                power spectral density                +10 MHz")
+}
+
+func db(v float64) float64 {
+	if v <= 0 {
+		return -300
+	}
+	return 10 * math.Log10(v)
+}

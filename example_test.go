@@ -1,0 +1,59 @@
+package sledzig_test
+
+import (
+	"fmt"
+	"log"
+
+	"sledzig"
+)
+
+// ExampleNewEncoder shows the minimal encode → waveform → decode loop.
+func ExampleNewEncoder() {
+	enc, err := sledzig.NewEncoder(sledzig.Config{
+		Modulation: sledzig.QAM64,
+		CodeRate:   sledzig.Rate34,
+		Channel:    sledzig.CH2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	frame, err := enc.Encode([]byte("hello"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	wave, err := frame.Waveform()
+	if err != nil {
+		log.Fatal(err)
+	}
+	dec, err := sledzig.NewDecoder(sledzig.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	payload, ch, err := dec.Decode(wave)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s via %v, %.2f%% WiFi overhead\n", payload, ch, 100*enc.OverheadFraction())
+	// Output: hello via CH2, 12.96% WiFi overhead
+}
+
+// ExamplePowerReductionDB reproduces the paper's section III-B numbers.
+func ExamplePowerReductionDB() {
+	for _, m := range []sledzig.Modulation{sledzig.QAM16, sledzig.QAM64, sledzig.QAM256} {
+		fmt.Printf("%v: %.1f dB\n", m, sledzig.PowerReductionDB(m))
+	}
+	// Output:
+	// QAM-16: 7.0 dB
+	// QAM-64: 13.2 dB
+	// QAM-256: 19.3 dB
+}
+
+// ExampleChannelFromNumbers maps the paper's testbed channels.
+func ExampleChannelFromNumbers() {
+	ch, err := sledzig.ChannelFromNumbers(26, 13)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ch)
+	// Output: CH4
+}

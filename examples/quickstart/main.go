@@ -1,0 +1,55 @@
+// Quickstart: encode a payload with SledZig, render the standard 802.11
+// waveform, and decode it back — demonstrating that the protection is pure
+// payload encoding with a fully standard transmit chain.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sledzig"
+)
+
+func main() {
+	enc, err := sledzig.NewEncoder(sledzig.Config{
+		Modulation: sledzig.QAM64,
+		CodeRate:   sledzig.Rate34,
+		Channel:    sledzig.CH2, // e.g. ZigBee channel 24 under WiFi channel 13
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	payload := []byte("hello from the WiFi side — the ZigBee channel stays quiet")
+	frame, err := enc.Encode(payload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("payload: %d bytes -> %d OFDM symbols, %d extra bits (%.2f%% overhead), %.0f us airtime\n",
+		len(payload), frame.NumSymbols(), frame.ExtraBits(),
+		100*enc.OverheadFraction(), frame.AirtimeSeconds()*1e6)
+
+	drop, err := sledzig.MeasureBandReduction(sledzig.Config{
+		Modulation: sledzig.QAM64, CodeRate: sledzig.Rate34, Channel: sledzig.CH2,
+	}, payload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("measured power drop inside the protected 2 MHz channel: %.1f dB\n", drop)
+
+	wave, err := frame.Waveform()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseband waveform: %d samples at 20 MS/s\n", len(wave))
+
+	dec, err := sledzig.NewDecoder(sledzig.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	got, ch, err := dec.Decode(wave)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("receiver detected protected channel %v and recovered %q\n", ch, got)
+}

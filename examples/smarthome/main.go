@@ -1,0 +1,53 @@
+// Smarthome: the paper's motivating scenario. A ZigBee sensor network
+// (door sensors, thermostats) shares a flat with a busy WiFi access point
+// four meters away. The example simulates the sensors' throughput under
+// the stock AP and under a SledZig-enabled AP, across WiFi load levels.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sledzig"
+)
+
+func main() {
+	fmt.Println("ZigBee sensor network 4 m from a WiFi AP (channel CH3 of the AP's band)")
+	fmt.Printf("%-10s%20s%20s%14s\n", "WiFi load", "stock AP (kbit/s)", "SledZig AP (kbit/s)", "WiFi goodput")
+
+	for _, duty := range []float64{0.25, 0.5, 0.75, 1.0} {
+		base := sledzig.CoexistenceConfig{
+			Modulation: sledzig.QAM256,
+			CodeRate:   sledzig.Rate34,
+			Channel:    sledzig.CH3,
+			DWZ:        4, // AP to sensor hub
+			DZ:         1, // sensor to hub
+			DW:         1, // AP to its client
+			DutyRatio:  duty,
+			Duration:   10,
+			Seed:       7,
+			EnergyCCA:  true,
+		}
+		normal := base
+		sled := base
+		sled.UseSledZig = true
+
+		rn, err := sledzig.SimulateCoexistence(normal)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rs, err := sledzig.SimulateCoexistence(sled)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s%20.1f%20.1f%13.1f%%\n",
+			fmt.Sprintf("%.0f%%", duty*100),
+			rn.ZigBeeThroughputBps/1e3,
+			rs.ZigBeeThroughputBps/1e3,
+			100*rs.WiFiGoodputFraction)
+	}
+
+	fmt.Println("\nThe stock AP's carrier-sense footprint silences the sensors whenever it")
+	fmt.Println("is busy; the SledZig AP drops its in-channel energy so the sensors keep")
+	fmt.Println("reporting, costing the AP only the extra-bit overhead shown above.")
+}

@@ -1,0 +1,3 @@
+module sledzig
+
+go 1.22

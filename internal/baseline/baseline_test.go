@@ -1,0 +1,90 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"sledzig/internal/core"
+	"sledzig/internal/wifi"
+)
+
+func TestNullSubcarriersSuppressDeeperThanSledZig(t *testing.T) {
+	payload := RandomPayload(1, 400)
+	cmp, err := Compare(wifi.ConventionPaper,
+		wifi.Mode{Modulation: wifi.QAM64, CodeRate: wifi.Rate23}, core.CH4, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nulling is the suppression upper bound (only leakage remains).
+	if cmp.NullDropDB < cmp.SledZigDropDB {
+		t.Fatalf("null drop %.1f dB < SledZig drop %.1f dB", cmp.NullDropDB, cmp.SledZigDropDB)
+	}
+	if cmp.SledZigDropDB < 9 {
+		t.Fatalf("SledZig drop %.1f dB too small for QAM-64/CH4", cmp.SledZigDropDB)
+	}
+	// But its capacity cost is comparable, and it is non-standard.
+	if cmp.NullCapacityLoss < cmp.SledZigThroughputLoss-0.02 {
+		t.Fatalf("null capacity loss %.3f unexpectedly below SledZig loss %.3f",
+			cmp.NullCapacityLoss, cmp.SledZigThroughputLoss)
+	}
+	if !cmp.SledZigStandard || cmp.NullStandard {
+		t.Fatal("standards-compatibility flags wrong")
+	}
+}
+
+func TestNullSubcarriersErasures(t *testing.T) {
+	n := NullSubcarriers{
+		Mode:    wifi.Mode{Modulation: wifi.QAM256, CodeRate: wifi.Rate34},
+		Channel: core.CH2,
+	}
+	// 7 data subcarriers x 8 bits: the coded bits a standard receiver
+	// would lose per symbol.
+	if got := n.ErasedBitsPerSymbol(); got != 56 {
+		t.Fatalf("erased bits %d, want 56", got)
+	}
+	if loss := n.CapacityLossFraction(); math.Abs(loss-7.0/48) > 1e-9 {
+		t.Fatalf("capacity loss %.3f", loss)
+	}
+}
+
+func TestNullWaveformRejectsBadChannel(t *testing.T) {
+	n := NullSubcarriers{Mode: wifi.Mode{Modulation: wifi.QAM16, CodeRate: wifi.Rate12}}
+	if _, err := n.Waveform([]byte{1, 2, 3}); err == nil {
+		t.Fatal("zero channel accepted")
+	}
+}
+
+func TestGainReductionRangePenalty(t *testing.T) {
+	// 6 dB of relief costs half the WiFi range at path-loss exponent 2.
+	g := GainReduction{ReliefDB: 6}
+	if p := g.WiFiRangePenalty(); math.Abs(p-1.995) > 0.01 {
+		t.Fatalf("range penalty %.3f, want ~2", p)
+	}
+	normal, reduced := g.MaxWiFiRange(20)
+	if normal <= reduced {
+		t.Fatal("reduced-power range not smaller")
+	}
+	if math.Abs(normal/reduced-1.995) > 0.01 {
+		t.Fatalf("range ratio %.3f, want ~2", normal/reduced)
+	}
+}
+
+// TestSledZigCheaperThanGainReduction reproduces the paper's motivation
+// argument (section III-B): to match SledZig's QAM-256 in-band relief by
+// turning the transmit gain down, the WiFi link would give up most of its
+// range, while SledZig costs a bounded rate overhead at full range.
+func TestSledZigCheaperThanGainReduction(t *testing.T) {
+	payload := RandomPayload(2, 400)
+	cmp, err := Compare(wifi.ConventionPaper,
+		wifi.Mode{Modulation: wifi.QAM256, CodeRate: wifi.Rate34}, core.CH4, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.GainRangeShrink < 4 {
+		t.Fatalf("matching %.1f dB by gain reduction should cost >= 4x range, got %.1fx",
+			cmp.GainDropDB, cmp.GainRangeShrink)
+	}
+	if cmp.SledZigThroughputLoss > 0.15 {
+		t.Fatalf("SledZig loss %.3f above the paper's 14.58%% bound", cmp.SledZigThroughputLoss)
+	}
+}

@@ -1,0 +1,243 @@
+package channel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sledzig/internal/dsp"
+)
+
+func TestPathLossAnchors(t *testing.T) {
+	if PathLossDB(1, 1) != 0 {
+		t.Fatal("path loss at the reference distance must be 0")
+	}
+	// Exponent 2: doubling distance costs ~6 dB.
+	if math.Abs(PathLossDB(2, 1)-6.02) > 0.01 {
+		t.Fatalf("PathLossDB(2,1) = %g", PathLossDB(2, 1))
+	}
+	if !math.IsInf(PathLossDB(0, 1), 1) {
+		t.Fatal("zero distance should be infinite loss")
+	}
+}
+
+func TestWiFiRxAnchor(t *testing.T) {
+	// At the calibration point the full-band power is the -60 dBm in-band
+	// anchor plus the 52/8 subcarrier share.
+	got := WiFiTotalRxDBm(1, WiFiReferenceGain)
+	if math.Abs(got-(-51.87)) > 0.1 {
+		t.Fatalf("WiFi total rx at 1 m = %g dBm", got)
+	}
+	// Gain steps are 1 dB.
+	if diff := WiFiTotalRxDBm(1, 20) - got; math.Abs(diff-5) > 1e-9 {
+		t.Fatalf("gain step %g dB", diff)
+	}
+}
+
+func TestZigBeeTxPowerTable(t *testing.T) {
+	for g, want := range map[int]float64{31: 0, 27: -1, 23: -3, 19: -5, 15: -7, 11: -10, 7: -15, 3: -25} {
+		got, err := ZigBeeTxPowerDBm(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("gain %d: %g dBm, want %g", g, got, want)
+		}
+	}
+	// Interpolation between documented levels is monotone.
+	prev := -100.0
+	for g := 0; g <= 31; g++ {
+		p, err := ZigBeeTxPowerDBm(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < prev {
+			t.Fatalf("Tx power not monotone at gain %d", g)
+		}
+		prev = p
+	}
+	if _, err := ZigBeeTxPowerDBm(32); err == nil {
+		t.Error("gain 32 accepted")
+	}
+}
+
+func TestZigBeeRxAnchor(t *testing.T) {
+	// Paper Fig. 13: -75 dBm at 0.5 m, gain 31.
+	got, err := ZigBeeRxDBm(0.5, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ZigBeeRSSIAt0p5mDBm {
+		t.Fatalf("ZigBee rx at anchor = %g", got)
+	}
+	// At 1 m and low gain the signal sinks under the -91 dBm floor.
+	low, err := ZigBeeRxDBm(1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low > NoiseFloorDBm {
+		t.Fatalf("gain 7 at 1 m is %g dBm, expected below the noise floor", low)
+	}
+}
+
+func TestFig17Asymmetry(t *testing.T) {
+	// Paper: at 0.5 m the ZigBee signal at the WiFi receiver is ~-85 dBm,
+	// about 30 dB below the WiFi signal.
+	zb, err := ZigBeeAtWiFiRxDBm(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(zb-(-85)) > 0.5 {
+		t.Fatalf("ZigBee at WiFi Rx (0.5 m) = %g dBm, want ~-85", zb)
+	}
+	wifi := WiFiAtWiFiRxDBm(0.5)
+	if asym := wifi - zb; asym < 25 || asym > 35 {
+		t.Fatalf("asymmetry %g dB, want ~30", asym)
+	}
+}
+
+func TestLinkApplySetsPower(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	wave := make([]complex128, 2048)
+	for i := range wave {
+		wave[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	link := Link{RxPowerDBm: -50}
+	out, realized := link.Apply(wave)
+	if realized != -50 {
+		t.Fatalf("realized power %g without shadowing", realized)
+	}
+	if got := RSSIDBm(out); math.Abs(got-(-50)) > 0.01 {
+		t.Fatalf("measured power %g dBm", got)
+	}
+	// The original waveform is untouched.
+	if math.Abs(dsp.Power(wave)-2) > 0.2 {
+		t.Fatal("input waveform modified")
+	}
+}
+
+func TestLinkShadowingSpread(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	link := Link{RxPowerDBm: -60, ShadowingSigmaDB: 2, Rng: rng}
+	wave := make([]complex128, 256)
+	for i := range wave {
+		wave[i] = 1
+	}
+	var min, max float64 = 0, -200
+	for i := 0; i < 50; i++ {
+		_, p := link.Apply(wave)
+		if p < min {
+			min = p
+		}
+		if p > max {
+			max = p
+		}
+	}
+	if max-min < 1 {
+		t.Fatalf("shadowing spread %g dB too small", max-min)
+	}
+}
+
+func TestAddNoiseLevel(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	link := Link{Rng: rng}
+	wave := make([]complex128, 1<<14)
+	if err := link.AddNoise(wave); err != nil {
+		t.Fatal(err)
+	}
+	// Noise power over the full 20 MHz should be the floor + 10 dB.
+	got := RSSIDBm(wave)
+	want := NoiseFloorDBm + 10
+	if math.Abs(got-want) > 0.5 {
+		t.Fatalf("noise power %g dBm, want %g", got, want)
+	}
+	if err := (Link{}).AddNoise(wave); err == nil {
+		t.Fatal("AddNoise without Rng accepted")
+	}
+}
+
+func TestNoisePowerBandwidthScaling(t *testing.T) {
+	if math.Abs(NoisePowerDBm(2e6)-NoiseFloorDBm) > 1e-9 {
+		t.Fatal("2 MHz noise power must equal the floor")
+	}
+	if math.Abs(NoisePowerDBm(20e6)-(NoiseFloorDBm+10)) > 1e-9 {
+		t.Fatal("20 MHz noise power must be floor + 10 dB")
+	}
+}
+
+func TestWiFiChannelFrequency(t *testing.T) {
+	got, err := WiFiChannelFrequency(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2472e6 {
+		t.Fatalf("channel 13 = %g Hz", got)
+	}
+	if _, err := WiFiChannelFrequency(14); err == nil {
+		t.Error("channel 14 accepted")
+	}
+}
+
+func TestMeasureBandDBm(t *testing.T) {
+	// A flat complex tone at +3 MHz scaled to -40 dBm measures -40 dBm in
+	// its band.
+	n := 4096
+	wave := make([]complex128, n)
+	for i := range wave {
+		phase := 2 * math.Pi * 3e6 * float64(i) / 20e6
+		wave[i] = complex(math.Cos(phase), math.Sin(phase))
+	}
+	dsp.ScaleToPower(wave, dsp.FromDB(-40))
+	got, err := MeasureBandDBm(wave, 20e6, 2e6, 4e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-(-40)) > 0.1 {
+		t.Fatalf("band measurement %g dBm, want -40", got)
+	}
+}
+
+func TestApplyCFORotates(t *testing.T) {
+	wave := make([]complex128, 100)
+	for i := range wave {
+		wave[i] = 1
+	}
+	out := ApplyCFO(wave, 20e6, 5e6)
+	// At fs/4 offset, sample 1 is rotated by 90 degrees.
+	if math.Abs(real(out[1])) > 1e-9 || math.Abs(imag(out[1])-1) > 1e-9 {
+		t.Fatalf("sample 1 = %v, want i", out[1])
+	}
+}
+
+func TestMultipathApply(t *testing.T) {
+	m := Multipath{Taps: []complex128{1, 0.5}, Delays: []int{0, 2}}
+	wave := []complex128{1, 0, 0, 0}
+	out, err := m.Apply(wave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []complex128{1, 0, 0.5, 0}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out = %v", out)
+		}
+	}
+	if _, err := (Multipath{Taps: []complex128{1}, Delays: []int{0, 1}}).Apply(wave); err == nil {
+		t.Fatal("mismatched taps accepted")
+	}
+	if _, err := (Multipath{Taps: []complex128{1}, Delays: []int{-1}}).Apply(wave); err == nil {
+		t.Fatal("negative delay accepted")
+	}
+}
+
+func TestTwoRayProfile(t *testing.T) {
+	m := TwoRay(6, 5)
+	if len(m.Taps) != 2 || m.Delays[1] != 5 {
+		t.Fatalf("profile %+v", m)
+	}
+	// Echo magnitude ~ -6 dB.
+	mag := real(m.Taps[1])*real(m.Taps[1]) + imag(m.Taps[1])*imag(m.Taps[1])
+	if math.Abs(10*math.Log10(mag)-(-6)) > 0.3 {
+		t.Fatalf("echo power %.1f dB", 10*math.Log10(mag))
+	}
+}

@@ -1,0 +1,64 @@
+package channel
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Impairments beyond path loss: carrier frequency offset (free-running
+// oscillators) and multipath (a tapped delay line). The paper's USRP/
+// TelosB testbed exhibits both; the receiver chains are validated against
+// them in the impairment tests.
+
+// ApplyCFO rotates the waveform by a carrier offset of offsetHz at the
+// given sample rate, as a mismatch between transmit and receive
+// oscillators would.
+func ApplyCFO(wave []complex128, sampleRate, offsetHz float64) []complex128 {
+	out := make([]complex128, len(wave))
+	step := 2 * math.Pi * offsetHz / sampleRate
+	for i, v := range wave {
+		out[i] = v * cmplx.Exp(complex(0, step*float64(i)))
+	}
+	return out
+}
+
+// Multipath is a static tapped-delay-line channel. Taps[0] is the direct
+// path; Delays are in samples.
+type Multipath struct {
+	Taps   []complex128
+	Delays []int
+}
+
+// TwoRay builds the common two-path office profile: a direct path and one
+// reflection echoDB below it arriving delaySamples later.
+func TwoRay(echoDB float64, delaySamples int) Multipath {
+	amp := math.Pow(10, -echoDB/20)
+	return Multipath{
+		Taps:   []complex128{1, complex(amp*0.7, amp*0.71)},
+		Delays: []int{0, delaySamples},
+	}
+}
+
+// Apply convolves the waveform with the channel. The output has the same
+// length; echo tails beyond it are dropped.
+func (m Multipath) Apply(wave []complex128) ([]complex128, error) {
+	if len(m.Taps) != len(m.Delays) {
+		return nil, fmt.Errorf("channel: %d taps but %d delays", len(m.Taps), len(m.Delays))
+	}
+	out := make([]complex128, len(wave))
+	for t, tap := range m.Taps {
+		d := m.Delays[t]
+		if d < 0 {
+			return nil, fmt.Errorf("channel: negative delay %d", d)
+		}
+		for i, v := range wave {
+			j := i + d
+			if j >= len(out) {
+				break
+			}
+			out[j] += v * tap
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"sledzig/internal/bits"
+	"sledzig/internal/wifi"
+)
+
+// Decoder inverts the SledZig encoding at the WiFi receiver: it strips the
+// extra bits (whose positions follow from the on-air mode and the detected
+// ZigBee channel) and returns the original payload. Mode and coding rate
+// come from the PLCP header; the ZigBee channel is detected from the
+// constellation points themselves (paper section IV-G).
+type Decoder struct {
+	Convention wifi.Convention
+}
+
+// Decode recovers the payload from a received frame, given the protected
+// channel (use DetectChannel first when it is unknown).
+func (d Decoder) Decode(rx *wifi.RxResult, ch ZigBeeChannel) ([]byte, error) {
+	plan, err := NewPlan(d.Convention, rx.Mode, ch)
+	if err != nil {
+		return nil, err
+	}
+	return d.decodeWithPlan(rx, plan)
+}
+
+// DecodeAuto detects the protected channel and decodes.
+func (d Decoder) DecodeAuto(rx *wifi.RxResult) ([]byte, ZigBeeChannel, error) {
+	ch, ok := d.DetectChannel(rx.Mode.Modulation, rx.DataPoints)
+	if !ok {
+		return nil, 0, fmt.Errorf("core: no SledZig-protected channel detected")
+	}
+	payload, err := d.Decode(rx, ch)
+	if err != nil {
+		return nil, ch, err
+	}
+	return payload, ch, nil
+}
+
+func (d Decoder) decodeWithPlan(rx *wifi.RxResult, plan *Plan) ([]byte, error) {
+	nDBPS := plan.Mode.DataBitsPerSymbol()
+	if len(rx.DataBits)%nDBPS != 0 {
+		return nil, fmt.Errorf("core: DATA field of %d bits is not whole symbols of %d", len(rx.DataBits), nDBPS)
+	}
+	nSym := len(rx.DataBits) / nDBPS
+	layout, err := plan.FrameLayout(nSym)
+	if err != nil {
+		return nil, err
+	}
+	extra := make([]bool, len(rx.DataBits))
+	for _, p := range layout.Positions {
+		if p >= len(extra) {
+			return nil, fmt.Errorf("core: layout position %d beyond frame", p)
+		}
+		extra[p] = true
+	}
+	logical := make([]bits.Bit, 0, len(rx.DataBits)-len(layout.Positions))
+	for i, b := range rx.DataBits {
+		if !extra[i] {
+			logical = append(logical, b)
+		}
+	}
+	if len(logical) < serviceBits+8*headerOctets {
+		return nil, fmt.Errorf("core: stripped stream too short (%d bits)", len(logical))
+	}
+	body := logical[serviceBits:]
+	headerBytes, err := bits.ToBytes(body[:8*headerOctets])
+	if err != nil {
+		return nil, err
+	}
+	length := int(headerBytes[0]) | int(headerBytes[1])<<8
+	if length == 0 {
+		return nil, fmt.Errorf("core: header declares empty payload")
+	}
+	need := 8 * (headerOctets + length)
+	if len(body) < need {
+		return nil, fmt.Errorf("core: header declares %d octets but only %d bits remain", length, len(body)-8*headerOctets)
+	}
+	return bits.ToBytes(body[8*headerOctets : need])
+}
+
+// DetectChannel inspects received constellation points and reports which
+// overlapped ZigBee channel, if any, is SledZig-protected: all its
+// overlapped data subcarriers carry lowest-ring points in (nearly) every
+// symbol. The 0.9 acceptance threshold tolerates occasional hard-decision
+// errors on noisy points. The modulation comes from the PLCP header.
+func (d Decoder) DetectChannel(m wifi.Modulation, dataPoints [][]complex128) (ZigBeeChannel, bool) {
+	if len(dataPoints) == 0 {
+		return 0, false
+	}
+	dataIndex := make(map[int]int, wifi.NumDataSubcarriers)
+	for i, k := range wifi.DataSubcarriers() {
+		dataIndex[k] = i
+	}
+	best, bestFrac := ZigBeeChannel(0), 0.0
+	for _, ch := range AllChannels() {
+		subs := ch.DataSubcarriers()
+		low, totalPts := 0, 0
+		for _, pts := range dataPoints {
+			for _, k := range subs {
+				idx := dataIndex[k]
+				if idx >= len(pts) {
+					continue
+				}
+				totalPts++
+				if isLowestRing(m, pts[idx]) {
+					low++
+				}
+			}
+		}
+		if totalPts == 0 {
+			continue
+		}
+		frac := float64(low) / float64(totalPts)
+		if frac > bestFrac {
+			best, bestFrac = ch, frac
+		}
+	}
+	if bestFrac >= 0.9 {
+		return best, true
+	}
+	return 0, false
+}
+
+// isLowestRing reports whether a (possibly noisy) point of modulation m is
+// nearest the inner constellation ring on both axes: the inner/outer
+// decision boundary lies at 2*K_mod.
+func isLowestRing(m wifi.Modulation, p complex128) bool {
+	k := wifi.NormFactor(m)
+	return math.Abs(real(p)) < 2*k && math.Abs(imag(p)) < 2*k
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+
+	"sledzig/internal/bits"
+	"sledzig/internal/wifi"
+)
+
+const (
+	serviceBits = 16
+	tailBits    = 6
+	// headerOctets prefix the payload with its length (little-endian
+	// uint16) inside the SledZig framing, so the receiver can recover the
+	// original payload boundary after stripping extra bits.
+	headerOctets = 2
+)
+
+// Encoder produces SledZig WiFi frames: standard-format PPDUs whose
+// payload bits are chosen so the OFDM subcarriers overlapping the plan's
+// ZigBee channel always carry the lowest-power constellation points.
+type Encoder struct {
+	Plan *Plan
+	// Seed is the scrambler seed (0 selects wifi.DefaultScramblerSeed).
+	Seed uint8
+}
+
+// EncodeResult carries the assembled frame plus the artifacts a caller may
+// want to inspect or feed to a stock transmitter.
+type EncodeResult struct {
+	// Frame is ready for OFDM modulation (wifi.Frame.Waveform).
+	Frame *wifi.Frame
+	// TransmitBits is the unscrambled DATA-field bit stream — what one
+	// would feed a completely standard 802.11 transmitter (which then
+	// scrambles, codes, interleaves and maps it) to obtain the same
+	// waveform. This is the paper's "transmit bits".
+	TransmitBits []bits.Bit
+	// Layout records the extra-bit positions of this frame.
+	Layout *FrameLayout
+	// PayloadLength is the original payload size in octets.
+	PayloadLength int
+}
+
+// MaxPayload returns the largest payload (octets) a frame of nSymbols can
+// carry under the plan.
+func (e *Encoder) MaxPayload(nSymbols int) int {
+	capacity := nSymbols*e.Plan.EffectiveDataBitsPerSymbol() - serviceBits - tailBits
+	return capacity/8 - headerOctets
+}
+
+// NumSymbols returns the frame size in OFDM symbols for a payload of
+// length octets.
+func (e *Encoder) NumSymbols(length int) int {
+	needed := serviceBits + 8*(headerOctets+length) + tailBits
+	eff := e.Plan.EffectiveDataBitsPerSymbol()
+	return (needed + eff - 1) / eff
+}
+
+// Encode builds the SledZig frame for payload.
+func (e *Encoder) Encode(payload []byte) (*EncodeResult, error) {
+	if e.Plan == nil {
+		return nil, fmt.Errorf("core: encoder has no plan")
+	}
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("core: empty payload")
+	}
+	if len(payload) > 0xFFFF {
+		return nil, fmt.Errorf("core: payload length %d exceeds 65535", len(payload))
+	}
+	nSym := e.NumSymbols(len(payload))
+	layout, err := e.Plan.FrameLayout(nSym)
+	if err != nil {
+		return nil, err
+	}
+	nDBPS := e.Plan.Mode.DataBitsPerSymbol()
+	total := nSym * nDBPS
+	if len(layout.Positions) >= total {
+		return nil, fmt.Errorf("core: layout consumes the whole frame")
+	}
+
+	// Logical stream: SERVICE zeros, length header, payload, tail zeros,
+	// zero padding up to the non-extra capacity.
+	logical := make([]bits.Bit, 0, total-len(layout.Positions))
+	logical = append(logical, make([]bits.Bit, serviceBits)...)
+	header := []byte{byte(len(payload)), byte(len(payload) >> 8)}
+	logical = append(logical, bits.FromBytes(header)...)
+	logical = append(logical, bits.FromBytes(payload)...)
+	logical = append(logical, make([]bits.Bit, tailBits)...)
+	capacity := total - len(layout.Positions)
+	if len(logical) > capacity {
+		return nil, fmt.Errorf("core: internal error: logical stream %d exceeds capacity %d", len(logical), capacity)
+	}
+	logical = append(logical, make([]bits.Bit, capacity-len(logical))...)
+
+	// Physical unscrambled stream: logical bits at non-extra positions.
+	extra := make([]bool, total)
+	for _, p := range layout.Positions {
+		if p < 0 || p >= total {
+			return nil, fmt.Errorf("core: extra position %d outside frame of %d bits", p, total)
+		}
+		extra[p] = true
+	}
+	u := make([]bits.Bit, total)
+	li := 0
+	for i := range u {
+		if !extra[i] {
+			u[i] = logical[li]
+			li++
+		}
+	}
+
+	// Scramble, then solve the extra bits in the scrambled (encoder-input)
+	// domain.
+	seed := e.Seed
+	if seed == 0 {
+		seed = wifi.DefaultScramblerSeed
+	}
+	x, err := wifi.ScrambleWithSeed(u, seed)
+	if err != nil {
+		return nil, err
+	}
+	// Zero the placeholders: scrambling flipped some of them to the
+	// scrambler sequence; the solver assumes unknowns start at zero.
+	for _, p := range layout.Positions {
+		x[p] = 0
+	}
+	if err := solveClusters(x, layout.Clusters); err != nil {
+		return nil, err
+	}
+	if err := verifyConstraints(x, layout.Clusters); err != nil {
+		return nil, err
+	}
+
+	// The standard-compatible "transmit bits" are the descrambled stream.
+	transmit, err := wifi.ScrambleWithSeed(x, seed)
+	if err != nil {
+		return nil, err
+	}
+
+	signalled := (total - serviceBits - tailBits) / 8
+	tx := wifi.Transmitter{Mode: e.Plan.Mode, Seed: seed, Convention: e.Plan.Convention}
+	frame, err := tx.FrameFromScrambled(x, signalled)
+	if err != nil {
+		return nil, err
+	}
+	return &EncodeResult{
+		Frame:         frame,
+		TransmitBits:  transmit,
+		Layout:        layout,
+		PayloadLength: len(payload),
+	}, nil
+}
+
+// solveClusters determines the extra bits in the scrambled stream x so
+// every cluster's pinned encoder outputs hold. Clusters are processed in
+// order; each is a small GF(2) linear solve.
+func solveClusters(x []bits.Bit, clusters []Cluster) error {
+	for _, cl := range clusters {
+		e := len(cl.Equations)
+		// Augmented matrix over the cluster's unknown positions.
+		rows := make([][]bits.Bit, e)
+		for r, eq := range cl.Equations {
+			rows[r] = make([]bits.Bit, e+1)
+			for c, p := range cl.Positions {
+				d := eq.Step() - p
+				if d >= 0 && d < wifi.ConstraintLength {
+					g0, g1 := generatorCoeff(d)
+					if eq.MotherIndex%2 == 0 {
+						rows[r][c] = g0
+					} else {
+						rows[r][c] = g1
+					}
+				}
+			}
+			// Constant term: encoder output with unknowns at zero.
+			rows[r][e] = eq.Value ^ encodeOutput(x, eq)
+		}
+		// Gauss-Jordan.
+		for col := 0; col < e; col++ {
+			pivot := -1
+			for r := col; r < e; r++ {
+				if rows[r][col] == 1 {
+					pivot = r
+					break
+				}
+			}
+			if pivot < 0 {
+				return fmt.Errorf("core: singular cluster system at column %d", col)
+			}
+			rows[col], rows[pivot] = rows[pivot], rows[col]
+			for r := 0; r < e; r++ {
+				if r != col && rows[r][col] == 1 {
+					for cc := col; cc <= e; cc++ {
+						rows[r][cc] ^= rows[col][cc]
+					}
+				}
+			}
+		}
+		for i, p := range cl.Positions {
+			x[p] = rows[i][e]
+		}
+	}
+	return nil
+}
+
+// encodeOutput computes the mother-code output bit for one constraint
+// given the current stream contents.
+func encodeOutput(x []bits.Bit, eq Constraint) bits.Bit {
+	step := eq.Step()
+	var window uint32
+	for d := 0; d < wifi.ConstraintLength; d++ {
+		idx := step - d
+		if idx >= 0 && idx < len(x) {
+			window |= uint32(x[idx]&1) << d
+		}
+	}
+	y0, y1 := wifi.EncodeStep(window)
+	if eq.MotherIndex%2 == 0 {
+		return y0
+	}
+	return y1
+}
+
+// verifyConstraints re-checks every pinned output against the final
+// stream — cheap insurance that the solver and the encoder agree.
+func verifyConstraints(x []bits.Bit, clusters []Cluster) error {
+	for _, cl := range clusters {
+		for _, eq := range cl.Equations {
+			if got := encodeOutput(x, eq); got != eq.Value {
+				return fmt.Errorf("core: constraint at mother index %d unsatisfied (got %d, want %d)",
+					eq.MotherIndex, got, eq.Value)
+			}
+		}
+	}
+	return nil
+}
+
+// SolveExtraBits determines the extra bits of a scrambled encoder-input
+// stream in place so every cluster constraint holds, then re-verifies —
+// the generic entry point for alternative frame formats.
+func SolveExtraBits(x []bits.Bit, clusters []Cluster) error {
+	if err := solveClusters(x, clusters); err != nil {
+		return err
+	}
+	return verifyConstraints(x, clusters)
+}

@@ -1,0 +1,329 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"sledzig/internal/bits"
+	"sledzig/internal/wifi"
+)
+
+// Plan precomputes everything that is fixed for a (convention, mode,
+// ZigBee channel) triple: the per-symbol significant-bit constraints and
+// the extra-bit positions that satisfy them. Transmitter and receiver
+// derive identical plans from the on-air parameters, which is what makes
+// extra-bit removal possible without side channels (paper section IV-G).
+type Plan struct {
+	Convention wifi.Convention
+	Mode       wifi.Mode
+	// Channel is the protected ZigBee channel (zero when the plan was
+	// built from an explicit subcarrier set).
+	Channel ZigBeeChannel
+	// Subcarriers are the pinned data subcarriers.
+	Subcarriers []int
+
+	// symbolConstraints are the constraints of one OFDM symbol, sorted by
+	// mother index.
+	symbolConstraints []Constraint
+}
+
+// NewPlan builds the plan for a protected ZigBee channel using its full
+// data-subcarrier window.
+func NewPlan(conv wifi.Convention, mode wifi.Mode, ch ZigBeeChannel) (*Plan, error) {
+	if !ch.Valid() {
+		return nil, fmt.Errorf("core: invalid ZigBee channel %d", int(ch))
+	}
+	p, err := NewPlanForSubcarriers(conv, mode, ch.DataSubcarriers())
+	if err != nil {
+		return nil, err
+	}
+	p.Channel = ch
+	return p, nil
+}
+
+// NewPlanForSubcarriers builds a plan pinning an explicit set of data
+// subcarriers (the Fig. 11 ablation sweeps these).
+func NewPlanForSubcarriers(conv wifi.Convention, mode wifi.Mode, subcarriers []int) (*Plan, error) {
+	cs, err := SymbolConstraints(conv, mode, subcarriers)
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{
+		Convention:        conv,
+		Mode:              mode,
+		Subcarriers:       append([]int(nil), subcarriers...),
+		symbolConstraints: cs,
+	}
+	// Fail fast if even a long frame cannot be planned.
+	if _, err := p.FrameLayout(2); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// SymbolConstraintList returns a copy of the per-symbol constraints.
+func (p *Plan) SymbolConstraintList() []Constraint {
+	out := make([]Constraint, len(p.symbolConstraints))
+	copy(out, p.symbolConstraints)
+	return out
+}
+
+// ExtraBitsPerSymbol returns how many extra bits each OFDM symbol costs:
+// one per significant bit (paper Table III).
+func (p *Plan) ExtraBitsPerSymbol() int {
+	return len(p.symbolConstraints)
+}
+
+// EffectiveDataBitsPerSymbol is N_DBPS minus the extra-bit overhead.
+func (p *Plan) EffectiveDataBitsPerSymbol() int {
+	return p.Mode.DataBitsPerSymbol() - p.ExtraBitsPerSymbol()
+}
+
+// ThroughputLossFraction is the paper's Table IV metric: the share of
+// encoder input bits spent on extra bits.
+func (p *Plan) ThroughputLossFraction() float64 {
+	return float64(p.ExtraBitsPerSymbol()) / float64(p.Mode.DataBitsPerSymbol())
+}
+
+// Cluster is a maximal run of constrained encoder steps closer than the
+// constraint length, solved jointly: Equations lists the pinned outputs,
+// Positions the encoder-input bits the solver controls. len(Positions) ==
+// len(Equations) and the coefficient matrix is invertible by construction.
+type Cluster struct {
+	// Equations hold global mother indices and pinned values.
+	Equations []Constraint
+	// Positions are global encoder-input indices, in solving order.
+	Positions []int
+}
+
+// FrameLayout computes the global extra-bit positions and solving clusters
+// for a frame of nSymbols OFDM symbols.
+func (p *Plan) FrameLayout(nSymbols int) (*FrameLayout, error) {
+	if nSymbols < 1 {
+		return nil, fmt.Errorf("core: frame needs at least one symbol, got %d", nSymbols)
+	}
+	motherPerSymbol := 2 * p.Mode.DataBitsPerSymbol()
+	all := make([]Constraint, 0, nSymbols*len(p.symbolConstraints))
+	for s := 0; s < nSymbols; s++ {
+		for _, c := range p.symbolConstraints {
+			all = append(all, Constraint{
+				MotherIndex: c.MotherIndex + s*motherPerSymbol,
+				Value:       c.Value,
+			})
+		}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].MotherIndex < all[b].MotherIndex })
+
+	clusters, err := buildClusters(all)
+	if err != nil {
+		return nil, err
+	}
+	positions := make([]int, 0, len(all))
+	for _, cl := range clusters {
+		positions = append(positions, cl.Positions...)
+	}
+	sort.Ints(positions)
+	for i := 1; i < len(positions); i++ {
+		if positions[i] == positions[i-1] {
+			return nil, fmt.Errorf("core: internal error: duplicate extra position %d", positions[i])
+		}
+	}
+	return &FrameLayout{
+		NumSymbols: nSymbols,
+		Clusters:   clusters,
+		Positions:  positions,
+	}, nil
+}
+
+// FrameLayout is the frame-wide solving plan.
+type FrameLayout struct {
+	NumSymbols int
+	Clusters   []Cluster
+	// Positions lists every extra-bit encoder-input index, ascending.
+	Positions []int
+}
+
+// buildClusters groups constraints whose steps are within the encoder
+// memory of each other and selects an invertible set of solver-controlled
+// positions per cluster, preferring the paper's Algorithm 1 choices.
+func buildClusters(all []Constraint) ([]Cluster, error) {
+	var clusters []Cluster
+	for i := 0; i < len(all); {
+		j := i + 1
+		for j < len(all) && all[j].Step()-all[j-1].Step() < wifi.ConstraintLength {
+			j++
+		}
+		cl, err := planCluster(all[i:j])
+		if err != nil {
+			return nil, err
+		}
+		clusters = append(clusters, *cl)
+		i = j
+	}
+	return clusters, nil
+}
+
+// planCluster chooses len(eqs) encoder-input positions whose GF(2)
+// coefficient matrix against the cluster's equations is invertible.
+// Candidate positions are tried in a preference order that reproduces the
+// paper's Algorithm 1 (single -> own step; twin -> step-1, step-5) whenever
+// that choice is solvable.
+func planCluster(eqs []Constraint) (*Cluster, error) {
+	minStep, maxStep := eqs[0].Step(), eqs[len(eqs)-1].Step()
+
+	// Candidate preference: paper positions first, then every other
+	// window position from latest to earliest.
+	pref := make([]int, 0, len(eqs)*2+wifi.ConstraintLength)
+	seen := make(map[int]bool)
+	addCand := func(p int) {
+		if p >= 0 && !seen[p] {
+			seen[p] = true
+			pref = append(pref, p)
+		}
+	}
+	for i := 0; i < len(eqs); {
+		step := eqs[i].Step()
+		twin := i+1 < len(eqs) && eqs[i+1].Step() == step
+		if twin {
+			addCand(step - 1)
+			addCand(step - 5)
+			i += 2
+		} else {
+			addCand(step)
+			i++
+		}
+	}
+	for p := maxStep; p >= minStep-(wifi.ConstraintLength-1); p-- {
+		addCand(p)
+	}
+
+	// Coefficient of position p in the equation for mother index m:
+	// generator tap at delay step-p.
+	coeff := func(eq Constraint, p int) bits.Bit {
+		d := eq.Step() - p
+		if d < 0 || d >= wifi.ConstraintLength {
+			return 0
+		}
+		g0, g1 := generatorCoeff(d)
+		if eq.MotherIndex%2 == 0 {
+			return g0
+		}
+		return g1
+	}
+
+	// Gaussian elimination over the E x C candidate matrix, selecting
+	// pivot columns in preference order.
+	e := len(eqs)
+	rows := make([][]bits.Bit, e)
+	for r := range rows {
+		rows[r] = make([]bits.Bit, len(pref))
+		for c, p := range pref {
+			rows[r][c] = coeff(eqs[r], p)
+		}
+	}
+	pivotCols := make([]int, 0, e)
+	usedRow := make([]bool, e)
+	for _, c := range rangeInts(len(pref)) {
+		// Find an unused row with a 1 in this column.
+		pivot := -1
+		for r := 0; r < e; r++ {
+			if !usedRow[r] && rows[r][c] == 1 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		usedRow[pivot] = true
+		pivotCols = append(pivotCols, c)
+		for r := 0; r < e; r++ {
+			if r != pivot && rows[r][c] == 1 {
+				for cc := range rows[r] {
+					rows[r][cc] ^= rows[pivot][cc]
+				}
+			}
+		}
+		if len(pivotCols) == e {
+			break
+		}
+	}
+	if len(pivotCols) != e {
+		return nil, fmt.Errorf("core: cluster of %d constraints at steps %d..%d is unsolvable", e, minStep, maxStep)
+	}
+	positions := make([]int, e)
+	for i, c := range pivotCols {
+		positions[i] = pref[c]
+	}
+	sort.Ints(positions)
+	return &Cluster{Equations: append([]Constraint(nil), eqs...), Positions: positions}, nil
+}
+
+func rangeInts(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// LayoutForConstraints builds a frame-wide solving layout from an
+// arbitrary per-symbol constraint list and mother-stream stride — the
+// generic entry point wider channel formats (e.g. the 40 MHz extension)
+// use, bypassing the 20 MHz Plan bookkeeping.
+func LayoutForConstraints(symbolConstraints []Constraint, nSymbols, motherPerSymbol int) (*FrameLayout, error) {
+	if nSymbols < 1 {
+		return nil, fmt.Errorf("core: frame needs at least one symbol, got %d", nSymbols)
+	}
+	if motherPerSymbol < 2 {
+		return nil, fmt.Errorf("core: mother stride %d too small", motherPerSymbol)
+	}
+	all := make([]Constraint, 0, nSymbols*len(symbolConstraints))
+	for s := 0; s < nSymbols; s++ {
+		for _, c := range symbolConstraints {
+			all = append(all, Constraint{
+				MotherIndex: c.MotherIndex + s*motherPerSymbol,
+				Value:       c.Value,
+			})
+		}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].MotherIndex < all[b].MotherIndex })
+	clusters, err := buildClusters(all)
+	if err != nil {
+		return nil, err
+	}
+	positions := make([]int, 0, len(all))
+	for _, cl := range clusters {
+		positions = append(positions, cl.Positions...)
+	}
+	sort.Ints(positions)
+	return &FrameLayout{NumSymbols: nSymbols, Clusters: clusters, Positions: positions}, nil
+}
+
+// LayoutForGlobalConstraints plans a frame from an already-expanded,
+// frame-global constraint list (callers that pin only selected symbols,
+// like the CTC energy modulator, build this themselves). The list need
+// not be sorted.
+func LayoutForGlobalConstraints(all []Constraint, nSymbols int) (*FrameLayout, error) {
+	if nSymbols < 1 {
+		return nil, fmt.Errorf("core: frame needs at least one symbol, got %d", nSymbols)
+	}
+	sorted := make([]Constraint, len(all))
+	copy(sorted, all)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].MotherIndex < sorted[b].MotherIndex })
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i].MotherIndex == sorted[i-1].MotherIndex {
+			return nil, fmt.Errorf("core: duplicate constraint at mother index %d", sorted[i].MotherIndex)
+		}
+	}
+	clusters, err := buildClusters(sorted)
+	if err != nil {
+		return nil, err
+	}
+	positions := make([]int, 0, len(sorted))
+	for _, cl := range clusters {
+		positions = append(positions, cl.Positions...)
+	}
+	sort.Ints(positions)
+	return &FrameLayout{NumSymbols: nSymbols, Clusters: clusters, Positions: positions}, nil
+}

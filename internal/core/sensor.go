@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+
+	"sledzig/internal/dsp"
+	"sledzig/internal/wifi"
+)
+
+// ChannelSensor implements the adaptive variant the paper sketches in its
+// related-work discussion: a WiFi device that identifies which overlapped
+// ZigBee channel carries a low-power neighbour (from a quiet-period
+// capture) and protects that one. It is a simple energy detector over the
+// four 2 MHz windows — the same signal-identification role the paper
+// delegates to systems like SoNIC or LoFi.
+type ChannelSensor struct {
+	// SampleRate of the capture (default 20 MS/s, the WiFi baseband).
+	SampleRate float64
+	// MarginDB is how far above the quietest channel a candidate must sit
+	// to count as occupied (default 6 dB).
+	MarginDB float64
+}
+
+func (s ChannelSensor) sampleRate() float64 {
+	if s.SampleRate == 0 {
+		return wifi.SampleRate
+	}
+	return s.SampleRate
+}
+
+func (s ChannelSensor) margin() float64 {
+	if s.MarginDB == 0 {
+		return 6
+	}
+	return s.MarginDB
+}
+
+// BandLevels measures the power in each overlapped channel (dB, relative
+// units of the capture).
+func (s ChannelSensor) BandLevels(capture []complex128) (map[ZigBeeChannel]float64, error) {
+	if len(capture) < 64 {
+		return nil, fmt.Errorf("core: capture of %d samples too short to sense", len(capture))
+	}
+	out := make(map[ZigBeeChannel]float64, 4)
+	for _, ch := range AllChannels() {
+		lo, hi := ch.BandHz()
+		p, err := dsp.BandPower(capture, s.sampleRate(), lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		out[ch] = dsp.DB(p)
+	}
+	return out, nil
+}
+
+// Sense picks the overlapped channel with the highest energy, provided it
+// clears the occupancy margin over the quietest channel. The boolean is
+// false when no channel stands out (nothing to protect).
+func (s ChannelSensor) Sense(capture []complex128) (ZigBeeChannel, bool, error) {
+	levels, err := s.BandLevels(capture)
+	if err != nil {
+		return 0, false, err
+	}
+	best, quiet := CH1, CH1
+	for _, ch := range AllChannels() {
+		if levels[ch] > levels[best] {
+			best = ch
+		}
+		if levels[ch] < levels[quiet] {
+			quiet = ch
+		}
+	}
+	if levels[best]-levels[quiet] < s.margin() {
+		return 0, false, nil
+	}
+	return best, true, nil
+}

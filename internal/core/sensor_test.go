@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"sledzig/internal/bits"
+	"sledzig/internal/dsp"
+	"sledzig/internal/wifi"
+	"sledzig/internal/zigbee"
+)
+
+// zigbeeOnWiFiBus renders a ZigBee frame and shifts it to its channel
+// offset on the 20 MS/s WiFi baseband.
+func zigbeeOnWiFiBus(t *testing.T, ch ZigBeeChannel, powerDB float64, rng *rand.Rand) []complex128 {
+	t.Helper()
+	wave, err := zigbee.Transmitter{SamplesPerChip: 10}.Transmit(bits.RandomBytes(rng, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsp.ScaleToPower(wave, dsp.FromDB(powerDB))
+	return dsp.FrequencyShift(wave, wifi.SampleRate, ch.OffsetHz())
+}
+
+func TestSensorFindsOccupiedChannel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, ch := range AllChannels() {
+		capture := make([]complex128, 1<<15)
+		// Noise floor.
+		for i := range capture {
+			capture[i] = complex(rng.NormFloat64(), rng.NormFloat64()) * 1e-5
+		}
+		zb := zigbeeOnWiFiBus(t, ch, -60, rng)
+		dsp.MixInto(capture, zb, 1, 500)
+
+		got, ok, err := (ChannelSensor{}).Sense(capture)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || got != ch {
+			t.Fatalf("sensed (%v, %v), want (%v, true)", got, ok, ch)
+		}
+	}
+}
+
+func TestSensorIgnoresQuietBand(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	capture := make([]complex128, 1<<14)
+	for i := range capture {
+		capture[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	if ch, ok, err := (ChannelSensor{}).Sense(capture); err != nil || ok {
+		t.Fatalf("flat noise sensed as %v (ok=%v, err=%v)", ch, ok, err)
+	}
+}
+
+func TestSensorRejectsShortCapture(t *testing.T) {
+	if _, _, err := (ChannelSensor{}).Sense(make([]complex128, 8)); err == nil {
+		t.Fatal("short capture accepted")
+	}
+}
+
+// TestSenseThenProtect ties the adaptive story together: sense the ZigBee
+// neighbour's channel from a capture, build a plan for it, and verify the
+// resulting frame suppresses exactly that band.
+func TestSenseThenProtect(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	capture := make([]complex128, 1<<15)
+	for i := range capture {
+		capture[i] = complex(rng.NormFloat64(), rng.NormFloat64()) * 1e-5
+	}
+	dsp.MixInto(capture, zigbeeOnWiFiBus(t, CH3, -65, rng), 1, 100)
+
+	ch, ok, err := (ChannelSensor{}).Sense(capture)
+	if err != nil || !ok {
+		t.Fatalf("sense failed: %v %v", ok, err)
+	}
+	mode := wifi.Mode{Modulation: wifi.QAM64, CodeRate: wifi.Rate23}
+	plan, err := NewPlan(wifi.ConventionPaper, mode, ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := (&Encoder{Plan: plan}).Encode(bits.RandomBytes(rng, 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wave, err := res.Frame.DataWaveform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := ch.BandHz()
+	inBand, err := dsp.BandPower(wave, wifi.SampleRate, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare against an unprotected channel of the same width.
+	otherLo, otherHi := CH1.BandHz()
+	other, err := dsp.BandPower(wave, wifi.SampleRate, otherLo, otherHi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dsp.DB(other)-dsp.DB(inBand) < 4 {
+		t.Fatalf("protected band only %.1f dB below an unprotected one", dsp.DB(other)-dsp.DB(inBand))
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+
+	"sledzig/internal/wifi"
+)
+
+// TableRow summarizes one (modulation, rate) row of the paper's Tables III
+// and IV: extra-bit counts and WiFi throughput loss for the pilot-bearing
+// channels (CH1-CH3 behave identically) and for CH4.
+type TableRow struct {
+	Mode             wifi.Mode
+	BitsPerSymbol    int     // N_DBPS
+	ExtraBitsCH13    int     // extra bits per OFDM symbol, CH1-CH3
+	ExtraBitsCH4     int     // extra bits per OFDM symbol, CH4
+	LossCH13         float64 // throughput loss fraction, CH1-CH3
+	LossCH4          float64 // throughput loss fraction, CH4
+	MinSNRDB         float64 // minimum SNR for reliable reception (Table IV)
+	PaperExtraCH13   int     // the counts the paper's Table III prints
+	PaperExtraCH4    int
+	PaperLossCH13Pct float64 // the percentages the paper's Table IV prints
+	PaperLossCH4Pct  float64
+}
+
+// minSNRTable reproduces the paper's Table IV "Min. SNR" column (from the
+// literature it cites).
+var minSNRTable = map[wifi.Mode]float64{
+	{Modulation: wifi.QAM16, CodeRate: wifi.Rate12}:  11,
+	{Modulation: wifi.QAM16, CodeRate: wifi.Rate34}:  15,
+	{Modulation: wifi.QAM64, CodeRate: wifi.Rate23}:  18,
+	{Modulation: wifi.QAM64, CodeRate: wifi.Rate34}:  20,
+	{Modulation: wifi.QAM64, CodeRate: wifi.Rate56}:  25,
+	{Modulation: wifi.QAM256, CodeRate: wifi.Rate34}: 29,
+	{Modulation: wifi.QAM256, CodeRate: wifi.Rate56}: 31,
+}
+
+// MinSNRDB returns the paper's minimum-SNR figure for a mode.
+func MinSNRDB(m wifi.Mode) (float64, error) {
+	v, ok := minSNRTable[m]
+	if !ok {
+		return 0, fmt.Errorf("core: no Table IV SNR entry for %v", m)
+	}
+	return v, nil
+}
+
+// paperTableIII holds the counts printed in the paper (for comparison; the
+// QAM-64 r=2/3 CH1-CH3 entry of 24 is inconsistent with the paper's own
+// Table IV, which implies 28 — see EXPERIMENTS.md).
+var paperTableIII = map[wifi.Mode][2]int{
+	{Modulation: wifi.QAM16, CodeRate: wifi.Rate12}:  {14, 10},
+	{Modulation: wifi.QAM16, CodeRate: wifi.Rate34}:  {14, 10},
+	{Modulation: wifi.QAM64, CodeRate: wifi.Rate23}:  {24, 20},
+	{Modulation: wifi.QAM64, CodeRate: wifi.Rate34}:  {28, 20},
+	{Modulation: wifi.QAM64, CodeRate: wifi.Rate56}:  {28, 20},
+	{Modulation: wifi.QAM256, CodeRate: wifi.Rate34}: {42, 30},
+	{Modulation: wifi.QAM256, CodeRate: wifi.Rate56}: {42, 30},
+}
+
+// paperTableIV holds the loss percentages printed in the paper.
+var paperTableIV = map[wifi.Mode][2]float64{
+	{Modulation: wifi.QAM16, CodeRate: wifi.Rate12}:  {14.58, 10.42},
+	{Modulation: wifi.QAM16, CodeRate: wifi.Rate34}:  {9.72, 6.94},
+	{Modulation: wifi.QAM64, CodeRate: wifi.Rate23}:  {14.58, 10.42},
+	{Modulation: wifi.QAM64, CodeRate: wifi.Rate34}:  {12.96, 9.26},
+	{Modulation: wifi.QAM64, CodeRate: wifi.Rate56}:  {11.67, 8.33},
+	{Modulation: wifi.QAM256, CodeRate: wifi.Rate34}: {14.58, 11.72},
+	{Modulation: wifi.QAM256, CodeRate: wifi.Rate56}: {13.12, 9.37},
+}
+
+// OverheadTable computes the Table III / Table IV rows from first
+// principles under the given convention, attaching the paper's printed
+// values for comparison.
+func OverheadTable(conv wifi.Convention) ([]TableRow, error) {
+	rows := make([]TableRow, 0, len(wifi.PaperModes()))
+	for _, mode := range wifi.PaperModes() {
+		p13, err := NewPlan(conv, mode, CH1)
+		if err != nil {
+			return nil, fmt.Errorf("core: plan %v CH1: %w", mode, err)
+		}
+		p4, err := NewPlan(conv, mode, CH4)
+		if err != nil {
+			return nil, fmt.Errorf("core: plan %v CH4: %w", mode, err)
+		}
+		snr := minSNRTable[mode]
+		paper3 := paperTableIII[mode]
+		paper4 := paperTableIV[mode]
+		rows = append(rows, TableRow{
+			Mode:             mode,
+			BitsPerSymbol:    mode.DataBitsPerSymbol(),
+			ExtraBitsCH13:    p13.ExtraBitsPerSymbol(),
+			ExtraBitsCH4:     p4.ExtraBitsPerSymbol(),
+			LossCH13:         p13.ThroughputLossFraction(),
+			LossCH4:          p4.ThroughputLossFraction(),
+			MinSNRDB:         snr,
+			PaperExtraCH13:   paper3[0],
+			PaperExtraCH4:    paper3[1],
+			PaperLossCH13Pct: paper4[0],
+			PaperLossCH4Pct:  paper4[1],
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,164 @@
+// Package ctc implements the symbol-level energy-modulation
+// cross-technology channel the paper discusses as related work (SLEM,
+// OfdmFi — section VI): a WiFi transmitter conveys bits to a ZigBee
+// device by toggling its energy inside the ZigBee channel between "high"
+// (normal constellation points) and "low" (SledZig-pinned points) over
+// groups of OFDM symbols; the ZigBee side reads the pattern with nothing
+// but RSSI sampling.
+//
+// Two things distinguish this implementation from the originals and tie
+// it to SledZig: the "low" level uses SledZig's exact pinning machinery
+// (so the low state is as low as payload encoding can make it — the
+// paper's critique of SLEM is precisely that its points "cannot always be
+// the designated lowest ones"), and the WiFi payload remains intact, so
+// the same frame simultaneously carries its normal WiFi data.
+package ctc
+
+import (
+	"fmt"
+
+	"sledzig/internal/bits"
+	"sledzig/internal/core"
+	"sledzig/internal/wifi"
+)
+
+// SymbolsPerBit is how many OFDM symbols (4 us each) encode one CTC bit.
+// ZigBee RSSI registers integrate over 8 symbol periods (128 us), so 32
+// OFDM symbols per bit gives the receiver a full averaging window per
+// level.
+const SymbolsPerBit = 32
+
+// Encoder embeds an OOK bit pattern into a SledZig-capable WiFi frame.
+type Encoder struct {
+	Convention wifi.Convention
+	Mode       wifi.Mode
+	Channel    core.ZigBeeChannel
+	Seed       uint8
+}
+
+// Frame is a WiFi frame carrying both a WiFi payload and a CTC message.
+type Frame struct {
+	WiFi *wifi.Frame
+	// Mask marks, per OFDM symbol, whether the ZigBee channel was pinned
+	// low (true = low energy = CTC bit 0 by convention).
+	Mask []bool
+	// Bits is the embedded CTC message.
+	Bits []bits.Bit
+}
+
+// Encode builds a frame whose in-channel energy follows message (one
+// bit per SymbolsPerBit OFDM symbols; bit 1 = high energy, 0 = low) while
+// carrying payload as ordinary WiFi data.
+func (e Encoder) Encode(payload []byte, message []bits.Bit) (*Frame, error) {
+	if len(message) == 0 {
+		return nil, fmt.Errorf("ctc: empty message")
+	}
+	if err := bits.Validate(message); err != nil {
+		return nil, err
+	}
+	if !e.Channel.Valid() {
+		return nil, fmt.Errorf("ctc: invalid channel %d", int(e.Channel))
+	}
+	mode := e.Mode
+	if mode.Modulation == 0 {
+		mode = wifi.Mode{Modulation: wifi.QAM16, CodeRate: wifi.Rate12}
+	}
+	plan, err := core.NewPlan(e.Convention, mode, e.Channel)
+	if err != nil {
+		return nil, err
+	}
+
+	nSym := len(message) * SymbolsPerBit
+	nDBPS := mode.DataBitsPerSymbol()
+	// The 12-bit PLCP LENGTH field bounds one frame; longer messages span
+	// multiple frames.
+	if nSym*nDBPS > 8*4095+16+6 {
+		return nil, fmt.Errorf("ctc: message of %d bits needs %d OFDM symbols, beyond one frame at %v (max %d bits)",
+			len(message), nSym, mode, (8*4095+22)/nDBPS/SymbolsPerBit)
+	}
+
+	// Build the symbol mask: low-energy symbols carry the plan's
+	// constraints, high-energy symbols none.
+	mask := make([]bool, nSym)
+	lowSymbols := 0
+	for i, b := range message {
+		if b == 0 {
+			for s := 0; s < SymbolsPerBit; s++ {
+				mask[i*SymbolsPerBit+s] = true
+			}
+			lowSymbols += SymbolsPerBit
+		}
+	}
+
+	// Per-frame constraint list: the plan's per-symbol constraints, but
+	// only on masked symbols.
+	perSym := plan.SymbolConstraintList()
+	var all []core.Constraint
+	for s := 0; s < nSym; s++ {
+		if !mask[s] {
+			continue
+		}
+		for _, c := range perSym {
+			all = append(all, core.Constraint{
+				MotherIndex: c.MotherIndex + s*2*nDBPS,
+				Value:       c.Value,
+			})
+		}
+	}
+	layout, err := core.LayoutForGlobalConstraints(all, nSym)
+	if err != nil {
+		return nil, err
+	}
+
+	total := nSym * nDBPS
+	capacity := total - len(layout.Positions) - 16 - 6 // SERVICE + tail
+	if 8*len(payload) > capacity {
+		return nil, fmt.Errorf("ctc: payload of %d octets exceeds the %d-bit capacity of a %d-bit message frame",
+			len(payload), capacity, len(message))
+	}
+
+	// Assemble the scrambled stream the way core.Encoder does, but with
+	// the frame size fixed by the message length.
+	logical := make([]bits.Bit, 0, capacity+16+6)
+	logical = append(logical, make([]bits.Bit, 16)...)
+	logical = append(logical, bits.FromBytes([]byte{byte(len(payload)), byte(len(payload) >> 8)})...)
+	logical = append(logical, bits.FromBytes(payload)...)
+	pad := total - len(layout.Positions) - len(logical)
+	if pad < 0 {
+		return nil, fmt.Errorf("ctc: frame capacity accounting failed")
+	}
+	logical = append(logical, make([]bits.Bit, pad)...)
+
+	extra := make([]bool, total)
+	for _, p := range layout.Positions {
+		extra[p] = true
+	}
+	u := make([]bits.Bit, total)
+	li := 0
+	for i := range u {
+		if !extra[i] {
+			u[i] = logical[li]
+			li++
+		}
+	}
+	seed := e.Seed
+	if seed == 0 {
+		seed = wifi.DefaultScramblerSeed
+	}
+	x, err := wifi.ScrambleWithSeed(u, seed)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range layout.Positions {
+		x[p] = 0
+	}
+	if err := core.SolveExtraBits(x, layout.Clusters); err != nil {
+		return nil, err
+	}
+	tx := wifi.Transmitter{Mode: mode, Seed: seed, Convention: e.Convention}
+	frame, err := tx.FrameFromScrambled(x, (total-16-6)/8)
+	if err != nil {
+		return nil, err
+	}
+	return &Frame{WiFi: frame, Mask: mask, Bits: bits.Clone(message)}, nil
+}

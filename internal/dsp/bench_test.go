@@ -1,0 +1,57 @@
+package dsp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randSignal(n int) []complex128 {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func BenchmarkFFT1024(b *testing.B) {
+	x := randSignal(1024)
+	b.SetBytes(1024 * 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MustFFT(x)
+	}
+}
+
+func BenchmarkBandPower(b *testing.B) {
+	x := randSignal(1 << 14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BandPower(x, 20e6, -1e6, 1e6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFilter129Taps(b *testing.B) {
+	x := randSignal(1 << 14)
+	taps, err := LowPassFIR(40e6, 1.3e6, 129)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(x)) * 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Filter(x, taps)
+	}
+}
+
+func BenchmarkResampleFFT(b *testing.B) {
+	x := randSignal(1 << 13)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ResampleFFT(x, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

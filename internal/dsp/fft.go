@@ -1,0 +1,91 @@
+// Package dsp supplies the signal-processing primitives the baseband PHYs
+// are built on: radix-2 FFT/IFFT, power measurement, frequency shifting,
+// and rational resampling. Everything operates on []complex128 baseband
+// samples.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// FFT computes the in-order discrete Fourier transform of x, whose length
+// must be a power of two. The input is not modified.
+func FFT(x []complex128) ([]complex128, error) {
+	return transform(x, false)
+}
+
+// IFFT computes the inverse DFT of x (length a power of two), including the
+// 1/N normalization. The input is not modified.
+func IFFT(x []complex128) ([]complex128, error) {
+	out, err := transform(x, true)
+	if err != nil {
+		return nil, err
+	}
+	n := complex(float64(len(out)), 0)
+	for i := range out {
+		out[i] /= n
+	}
+	return out, nil
+}
+
+// MustFFT is FFT for inputs whose length is known to be a power of two.
+func MustFFT(x []complex128) []complex128 {
+	out, err := FFT(x)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// MustIFFT is IFFT for inputs whose length is known to be a power of two.
+func MustIFFT(x []complex128) []complex128 {
+	out, err := IFFT(x)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func transform(x []complex128, inverse bool) ([]complex128, error) {
+	n := len(x)
+	if n == 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("dsp: FFT length %d is not a positive power of two", n)
+	}
+	out := make([]complex128, n)
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := range x {
+		out[bits.Reverse64(uint64(i))>>shift] = x[i]
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := sign * 2 * math.Pi / float64(size)
+		wBase := complex(math.Cos(step), math.Sin(step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := out[start+k]
+				b := out[start+k+half] * w
+				out[start+k] = a + b
+				out[start+k+half] = a - b
+				w *= wBase
+			}
+		}
+	}
+	return out, nil
+}
+
+// NextPow2 returns the smallest power of two >= n (and at least 1).
+func NextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

@@ -1,0 +1,59 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// LowPassFIR designs a linear-phase windowed-sinc (Hamming) low-pass
+// filter with the given cutoff frequency. taps must be odd so the filter
+// delay is an integer number of samples.
+func LowPassFIR(sampleRate, cutoff float64, taps int) ([]float64, error) {
+	if taps < 3 || taps%2 == 0 {
+		return nil, fmt.Errorf("dsp: FIR taps must be odd and >= 3, got %d", taps)
+	}
+	if cutoff <= 0 || cutoff >= sampleRate/2 {
+		return nil, fmt.Errorf("dsp: cutoff %g outside (0, fs/2)", cutoff)
+	}
+	h := make([]float64, taps)
+	fc := cutoff / sampleRate
+	mid := taps / 2
+	var sum float64
+	for i := range h {
+		n := float64(i - mid)
+		var s float64
+		if n == 0 {
+			s = 2 * fc
+		} else {
+			s = math.Sin(2*math.Pi*fc*n) / (math.Pi * n)
+		}
+		w := 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(taps-1))
+		h[i] = s * w
+		sum += h[i]
+	}
+	// Normalize to unit DC gain.
+	for i := range h {
+		h[i] /= sum
+	}
+	return h, nil
+}
+
+// Filter convolves x with the FIR taps h, compensating the group delay so
+// the output stays time-aligned with the input (same length; edges see
+// partial filtering).
+func Filter(x []complex128, h []float64) []complex128 {
+	out := make([]complex128, len(x))
+	mid := len(h) / 2
+	for i := range x {
+		var acc complex128
+		for k, tap := range h {
+			j := i + mid - k
+			if j < 0 || j >= len(x) {
+				continue
+			}
+			acc += x[j] * complex(tap, 0)
+		}
+		out[i] = acc
+	}
+	return out
+}

@@ -1,0 +1,36 @@
+package dsp
+
+import "fmt"
+
+// ResampleFFT performs band-limited integer upsampling by zero-padding the
+// spectrum: the output has factor * len(x) samples at factor times the
+// sample rate, with the original spectral content preserved and no
+// imaging. Used when waveforms synthesized at different rates (20 MS/s
+// WiFi, ZigBee chips) must share a wider mixing bus.
+func ResampleFFT(x []complex128, factor int) ([]complex128, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("dsp: resample factor %d < 1", factor)
+	}
+	if factor == 1 || len(x) == 0 {
+		out := make([]complex128, len(x))
+		copy(out, x)
+		return out, nil
+	}
+	// Work on a power-of-two block; pad with zeros and trim after.
+	n := NextPow2(len(x))
+	padded := make([]complex128, n)
+	copy(padded, x)
+	spec := MustFFT(padded)
+
+	big := make([]complex128, n*factor)
+	half := n / 2
+	copy(big[:half], spec[:half])
+	copy(big[len(big)-half:], spec[half:])
+	// Samples scale by the length ratio to preserve amplitude.
+	out := MustIFFT(big)
+	scale := complex(float64(factor), 0)
+	for i := range out {
+		out[i] *= scale
+	}
+	return out[:len(x)*factor], nil
+}

@@ -1,0 +1,57 @@
+package exp
+
+import (
+	"sledzig/internal/core"
+	"sledzig/internal/mac"
+)
+
+// CCAModeAblation quantifies the one modeling decision the paper's own
+// data leaves ambiguous (see EXPERIMENTS.md): whether the TelosB CCA
+// reacts to WiFi energy. It reruns the Fig. 14 geometry at key distances
+// under both behaviours, for normal WiFi and SledZig QAM-256 on CH3.
+type CCAModeRow struct {
+	Variant     string
+	DWZ         float64
+	EnergyKbps  float64 // throughput with energy-detect CCA
+	CarrierKbps float64 // throughput with carrier-only CCA
+}
+
+// RunCCAModeAblation executes the ablation.
+func RunCCAModeAblation(opts ThroughputOptions) ([]CCAModeRow, error) {
+	opts = opts.withDefaults(20e-3)
+	variants := []Variant{PaperVariants()[0], PaperVariants()[3]} // Normal, QAM-256
+	distances := []float64{1, 2, 4, 6, 8}
+	var rows []CCAModeRow
+	for _, v := range variants {
+		profile, err := DeriveProfile(opts.Convention, v, core.CH3, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range distances {
+			row := CCAModeRow{Variant: v.Name, DWZ: d}
+			for _, mode := range []mac.CCAMode{mac.CCAEnergy, mac.CCACarrierOnly} {
+				res, err := mac.Run(mac.Config{
+					Seed:             opts.Seed + int64(d*10),
+					Duration:         opts.Duration,
+					DWZ:              d,
+					DZ:               1,
+					Profile:          profile,
+					WiFiMode:         v.Mode,
+					WiFiFrameAirtime: opts.WiFiBurstAirtime,
+					DutyRatio:        1,
+					CCAMode:          mode,
+				})
+				if err != nil {
+					return nil, err
+				}
+				if mode == mac.CCAEnergy {
+					row.EnergyKbps = res.ZigBeeThroughputBps / 1e3
+				} else {
+					row.CarrierKbps = res.ZigBeeThroughputBps / 1e3
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,62 @@
+package exp
+
+import (
+	"sledzig/internal/core"
+	"sledzig/internal/mac"
+	"sledzig/internal/wifi"
+)
+
+// FleetPoint is one (node count, AP mode) measurement of the multi-node
+// extension experiment.
+type FleetPoint struct {
+	Nodes      int
+	SledZig    bool
+	Throughput float64 // aggregate kbit/s
+	Delivered  int
+	Collisions int
+	Retries    int
+}
+
+// FleetSweep measures aggregate acknowledged ZigBee throughput as the
+// number of contending nodes grows, under a saturated WiFi AP three
+// meters away — stock vs SledZig (QAM-256, CH3). This extends the paper's
+// single-link evaluation to the dense-network setting its introduction
+// motivates.
+func FleetSweep(opts ThroughputOptions) ([]FleetPoint, error) {
+	opts = opts.withDefaults(20e-3)
+	var out []FleetPoint
+	for _, sled := range []bool{false, true} {
+		v := Variant{Name: "QAM-256", Mode: wifi.Mode{Modulation: wifi.QAM256, CodeRate: wifi.Rate34}, SledZig: sled}
+		profile, err := DeriveProfile(opts.Convention, v, core.CH3, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range []int{1, 2, 4, 8} {
+			res, err := mac.Run(mac.Config{
+				Seed:             opts.Seed + int64(n),
+				Duration:         opts.Duration,
+				DWZ:              3,
+				DZ:               1,
+				Profile:          profile,
+				WiFiMode:         v.Mode,
+				WiFiFrameAirtime: opts.WiFiBurstAirtime,
+				DutyRatio:        1,
+				CCAMode:          mac.CCAEnergy,
+				ZigBeeNodes:      n,
+				UseAcks:          true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, FleetPoint{
+				Nodes:      n,
+				SledZig:    sled,
+				Throughput: res.ZigBeeThroughputBps / 1e3,
+				Delivered:  res.ZigBeeDelivered,
+				Collisions: res.ZigBeeCollisions,
+				Retries:    res.ZigBeeRetries,
+			})
+		}
+	}
+	return out, nil
+}

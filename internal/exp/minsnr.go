@@ -1,0 +1,125 @@
+package exp
+
+import (
+	"math"
+	"math/rand"
+
+	"sledzig/internal/bits"
+	"sledzig/internal/wifi"
+)
+
+// MinSNRRow compares the paper's Table IV minimum-SNR column against this
+// PHY's measured requirement (hard-decision Viterbi; expect ~1-2 dB above
+// textbook soft-decision figures).
+type MinSNRRow struct {
+	Mode       wifi.Mode
+	PaperDB    float64
+	MeasuredDB float64 // hard-decision chain; NaN if never reached
+	SoftDB     float64 // soft-decision chain; NaN if never reached
+}
+
+// MinSNRSweep measures each paper mode's required SNR by decoding frames
+// through the full waveform chain under AWGN. frames controls the per-
+// point accuracy (10 gives a coarse but fast estimate).
+func MinSNRSweep(conv wifi.Convention, seed int64, frames int) ([]MinSNRRow, error) {
+	if frames <= 0 {
+		frames = 10
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([]MinSNRRow, 0, len(wifi.PaperModes()))
+	for _, mode := range wifi.PaperModes() {
+		paper := paperMinSNR(mode)
+		row := MinSNRRow{Mode: mode, PaperDB: paper, MeasuredDB: math.NaN(), SoftDB: math.NaN()}
+		for snr := paper - 6; snr <= paper+8; snr += 2 {
+			per, err := measurePER(conv, mode, snr, frames, false, rng)
+			if err != nil {
+				return nil, err
+			}
+			if per <= 0.1 {
+				row.MeasuredDB = snr
+				break
+			}
+		}
+		for snr := paper - 8; snr <= paper+8; snr += 2 {
+			per, err := measurePER(conv, mode, snr, frames, true, rng)
+			if err != nil {
+				return nil, err
+			}
+			if per <= 0.1 {
+				row.SoftDB = snr
+				break
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func paperMinSNR(m wifi.Mode) float64 {
+	switch m {
+	case wifi.Mode{Modulation: wifi.QAM16, CodeRate: wifi.Rate12}:
+		return 11
+	case wifi.Mode{Modulation: wifi.QAM16, CodeRate: wifi.Rate34}:
+		return 15
+	case wifi.Mode{Modulation: wifi.QAM64, CodeRate: wifi.Rate23}:
+		return 18
+	case wifi.Mode{Modulation: wifi.QAM64, CodeRate: wifi.Rate34}:
+		return 20
+	case wifi.Mode{Modulation: wifi.QAM64, CodeRate: wifi.Rate56}:
+		return 25
+	case wifi.Mode{Modulation: wifi.QAM256, CodeRate: wifi.Rate34}:
+		return 29
+	case wifi.Mode{Modulation: wifi.QAM256, CodeRate: wifi.Rate56}:
+		return 31
+	}
+	return 0
+}
+
+// measurePER sends frames through AWGN at the given SNR (signal power over
+// noise power within the occupied bandwidth) and counts decode failures.
+func measurePER(conv wifi.Convention, mode wifi.Mode, snrDB float64, frames int, soft bool, rng *rand.Rand) (float64, error) {
+	tx := wifi.Transmitter{Mode: mode, Convention: conv}
+	rx := wifi.Receiver{Convention: conv, Soft: soft}
+	failures := 0
+	for f := 0; f < frames; f++ {
+		payload := bits.RandomBytes(rng, 100)
+		frame, err := tx.Frame(payload)
+		if err != nil {
+			return 0, err
+		}
+		wave, err := frame.Waveform()
+		if err != nil {
+			return 0, err
+		}
+		// Signal power measured over the occupied samples; noise sized so
+		// in-band SNR hits the target (52 of 64 subcarriers are occupied,
+		// so the full-rate noise is scaled up by 64/52).
+		var sig float64
+		for _, v := range wave {
+			sig += real(v)*real(v) + imag(v)*imag(v)
+		}
+		sig /= float64(len(wave))
+		noise := sig / math.Pow(10, snrDB/10) * 64.0 / 52.0
+		sigma := math.Sqrt(noise / 2)
+		noisy := make([]complex128, len(wave))
+		for i, v := range wave {
+			noisy[i] = v + complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+		}
+		res, err := rx.Receive(noisy)
+		if err != nil {
+			failures++
+			continue
+		}
+		if len(res.PSDU) != len(payload) {
+			failures++
+			continue
+		}
+		for i := range payload {
+			if res.PSDU[i] != payload[i] {
+				failures++
+				break
+			}
+		}
+	}
+	return float64(failures) / float64(frames), nil
+}

@@ -1,0 +1,57 @@
+package exp
+
+import (
+	"math/rand"
+
+	"sledzig/internal/wifi"
+)
+
+// PERCurve measures the frame error waterfall of one WiFi mode over AWGN
+// through the full waveform chain, for both receiver flavours — the
+// companion figure to the Table IV min-SNR validation.
+func PERCurve(conv wifi.Convention, mode wifi.Mode, seed int64, frames int) (*Figure, error) {
+	if frames <= 0 {
+		frames = 20
+	}
+	paper := paperMinSNR(mode)
+	fig := &Figure{
+		ID:     "PER curve",
+		Title:  "Frame error rate vs SNR, " + mode.String(),
+		XLabel: "SNR (dB)",
+		YLabel: "PER",
+	}
+	hard := Series{Name: "hard"}
+	soft := Series{Name: "soft"}
+	rng := rand.New(rand.NewSource(seed))
+	for snr := paper - 8; snr <= paper+6; snr += 2 {
+		perHard, err := measurePER(conv, mode, snr, frames, false, rng)
+		if err != nil {
+			return nil, err
+		}
+		perSoft, err := measurePER(conv, mode, snr, frames, true, rng)
+		if err != nil {
+			return nil, err
+		}
+		hard.Add(snr, perHard)
+		soft.Add(snr, perSoft)
+	}
+	fig.Series = []Series{hard, soft}
+	return fig, nil
+}
+
+// SoftGainDB estimates the horizontal gap between the two waterfalls at
+// the PER = 0.5 level.
+func SoftGainDB(fig *Figure) float64 {
+	cross := func(s Series) float64 {
+		for i := len(s.Y) - 1; i >= 0; i-- {
+			if s.Y[i] >= 0.5 {
+				return s.X[i]
+			}
+		}
+		if len(s.X) > 0 {
+			return s.X[0]
+		}
+		return 0
+	}
+	return cross(fig.Series[0]) - cross(fig.Series[1])
+}

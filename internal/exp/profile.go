@@ -1,0 +1,136 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sledzig/internal/bits"
+	"sledzig/internal/channel"
+	"sledzig/internal/core"
+	"sledzig/internal/dsp"
+	"sledzig/internal/mac"
+	"sledzig/internal/wifi"
+)
+
+// Variant identifies a WiFi transmitter behaviour in the sweeps.
+type Variant struct {
+	Name string
+	// Mode is the WiFi PHY mode; SledZig is false for the normal-WiFi
+	// baseline.
+	Mode    wifi.Mode
+	SledZig bool
+}
+
+// PaperVariants returns the four curves the paper sweeps in Figs. 14-16:
+// normal WiFi and SledZig under the three QAM modulations.
+func PaperVariants() []Variant {
+	return []Variant{
+		{Name: "Normal", Mode: wifi.Mode{Modulation: wifi.QAM64, CodeRate: wifi.Rate23}, SledZig: false},
+		{Name: "QAM-16", Mode: wifi.Mode{Modulation: wifi.QAM16, CodeRate: wifi.Rate12}, SledZig: true},
+		{Name: "QAM-64", Mode: wifi.Mode{Modulation: wifi.QAM64, CodeRate: wifi.Rate23}, SledZig: true},
+		{Name: "QAM-256", Mode: wifi.Mode{Modulation: wifi.QAM256, CodeRate: wifi.Rate34}, SledZig: true},
+	}
+}
+
+// bandShareDB measures how much of a waveform's total power falls inside
+// the 2 MHz window of ch, in dB (negative).
+func bandShareDB(wave []complex128, ch core.ZigBeeChannel) (float64, error) {
+	lo, hi := ch.BandHz()
+	band, err := dsp.BandPower(wave, wifi.SampleRate, lo, hi)
+	if err != nil {
+		return 0, err
+	}
+	total := dsp.Power(wave)
+	if total <= 0 {
+		return 0, fmt.Errorf("exp: waveform has no power")
+	}
+	return dsp.DB(band / total), nil
+}
+
+// payloadWave renders the DATA-field waveform of a variant for profile
+// measurement.
+func payloadWave(conv wifi.Convention, v Variant, ch core.ZigBeeChannel, rng *rand.Rand) ([]complex128, error) {
+	payload := bits.RandomBytes(rng, 600)
+	if !v.SledZig {
+		frame, err := wifi.Transmitter{Mode: v.Mode, Convention: conv}.Frame(payload)
+		if err != nil {
+			return nil, err
+		}
+		return frame.DataWaveform()
+	}
+	plan, err := core.NewPlan(conv, v.Mode, ch)
+	if err != nil {
+		return nil, err
+	}
+	res, err := (&core.Encoder{Plan: plan}).Encode(payload)
+	if err != nil {
+		return nil, err
+	}
+	return res.Frame.DataWaveform()
+}
+
+// preambleShareDB measures the in-band share of the preamble + SIGNAL
+// segment (which SledZig cannot suppress).
+func preambleShareDB(mode wifi.Mode, ch core.ZigBeeChannel) (float64, error) {
+	wave := wifi.Preamble()
+	sigPts, err := wifi.EncodeSignalSymbol(mode, 100)
+	if err != nil {
+		return 0, err
+	}
+	sig, err := wifi.AssembleSymbol(sigPts, 0)
+	if err != nil {
+		return 0, err
+	}
+	wave = append(wave, sig...)
+	return bandShareDB(wave, ch)
+}
+
+// DeriveProfile measures the in-band WiFi profile of a variant on a
+// channel from actual PHY waveforms, anchored to the paper's received
+// power calibration. The pilot component is computed analytically (one
+// unit-power subcarrier out of the 52 active ones).
+func DeriveProfile(conv wifi.Convention, v Variant, ch core.ZigBeeChannel, seed int64) (mac.WiFiProfile, error) {
+	rng := rand.New(rand.NewSource(seed))
+	wave, err := payloadWave(conv, v, ch, rng)
+	if err != nil {
+		return mac.WiFiProfile{}, err
+	}
+	share, err := bandShareDB(wave, ch)
+	if err != nil {
+		return mac.WiFiProfile{}, err
+	}
+	preShare, err := preambleShareDB(v.Mode, ch)
+	if err != nil {
+		return mac.WiFiProfile{}, err
+	}
+	total := channel.WiFiTotalRxAt1mDBm
+	inBand := total + share
+	profile := mac.WiFiProfile{
+		PreambleDBm: total + preShare,
+		PilotDBm:    math.Inf(-1),
+	}
+	if v.SledZig && len(ch.PilotSubcarriers()) > 0 {
+		// Pilot tone: one of the 52 active subcarriers at unit power.
+		pilot := total + dsp.DB(float64(len(ch.PilotSubcarriers()))/52.0)
+		profile.PilotDBm = pilot
+		rem := dsp.FromDB(inBand) - dsp.FromDB(pilot)
+		if rem <= 0 {
+			// Measurement jitter: the pilot accounts for (nearly) all the
+			// in-band power; keep a small wideband residue.
+			rem = dsp.FromDB(inBand) * 0.05
+		}
+		profile.DataDBm = dsp.DB(rem)
+	} else {
+		profile.DataDBm = inBand
+	}
+	return profile, nil
+}
+
+// InBandRSSIDBm returns the RSSI a TelosB at distance d (meters) collects
+// from the profile's payload, including the noise floor (what Figs. 11-12
+// plot).
+func InBandRSSIDBm(p mac.WiFiProfile, d float64, txGainDelta int) float64 {
+	pl := channel.PathLossDB(d, 1) - float64(txGainDelta)
+	return dsp.AddPowersDB(p.TotalPayloadDBm()-pl, channel.NoiseFloorDBm)
+}

@@ -1,0 +1,137 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sledzig/internal/bits"
+	"sledzig/internal/channel"
+	"sledzig/internal/core"
+	"sledzig/internal/dsp"
+	"sledzig/internal/wifi"
+)
+
+// Fig11 reproduces "Impact of the number of data subcarriers on RSSI at
+// ZigBee": QAM-64, WiFi Tx 1 m from the ZigBee receiver, sweeping how many
+// data subcarriers are pinned. One series per overlapped channel.
+func Fig11(conv wifi.Convention, seed int64) (*Figure, error) {
+	mode := wifi.Mode{Modulation: wifi.QAM64, CodeRate: wifi.Rate23}
+	rng := rand.New(rand.NewSource(seed))
+	fig := &Figure{
+		ID:     "Fig. 11",
+		Title:  "RSSI at ZigBee vs number of pinned data subcarriers (QAM-64, 1 m)",
+		XLabel: "subcarriers",
+		YLabel: "RSSI (dBm)",
+	}
+	for _, ch := range core.AllChannels() {
+		counts := []int{4, 5, 6, 7, 8}
+		if ch == core.CH4 {
+			counts = []int{3, 4, 5, 6}
+		}
+		s := Series{Name: ch.String()}
+		for _, n := range counts {
+			subs, err := ch.DataSubcarrierSubset(n)
+			if err != nil {
+				return nil, err
+			}
+			plan, err := core.NewPlanForSubcarriers(conv, mode, subs)
+			if err != nil {
+				return nil, err
+			}
+			res, err := (&core.Encoder{Plan: plan}).Encode(bits.RandomBytes(rng, 600))
+			if err != nil {
+				return nil, err
+			}
+			wave, err := res.Frame.DataWaveform()
+			if err != nil {
+				return nil, err
+			}
+			share, err := bandShareDB(wave, ch)
+			if err != nil {
+				return nil, err
+			}
+			rssi := dsp.AddPowersDB(channel.WiFiTotalRxAt1mDBm+share, channel.NoiseFloorDBm)
+			// The testbed reports 1-3 dB variation between repeats.
+			rssi += rng.NormFloat64() * 0.5
+			s.Add(float64(n), rssi)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig12 reproduces "RSSI at ZigBee under different QAM modulations":
+// normal WiFi vs SledZig per channel, 1 m. The paper reports
+// CH1-CH3: -60 -> -64 / -66 / -68 dBm and CH4: -64 -> -70 / -75 / -78 dBm.
+func Fig12(conv wifi.Convention, seed int64) (*Figure, error) {
+	fig := &Figure{
+		ID:     "Fig. 12",
+		Title:  "RSSI at ZigBee: normal WiFi vs SledZig (1 m)",
+		XLabel: "channel",
+		YLabel: "RSSI (dBm)",
+	}
+	variants := []Variant{
+		{Name: "Normal", Mode: wifi.Mode{Modulation: wifi.QAM64, CodeRate: wifi.Rate23}, SledZig: false},
+		{Name: "QAM-16", Mode: wifi.Mode{Modulation: wifi.QAM16, CodeRate: wifi.Rate12}, SledZig: true},
+		{Name: "QAM-64", Mode: wifi.Mode{Modulation: wifi.QAM64, CodeRate: wifi.Rate23}, SledZig: true},
+		{Name: "QAM-256", Mode: wifi.Mode{Modulation: wifi.QAM256, CodeRate: wifi.Rate34}, SledZig: true},
+	}
+	for _, v := range variants {
+		s := Series{Name: v.Name}
+		for _, ch := range core.AllChannels() {
+			p, err := DeriveProfile(conv, v, ch, seed)
+			if err != nil {
+				return nil, fmt.Errorf("exp: profile %s %v: %w", v.Name, ch, err)
+			}
+			s.Add(float64(ch), InBandRSSIDBm(p, 1, 0))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig13 reproduces "RSSI in terms of ZigBee link distance d_Z and Tx
+// gain": the pure ZigBee link budget with the noise floor clamp.
+func Fig13() *Figure {
+	fig := &Figure{
+		ID:     "Fig. 13",
+		Title:  "ZigBee RSSI vs link distance and Tx gain (no WiFi)",
+		XLabel: "tx gain",
+		YLabel: "RSSI (dBm)",
+	}
+	for _, d := range []float64{0.5, 1, 2, 3} {
+		s := Series{Name: fmt.Sprintf("dZ=%.1fm", d)}
+		for g := 0; g <= 31; g++ {
+			rx, err := channel.ZigBeeRxDBm(d, g)
+			if err != nil {
+				continue
+			}
+			s.Add(float64(g), dsp.AddPowersDB(rx, channel.NoiseFloorDBm))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// Fig17 reproduces "The collected RSSI at the WiFi receiver with WiFi and
+// ZigBee signals": the ~30 dB asymmetry that makes ZigBee harmless to
+// WiFi.
+func Fig17() *Figure {
+	fig := &Figure{
+		ID:     "Fig. 17",
+		Title:  "RSSI at the WiFi receiver vs transmitter distance",
+		XLabel: "distance (m)",
+		YLabel: "RSSI (dBm)",
+	}
+	wifiS := Series{Name: "WiFi Tx"}
+	zbS := Series{Name: "ZigBee Tx"}
+	for _, d := range []float64{0.5, 1, 1.5, 2, 3, 4, 5} {
+		wifiS.Add(d, dsp.AddPowersDB(channel.WiFiAtWiFiRxDBm(d), channel.NoiseFloorDBm))
+		zb, err := channel.ZigBeeAtWiFiRxDBm(d)
+		if err == nil {
+			zbS.Add(d, dsp.AddPowersDB(zb, channel.NoiseFloorDBm))
+		}
+	}
+	fig.Series = []Series{wifiS, zbS}
+	return fig
+}

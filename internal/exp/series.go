@@ -1,0 +1,141 @@
+// Package exp regenerates every table and figure of the SledZig paper's
+// evaluation section from the substrates in this repository: PHY waveforms
+// for the RSSI/spectrum figures, the calibrated radio model for the link
+// budgets, and the MAC simulator for the throughput figures. Each
+// experiment returns plain data structures; cmd/experiments renders them
+// next to the paper's reported values.
+package exp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named curve: y(x) samples in ascending x order.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Add appends a sample.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// At returns y at the first x >= want (or the last sample).
+func (s *Series) At(want float64) float64 {
+	for i, x := range s.X {
+		if x >= want {
+			return s.Y[i]
+		}
+	}
+	if len(s.Y) == 0 {
+		return math.NaN()
+	}
+	return s.Y[len(s.Y)-1]
+}
+
+// CrossoverX returns the smallest x at which y reaches level (useful for
+// "ZigBee recovers its baseline at distance d" readings). NaN when the
+// series never reaches it.
+func (s *Series) CrossoverX(level float64) float64 {
+	for i, y := range s.Y {
+		if y >= level {
+			return s.X[i]
+		}
+	}
+	return math.NaN()
+}
+
+// Figure is a set of series with axis labels, ready to print.
+type Figure struct {
+	ID     string // e.g. "Fig. 14(a)"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// String renders the figure as an aligned text table, one row per x value.
+func (f *Figure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "%-12s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "%14s", s.Name)
+	}
+	b.WriteByte('\n')
+	// Collect the union of x values.
+	xsSet := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			xsSet[x] = true
+		}
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%-12.3g", x)
+		for _, s := range f.Series {
+			y := math.NaN()
+			for i := range s.X {
+				if s.X[i] == x {
+					y = s.Y[i]
+					break
+				}
+			}
+			if math.IsNaN(y) {
+				fmt.Fprintf(&b, "%14s", "-")
+			} else {
+				fmt.Fprintf(&b, "%14.2f", y)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "(y axis: %s)\n", f.YLabel)
+	return b.String()
+}
+
+// BoxStats summarizes a sample distribution the way the paper's box plots
+// do.
+type BoxStats struct {
+	Min, Q1, Median, Q3, Max, Mean float64
+}
+
+// NewBoxStats computes quartiles (linear interpolation) over samples.
+func NewBoxStats(samples []float64) BoxStats {
+	if len(samples) == 0 {
+		return BoxStats{}
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	quantile := func(q float64) float64 {
+		pos := q * float64(len(s)-1)
+		lo := int(math.Floor(pos))
+		hi := int(math.Ceil(pos))
+		if lo == hi {
+			return s[lo]
+		}
+		frac := pos - float64(lo)
+		return s[lo]*(1-frac) + s[hi]*frac
+	}
+	var mean float64
+	for _, v := range s {
+		mean += v
+	}
+	return BoxStats{
+		Min:    s[0],
+		Q1:     quantile(0.25),
+		Median: quantile(0.5),
+		Q3:     quantile(0.75),
+		Max:    s[len(s)-1],
+		Mean:   mean / float64(len(s)),
+	}
+}

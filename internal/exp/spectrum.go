@@ -1,0 +1,132 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"sledzig/internal/bits"
+	"sledzig/internal/core"
+	"sledzig/internal/dsp"
+	"sledzig/internal/wifi"
+)
+
+// Spectrum holds a power spectral density across the 20 MHz WiFi channel
+// (Fig. 5b).
+type Spectrum struct {
+	// FreqMHz are bin centers relative to the WiFi channel center.
+	FreqMHz []float64
+	// NormalDB and SledZigDB are PSDs (dB, relative to the flat normal
+	// level).
+	NormalDB  []float64
+	SledZigDB []float64
+	Channel   core.ZigBeeChannel
+}
+
+// Fig5b renders the WiFi spectrum with all subcarriers overlapping ch
+// pinned to the lowest constellation points, next to a normal frame.
+func Fig5b(conv wifi.Convention, mode wifi.Mode, ch core.ZigBeeChannel, seed int64) (*Spectrum, error) {
+	rng := rand.New(rand.NewSource(seed))
+	payload := bits.RandomBytes(rng, 800)
+
+	normalFrame, err := wifi.Transmitter{Mode: mode, Convention: conv}.Frame(payload)
+	if err != nil {
+		return nil, err
+	}
+	normalWave, err := normalFrame.DataWaveform()
+	if err != nil {
+		return nil, err
+	}
+	plan, err := core.NewPlan(conv, mode, ch)
+	if err != nil {
+		return nil, err
+	}
+	res, err := (&core.Encoder{Plan: plan}).Encode(payload)
+	if err != nil {
+		return nil, err
+	}
+	sledWave, err := res.Frame.DataWaveform()
+	if err != nil {
+		return nil, err
+	}
+
+	const nBins = 256
+	psdN, err := dsp.Periodogram(normalWave, nBins)
+	if err != nil {
+		return nil, err
+	}
+	psdS, err := dsp.Periodogram(sledWave, nBins)
+	if err != nil {
+		return nil, err
+	}
+	// Reference level: the median normal in-channel PSD.
+	ref := 0.0
+	cnt := 0
+	for i := range psdN {
+		if psdN[i] > 0 {
+			ref += psdN[i]
+			cnt++
+		}
+	}
+	ref /= float64(cnt)
+
+	out := &Spectrum{Channel: ch}
+	for i := 0; i < nBins; i++ {
+		f := float64(i) * wifi.SampleRate / nBins
+		if i >= nBins/2 {
+			f -= wifi.SampleRate
+		}
+		out.FreqMHz = append(out.FreqMHz, f/1e6)
+		out.NormalDB = append(out.NormalDB, dsp.DB(psdN[i]/ref))
+		out.SledZigDB = append(out.SledZigDB, dsp.DB(psdS[i]/ref))
+	}
+	// Sort by frequency for plotting.
+	for i := 0; i < nBins; i++ {
+		for j := i + 1; j < nBins; j++ {
+			if out.FreqMHz[j] < out.FreqMHz[i] {
+				out.FreqMHz[i], out.FreqMHz[j] = out.FreqMHz[j], out.FreqMHz[i]
+				out.NormalDB[i], out.NormalDB[j] = out.NormalDB[j], out.NormalDB[i]
+				out.SledZigDB[i], out.SledZigDB[j] = out.SledZigDB[j], out.SledZigDB[i]
+			}
+		}
+	}
+	return out, nil
+}
+
+// String renders a coarse ASCII view: mean level per 1 MHz bucket.
+func (s *Spectrum) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 5b — WiFi spectrum with %v pinned (dB rel. normal in-channel level)\n", s.Channel)
+	fmt.Fprintf(&b, "%8s%12s%12s\n", "MHz", "normal", "sledzig")
+	for bucket := -10; bucket < 10; bucket++ {
+		lo, hi := float64(bucket), float64(bucket+1)
+		var n, sumN, sumS float64
+		for i, f := range s.FreqMHz {
+			if f >= lo && f < hi {
+				sumN += dsp.FromDB(s.NormalDB[i])
+				sumS += dsp.FromDB(s.SledZigDB[i])
+				n++
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%8.1f%12.1f%12.1f\n", (lo+hi)/2, dsp.DB(sumN/n), dsp.DB(sumS/n))
+	}
+	return b.String()
+}
+
+// BandDropDB returns the SledZig band-power drop inside the protected
+// channel, the Fig. 5b headline number.
+func (s *Spectrum) BandDropDB() float64 {
+	lo, hi := s.Channel.BandHz()
+	var sumN, sumS float64
+	for i, f := range s.FreqMHz {
+		hz := f * 1e6
+		if hz >= lo && hz < hi {
+			sumN += dsp.FromDB(s.NormalDB[i])
+			sumS += dsp.FromDB(s.SledZigDB[i])
+		}
+	}
+	return dsp.DB(sumN) - dsp.DB(sumS)
+}

@@ -1,0 +1,66 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"sledzig/internal/core"
+	"sledzig/internal/wifi"
+)
+
+// TheoryRow pairs the closed-form power reduction with the paper's value.
+type TheoryRow struct {
+	Modulation wifi.Modulation
+	ComputedDB float64
+	PaperDB    float64
+}
+
+// TheoreticalReductions reproduces the section III-B numbers: P_avg/P_low
+// = 7.0 / 13.2 / 19.3 dB.
+func TheoreticalReductions() []TheoryRow {
+	return []TheoryRow{
+		{wifi.QAM16, wifi.PowerReductionDB(wifi.QAM16), 7.0},
+		{wifi.QAM64, wifi.PowerReductionDB(wifi.QAM64), 13.2},
+		{wifi.QAM256, wifi.PowerReductionDB(wifi.QAM256), 19.3},
+	}
+}
+
+// TableII returns the significant-bit positions of the first OFDM symbol
+// (QAM-16, rate 1/2, CH2) in the paper's 1-based numbering, alongside the
+// published row.
+func TableII(conv wifi.Convention) (got, want []int, err error) {
+	mode := wifi.Mode{Modulation: wifi.QAM16, CodeRate: wifi.Rate12}
+	cs, err := core.SymbolConstraints(conv, mode, core.CH2.DataSubcarriers())
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, c := range cs {
+		got = append(got, c.PaperPosition())
+	}
+	want = []int{29, 30, 41, 42, 77, 78, 89, 90, 125, 138, 172, 173, 183, 186}
+	return got, want, nil
+}
+
+// FormatOverheadTable renders Tables III and IV side by side with the
+// paper's printed values.
+func FormatOverheadTable(conv wifi.Convention) (string, error) {
+	rows, err := core.OverheadTable(conv)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Tables III & IV — extra bits per OFDM symbol and WiFi throughput loss (%v convention)\n", conv)
+	fmt.Fprintf(&b, "%-18s%8s | %14s%14s | %16s%16s | %9s\n",
+		"mode", "N_DBPS", "extra CH1-3", "extra CH4", "loss CH1-3", "loss CH4", "min SNR")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s%8d | %6d (p:%3d)%6d (p:%3d) | %6.2f%% (p:%5.2f%%)%6.2f%% (p:%5.2f%%) | %6.0f dB\n",
+			r.Mode, r.BitsPerSymbol,
+			r.ExtraBitsCH13, r.PaperExtraCH13,
+			r.ExtraBitsCH4, r.PaperExtraCH4,
+			100*r.LossCH13, r.PaperLossCH13Pct,
+			100*r.LossCH4, r.PaperLossCH4Pct,
+			r.MinSNRDB)
+	}
+	b.WriteString("(p: value printed in the paper; deviations documented in EXPERIMENTS.md)\n")
+	return b.String(), nil
+}

@@ -1,0 +1,202 @@
+package exp
+
+import (
+	"fmt"
+
+	"sledzig/internal/core"
+	"sledzig/internal/mac"
+	"sledzig/internal/wifi"
+)
+
+// ThroughputOptions tune the MAC sweeps; the zero value reproduces the
+// paper's settings with durations long enough for stable statistics.
+type ThroughputOptions struct {
+	Convention wifi.Convention
+	Seed       int64
+	Duration   float64 // simulated seconds per point (default 10)
+	// WiFiBurstAirtime is the per-emission airtime of the USRP streamer.
+	// Zero selects a per-figure default (20 ms for the Fig. 14 distance
+	// sweeps, 6 ms for the Fig. 16 duty sweep — the burst length is the
+	// one USRP traffic parameter the paper does not report, and it sets
+	// how often the unsuppressable preamble appears).
+	WiFiBurstAirtime float64
+}
+
+func (o ThroughputOptions) withDefaults(defaultBurst float64) ThroughputOptions {
+	if o.Duration == 0 {
+		o.Duration = 10
+	}
+	if o.WiFiBurstAirtime == 0 {
+		o.WiFiBurstAirtime = defaultBurst
+	}
+	return o
+}
+
+// Fig14 reproduces "ZigBee throughput in terms of d_WZ under continuous
+// WiFi transmission": sub-figure (a) uses a pilot-bearing channel (CH3 as
+// in the paper), sub-figure (b) uses CH4. The carrier-sense mechanism
+// (energy-detect CCA) drives the crossovers.
+func Fig14(ch core.ZigBeeChannel, opts ThroughputOptions) (*Figure, error) {
+	opts = opts.withDefaults(20e-3)
+	sub := "(a)"
+	if ch == core.CH4 {
+		sub = "(b)"
+	}
+	fig := &Figure{
+		ID:     "Fig. 14" + sub,
+		Title:  fmt.Sprintf("ZigBee throughput vs d_WZ, continuous WiFi, %v, d_Z = 1 m", ch),
+		XLabel: "d_WZ (m)",
+		YLabel: "throughput (kbit/s)",
+	}
+	distances := []float64{1, 1.5, 2, 2.5, 3, 3.5, 4, 4.5, 5, 6, 7, 8, 8.5, 9, 10}
+	variants := PaperVariants()
+	results := make([][]float64, len(variants))
+	profiles := make([]mac.WiFiProfile, len(variants))
+	for i, v := range variants {
+		p, err := DeriveProfile(opts.Convention, v, ch, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		profiles[i] = p
+		results[i] = make([]float64, len(distances))
+	}
+	err := parallelFor(len(variants)*len(distances), func(idx int) error {
+		vi, di := idx/len(distances), idx%len(distances)
+		res, err := mac.Run(mac.Config{
+			Seed:             opts.Seed + int64(distances[di]*100),
+			Duration:         opts.Duration,
+			DWZ:              distances[di],
+			DZ:               1,
+			Profile:          profiles[vi],
+			WiFiMode:         variants[vi].Mode,
+			WiFiFrameAirtime: opts.WiFiBurstAirtime,
+			DutyRatio:        1,
+			CCAMode:          mac.CCAEnergy,
+		})
+		if err != nil {
+			return err
+		}
+		results[vi][di] = res.ZigBeeThroughputBps / 1e3
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for vi, v := range variants {
+		s := Series{Name: v.Name}
+		for di, d := range distances {
+			s.Add(d, results[vi][di])
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig15 reproduces "ZigBee throughput in terms of d_Z under continuous
+// WiFi transmission": CH4, d_WZ = 6 m, the ZigBee link stretched until its
+// SINR collapses. Standard-length WiFi frames (1500-byte PPDUs) expose the
+// WiFi-preamble effect the paper highlights here.
+func Fig15(opts ThroughputOptions) (*Figure, error) {
+	opts = opts.withDefaults(0) // unused: Fig. 15 sends standard PPDUs
+	fig := &Figure{
+		ID:     "Fig. 15",
+		Title:  "ZigBee throughput vs d_Z, continuous WiFi, CH4, d_WZ = 6 m",
+		XLabel: "d_Z (m)",
+		YLabel: "throughput (kbit/s)",
+	}
+	for _, v := range PaperVariants() {
+		profile, err := DeriveProfile(opts.Convention, v, core.CH4, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		s := Series{Name: v.Name}
+		for dz := 1.0; dz <= 2.01; dz += 0.2 {
+			res, err := mac.Run(mac.Config{
+				Seed:      opts.Seed + int64(dz*1000),
+				Duration:  opts.Duration,
+				DWZ:       6,
+				DZ:        dz,
+				Profile:   profile,
+				WiFiMode:  v.Mode,
+				DutyRatio: 1,
+				// Standard 1500-byte PPDUs: preamble every frame.
+				WiFiPayload: 1500,
+				CCAMode:     mac.CCAEnergy,
+			})
+			if err != nil {
+				return nil, err
+			}
+			s.Add(dz, res.ZigBeeThroughputBps/1e3)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig16Point is one box of the Fig. 16 box plot.
+type Fig16Point struct {
+	Variant   string
+	DutyRatio float64
+	Stats     BoxStats
+}
+
+// Fig16 reproduces "ZigBee throughput under different WiFi data traffic":
+// CH3, d_WZ = 1 m, d_Z = 0.5 m, sweeping the WiFi duty ratio with repeated
+// runs per point. At this distance the paper's own data implies the
+// TelosB CCA ignores WiFi energy (concurrent transmissions happen), so the
+// runs use CCACarrierOnly; survival is then decided purely by the per-chip
+// SINR — which is where SledZig's payload suppression pays off.
+func Fig16(opts ThroughputOptions, runsPerPoint int) ([]Fig16Point, error) {
+	opts = opts.withDefaults(6e-3)
+	if runsPerPoint <= 0 {
+		runsPerPoint = 10
+	}
+	variants := PaperVariants()
+	duties := []float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	profiles := make([]mac.WiFiProfile, len(variants))
+	for i, v := range variants {
+		p, err := DeriveProfile(opts.Convention, v, core.CH3, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		profiles[i] = p
+	}
+	samples := make([][]float64, len(variants)*len(duties))
+	for i := range samples {
+		samples[i] = make([]float64, runsPerPoint)
+	}
+	err := parallelFor(len(samples)*runsPerPoint, func(idx int) error {
+		point, r := idx/runsPerPoint, idx%runsPerPoint
+		vi, di := point/len(duties), point%len(duties)
+		res, err := mac.Run(mac.Config{
+			Seed:             opts.Seed + int64(duties[di]*100)*1000 + int64(r),
+			Duration:         opts.Duration,
+			DWZ:              1,
+			DZ:               0.5,
+			Profile:          profiles[vi],
+			WiFiMode:         variants[vi].Mode,
+			WiFiFrameAirtime: opts.WiFiBurstAirtime,
+			DutyRatio:        duties[di],
+			CCAMode:          mac.CCACarrierOnly,
+		})
+		if err != nil {
+			return err
+		}
+		samples[point][r] = res.ZigBeeThroughputBps / 1e3
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Fig16Point, 0, len(samples))
+	for vi, v := range variants {
+		for di, duty := range duties {
+			out = append(out, Fig16Point{
+				Variant:   v.Name,
+				DutyRatio: duty,
+				Stats:     NewBoxStats(samples[vi*len(duties)+di]),
+			})
+		}
+	}
+	return out, nil
+}

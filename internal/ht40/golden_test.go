@@ -1,0 +1,71 @@
+package ht40
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sledzig/internal/wifi"
+)
+
+// Golden vectors pin the 40 MHz derived tables, mirroring the 20 MHz set
+// in internal/core/testdata. Regenerate with
+//
+//	UPDATE_GOLDEN=1 go test ./internal/ht40 -run TestGoldenVectors40
+type goldenEntry struct {
+	Convention string `json:"convention"`
+	Mode       string `json:"mode"`
+	Channel    string `json:"channel"`
+	ExtraBits  int    `json:"extraBits"`
+	// Steps are the constrained encoder steps of the first OFDM symbol.
+	Steps []int `json:"steps"`
+}
+
+func TestGoldenVectors40(t *testing.T) {
+	var got []goldenEntry
+	for _, conv := range []wifi.Convention{wifi.ConventionIEEE, wifi.ConventionPaper} {
+		for _, mode := range wifi.PaperModes() {
+			for _, ch := range AllChannels() {
+				plan, err := NewPlan(conv, mode, ch)
+				if err != nil {
+					t.Fatalf("%v %v %v: %v", conv, mode, ch, err)
+				}
+				e := goldenEntry{
+					Convention: conv.String(),
+					Mode:       mode.String(),
+					Channel:    ch.String(),
+					ExtraBits:  plan.ExtraBitsPerSymbol(),
+				}
+				for _, c := range plan.constraints {
+					e.Steps = append(e.Steps, c.Step())
+				}
+				got = append(got, e)
+			}
+		}
+	}
+	encoded, err := json.MarshalIndent(got, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	encoded = append(encoded, '\n')
+	path := filepath.Join("testdata", "vectors40.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, encoded, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d entries)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (set UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(encoded, want) {
+		t.Fatalf("40 MHz derived tables diverge from %s", path)
+	}
+}

@@ -1,0 +1,322 @@
+package ht40
+
+import (
+	"fmt"
+
+	"sledzig/internal/bits"
+	"sledzig/internal/core"
+	"sledzig/internal/wifi"
+)
+
+// SledZig on 40 MHz: the same pipeline as the 20 MHz core — derive the
+// significant bits of the overlapped subcarriers through the (HT)
+// deinterleaver, plan extra-bit positions with the shared cluster solver,
+// and let the standard coder produce lowest-ring points.
+
+const (
+	serviceBits  = 16
+	tailBits     = 6
+	headerOctets = 2
+)
+
+// Plan holds the per-symbol constraints for one (convention, mode,
+// channel) triple on the 40 MHz format.
+type Plan struct {
+	Convention wifi.Convention
+	Mode       wifi.Mode
+	Channel    Channel
+
+	constraints []core.Constraint
+}
+
+// NewPlan derives the plan.
+func NewPlan(conv wifi.Convention, mode wifi.Mode, ch Channel) (*Plan, error) {
+	if !ch.Valid() {
+		return nil, fmt.Errorf("ht40: invalid channel %d", int(ch))
+	}
+	if err := mode.Validate(); err != nil {
+		return nil, err
+	}
+	offsets, values := conv.SignificantOffsetsC(mode.Modulation)
+	if len(offsets) == 0 {
+		return nil, fmt.Errorf("ht40: modulation %v has no pinnable bits", mode.Modulation)
+	}
+	dataIndex := make(map[int]int, NumDataSubcarriers)
+	for i, k := range DataSubcarriers() {
+		dataIndex[k] = i
+	}
+	bpsc := mode.Modulation.BitsPerSubcarrier()
+	mother, err := wifi.MotherIndices(CodedBitsPerSymbol(mode), mode.CodeRate)
+	if err != nil {
+		return nil, err
+	}
+	var cs []core.Constraint
+	for _, k := range ch.DataSubcarriersIn() {
+		idx, ok := dataIndex[k]
+		if !ok {
+			return nil, fmt.Errorf("ht40: subcarrier %d is not a data subcarrier", k)
+		}
+		for i, off := range offsets {
+			j := idx*bpsc + off
+			pre := deinterleaveIndexC(conv, mode.Modulation, j)
+			cs = append(cs, core.Constraint{MotherIndex: mother[pre], Value: values[i]})
+		}
+	}
+	sortConstraints(cs)
+	p := &Plan{Convention: conv, Mode: mode, Channel: ch, constraints: cs}
+	// Fail fast on unplannable combinations.
+	if _, err := core.LayoutForConstraints(cs, 2, 2*DataBitsPerSymbol(mode)); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func sortConstraints(cs []core.Constraint) {
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && cs[j].MotherIndex < cs[j-1].MotherIndex; j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}
+
+// ExtraBitsPerSymbol is the per-symbol overhead.
+func (p *Plan) ExtraBitsPerSymbol() int { return len(p.constraints) }
+
+// ThroughputLossFraction is the Table IV metric on the 40 MHz format.
+func (p *Plan) ThroughputLossFraction() float64 {
+	return float64(len(p.constraints)) / float64(DataBitsPerSymbol(p.Mode))
+}
+
+// Frame is an encoded 40 MHz DATA field.
+type Frame struct {
+	Plan       *Plan
+	NumSymbols int
+	// ScrambledBits is the encoder input.
+	ScrambledBits []bits.Bit
+}
+
+// Encoder builds SledZig frames on the 40 MHz format.
+type Encoder struct {
+	Plan *Plan
+	Seed uint8
+}
+
+// NumSymbols returns the frame size for a payload length.
+func (e *Encoder) NumSymbols(length int) int {
+	eff := DataBitsPerSymbol(e.Plan.Mode) - e.Plan.ExtraBitsPerSymbol()
+	needed := serviceBits + 8*(headerOctets+length) + tailBits
+	return (needed + eff - 1) / eff
+}
+
+// Encode assembles the frame carrying payload.
+func (e *Encoder) Encode(payload []byte) (*Frame, error) {
+	if e.Plan == nil {
+		return nil, fmt.Errorf("ht40: encoder has no plan")
+	}
+	if len(payload) == 0 || len(payload) > 0xFFFF {
+		return nil, fmt.Errorf("ht40: payload length %d out of range", len(payload))
+	}
+	nSym := e.NumSymbols(len(payload))
+	nDBPS := DataBitsPerSymbol(e.Plan.Mode)
+	layout, err := core.LayoutForConstraints(e.Plan.constraints, nSym, 2*nDBPS)
+	if err != nil {
+		return nil, err
+	}
+	total := nSym * nDBPS
+
+	logical := make([]bits.Bit, 0, total-len(layout.Positions))
+	logical = append(logical, make([]bits.Bit, serviceBits)...)
+	logical = append(logical, bits.FromBytes([]byte{byte(len(payload)), byte(len(payload) >> 8)})...)
+	logical = append(logical, bits.FromBytes(payload)...)
+	logical = append(logical, make([]bits.Bit, tailBits)...)
+	capacity := total - len(layout.Positions)
+	if len(logical) > capacity {
+		return nil, fmt.Errorf("ht40: logical stream %d exceeds capacity %d", len(logical), capacity)
+	}
+	logical = append(logical, make([]bits.Bit, capacity-len(logical))...)
+
+	extra := make([]bool, total)
+	for _, p := range layout.Positions {
+		if p < 0 || p >= total {
+			return nil, fmt.Errorf("ht40: extra position %d outside frame", p)
+		}
+		extra[p] = true
+	}
+	u := make([]bits.Bit, total)
+	li := 0
+	for i := range u {
+		if !extra[i] {
+			u[i] = logical[li]
+			li++
+		}
+	}
+	seed := e.Seed
+	if seed == 0 {
+		seed = wifi.DefaultScramblerSeed
+	}
+	x, err := wifi.ScrambleWithSeed(u, seed)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range layout.Positions {
+		x[p] = 0
+	}
+	if err := core.SolveExtraBits(x, layout.Clusters); err != nil {
+		return nil, err
+	}
+	return &Frame{Plan: e.Plan, NumSymbols: nSym, ScrambledBits: x}, nil
+}
+
+// DataPoints returns per-symbol constellation points.
+func (f *Frame) DataPoints() ([][]complex128, error) {
+	coded, err := wifi.EncodeAndPuncture(f.ScrambledBits, f.Plan.Mode.CodeRate)
+	if err != nil {
+		return nil, err
+	}
+	nCBPS := CodedBitsPerSymbol(f.Plan.Mode)
+	if len(coded)%nCBPS != 0 {
+		return nil, fmt.Errorf("ht40: coded length %d not whole symbols", len(coded))
+	}
+	out := make([][]complex128, 0, f.NumSymbols)
+	for off := 0; off < len(coded); off += nCBPS {
+		inter := make([]bits.Bit, nCBPS)
+		for k, b := range coded[off : off+nCBPS] {
+			inter[interleaveIndexC(f.Plan.Convention, f.Plan.Mode.Modulation, k)] = b
+		}
+		pts, err := f.Plan.Convention.MapAllC(f.Plan.Mode.Modulation, inter)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pts)
+	}
+	return out, nil
+}
+
+// Waveform renders the DATA field at 40 MS/s.
+func (f *Frame) Waveform() ([]complex128, error) {
+	ptsPerSym, err := f.DataPoints()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]complex128, 0, len(ptsPerSym)*SymbolLength)
+	for s, pts := range ptsPerSym {
+		freq, err := SubcarrierMap(pts, s+1)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, TimeDomain(freq)...)
+	}
+	return out, nil
+}
+
+// Decode inverts Encode from a symbol-aligned DATA waveform: demodulate,
+// deinterleave, Viterbi, descramble, strip the extra bits and the length
+// header. The mode, channel and convention must be known (a full HT
+// receiver would read them from the HT-SIG field).
+func Decode(conv wifi.Convention, mode wifi.Mode, ch Channel, wave []complex128, seed uint8) ([]byte, error) {
+	if len(wave)%SymbolLength != 0 {
+		return nil, fmt.Errorf("ht40: waveform of %d samples is not whole symbols", len(wave))
+	}
+	nSym := len(wave) / SymbolLength
+	if nSym == 0 {
+		return nil, fmt.Errorf("ht40: empty waveform")
+	}
+	nCBPS := CodedBitsPerSymbol(mode)
+	rx := make([]bits.Bit, 0, nSym*nCBPS)
+	for s := 0; s < nSym; s++ {
+		freq, err := FrequencyDomain(wave[s*SymbolLength : (s+1)*SymbolLength])
+		if err != nil {
+			return nil, err
+		}
+		pts, err := ExtractSubcarriers(freq)
+		if err != nil {
+			return nil, err
+		}
+		demapped, err := conv.DemapAllC(mode.Modulation, pts)
+		if err != nil {
+			return nil, err
+		}
+		deinter := make([]bits.Bit, nCBPS)
+		for j, b := range demapped {
+			deinter[deinterleaveIndexC(conv, mode.Modulation, j)] = b
+		}
+		rx = append(rx, deinter...)
+	}
+	scrambled, err := wifi.DepunctureAndDecode(rx, mode.CodeRate, false)
+	if err != nil {
+		return nil, err
+	}
+	if seed == 0 {
+		seed = wifi.DefaultScramblerSeed
+	}
+	dataBits, err := wifi.ScrambleWithSeed(scrambled, seed)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := NewPlan(conv, mode, ch)
+	if err != nil {
+		return nil, err
+	}
+	layout, err := core.LayoutForConstraints(plan.constraints, nSym, 2*DataBitsPerSymbol(mode))
+	if err != nil {
+		return nil, err
+	}
+	extra := make([]bool, len(dataBits))
+	for _, p := range layout.Positions {
+		if p < len(extra) {
+			extra[p] = true
+		}
+	}
+	logical := make([]bits.Bit, 0, len(dataBits))
+	for i, b := range dataBits {
+		if !extra[i] {
+			logical = append(logical, b)
+		}
+	}
+	if len(logical) < serviceBits+8*headerOctets {
+		return nil, fmt.Errorf("ht40: stripped stream too short")
+	}
+	body := logical[serviceBits:]
+	hdr, err := bits.ToBytes(body[:8*headerOctets])
+	if err != nil {
+		return nil, err
+	}
+	length := int(hdr[0]) | int(hdr[1])<<8
+	need := 8 * (headerOctets + length)
+	if length == 0 || len(body) < need {
+		return nil, fmt.Errorf("ht40: header declares %d octets, stream too short", length)
+	}
+	return bits.ToBytes(body[8*headerOctets : need])
+}
+
+// OverheadRow is the 40 MHz analogue of the paper's Tables III/IV rows.
+type OverheadRow struct {
+	Mode          wifi.Mode
+	Channel       Channel
+	BitsPerSymbol int
+	ExtraBits     int
+	LossFraction  float64
+}
+
+// OverheadTable computes extra-bit counts and throughput loss for every
+// paper mode across representative 40 MHz channels (a pilot-free one and
+// a pilot-bearing one).
+func OverheadTable(conv wifi.Convention) ([]OverheadRow, error) {
+	rows := make([]OverheadRow, 0, 2*len(wifi.PaperModes()))
+	for _, mode := range wifi.PaperModes() {
+		for _, ch := range []Channel{Channel(2), Channel(5)} {
+			plan, err := NewPlan(conv, mode, ch)
+			if err != nil {
+				return nil, fmt.Errorf("ht40: %v %v: %w", mode, ch, err)
+			}
+			rows = append(rows, OverheadRow{
+				Mode:          mode,
+				Channel:       ch,
+				BitsPerSymbol: DataBitsPerSymbol(mode),
+				ExtraBits:     plan.ExtraBitsPerSymbol(),
+				LossFraction:  plan.ThroughputLossFraction(),
+			})
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,77 @@
+// Package mac is a discrete-event coexistence simulator for one WiFi link
+// and one ZigBee link sharing spectrum — the substrate for the paper's
+// throughput experiments (Figs. 14-16). It models the MAC asymmetry the
+// paper describes (WiFi DIFS 28 us / 9 us slots vs ZigBee 128 us CCA /
+// 320 us backoff periods), energy-detect CCA against the calibrated
+// in-band WiFi power, and chip-level ZigBee reception: each interfered
+// chip is flipped with the probability implied by its SINR and the symbol
+// is re-despread against the real 802.15.4 chip tables.
+package mac
+
+import (
+	"math"
+
+	"sledzig/internal/dsp"
+)
+
+// WiFiProfile describes the WiFi signal as seen inside one 2 MHz ZigBee
+// channel at the 1 m reference distance. The experiment layer derives
+// these from actual PHY waveforms (normal vs SledZig payload), so the MAC
+// simulator inherits the true per-mode suppression.
+type WiFiProfile struct {
+	// PreambleDBm is the in-band power of preamble + SIGNAL segments,
+	// which SledZig cannot reduce (paper section IV-F).
+	PreambleDBm float64
+	// DataDBm is the wideband in-band power of payload segments.
+	DataDBm float64
+	// PilotDBm is the pilot-tone component of payload segments
+	// (math.Inf(-1) for CH4 or when folded into DataDBm).
+	PilotDBm float64
+}
+
+// TotalPayloadDBm returns the combined payload in-band power at 1 m.
+func (p WiFiProfile) TotalPayloadDBm() float64 {
+	return dsp.AddPowersDB(p.DataDBm, p.PilotDBm)
+}
+
+// ccaLevelDBm is the payload power a ZigBee energy detector integrates
+// (pilot tone counts at full strength for energy detection — the
+// despreader suppression only helps decoding, not CCA).
+func (p WiFiProfile) ccaLevelDBm(pathLossDB float64) float64 {
+	return p.TotalPayloadDBm() - pathLossDB
+}
+
+// effectiveInterferenceMW returns the decoding-effective interference in
+// mW during a payload segment at the given path loss: the wideband
+// component attenuated by the despreader's correlation advantage and the
+// pilot tone by its (stronger) tone suppression.
+func (p WiFiProfile) effectiveInterferenceMW(pathLossDB, pilotSuppressionDB, widebandSuppressionDB float64) float64 {
+	data := dsp.FromDB(p.DataDBm - pathLossDB - widebandSuppressionDB)
+	pilot := 0.0
+	if !math.IsInf(p.PilotDBm, -1) {
+		pilot = dsp.FromDB(p.PilotDBm - pathLossDB - pilotSuppressionDB)
+	}
+	return data + pilot
+}
+
+// preambleInterferenceMW returns the decoding-effective interference in mW
+// during a preamble segment (wideband, so the correlation advantage
+// applies).
+func (p WiFiProfile) preambleInterferenceMW(pathLossDB, widebandSuppressionDB float64) float64 {
+	return dsp.FromDB(p.PreambleDBm - pathLossDB - widebandSuppressionDB)
+}
+
+// qfunc is the Gaussian tail probability Q(x).
+func qfunc(x float64) float64 {
+	return 0.5 * math.Erfc(x/math.Sqrt2)
+}
+
+// chipErrorProbability maps a per-chip SINR (linear) to the hard-decision
+// chip error probability of coherent O-QPSK, treating interference as
+// Gaussian: Q(sqrt(2*SINR)).
+func chipErrorProbability(sinr float64) float64 {
+	if sinr <= 0 {
+		return 0.5
+	}
+	return qfunc(math.Sqrt(2 * sinr))
+}

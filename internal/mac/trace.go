@@ -1,0 +1,76 @@
+package mac
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// TraceKind labels a simulator event.
+type TraceKind string
+
+// Trace event kinds.
+const (
+	TraceWiFiStart    TraceKind = "wifi_start"
+	TraceWiFiEnd      TraceKind = "wifi_end"
+	TraceCCABusy      TraceKind = "cca_busy"
+	TraceCCADrop      TraceKind = "cca_drop"
+	TraceZBStart      TraceKind = "zb_start"
+	TraceZBDelivered  TraceKind = "zb_delivered"
+	TraceZBCorrupted  TraceKind = "zb_corrupted"
+	TraceZBCollided   TraceKind = "zb_collided"
+	TraceZBRetry      TraceKind = "zb_retry"
+	TraceZBDropped    TraceKind = "zb_dropped"
+	TraceZBAckFailure TraceKind = "zb_ack_failure"
+)
+
+// TraceEvent is one timestamped simulator occurrence.
+type TraceEvent struct {
+	At   float64 // simulated seconds
+	Kind TraceKind
+	Node int // ZigBee node, -1 for WiFi events
+}
+
+// Tracer receives simulator events as they happen. Implementations must
+// be fast; the simulator calls them inline.
+type Tracer func(TraceEvent)
+
+// CSVTracer writes events to w as "t,kind,node" rows; call the returned
+// flush when the simulation completes.
+func CSVTracer(w io.Writer) (Tracer, func() error) {
+	cw := csv.NewWriter(w)
+	_ = cw.Write([]string{"t", "kind", "node"})
+	tracer := func(ev TraceEvent) {
+		_ = cw.Write([]string{
+			strconv.FormatFloat(ev.At, 'f', 9, 64),
+			string(ev.Kind),
+			strconv.Itoa(ev.Node),
+		})
+	}
+	return tracer, func() error {
+		cw.Flush()
+		return cw.Error()
+	}
+}
+
+// trace emits an event when a tracer is configured.
+func (s *Sim) trace(at float64, kind TraceKind, node int) {
+	if s.cfg.Trace != nil {
+		s.cfg.Trace(TraceEvent{At: at, Kind: kind, Node: node})
+	}
+}
+
+// Summarize tallies a trace by kind (a convenience for tests and tools).
+func Summarize(events []TraceEvent) map[TraceKind]int {
+	out := make(map[TraceKind]int)
+	for _, ev := range events {
+		out[ev.Kind]++
+	}
+	return out
+}
+
+// String renders an event compactly.
+func (ev TraceEvent) String() string {
+	return fmt.Sprintf("%.6f %s node=%d", ev.At, ev.Kind, ev.Node)
+}

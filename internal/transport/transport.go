@@ -1,0 +1,139 @@
+// Package transport adapts arbitrary-length messages onto SledZig frames:
+// fragmentation with a 4-octet header (message id, fragment index, count),
+// reassembly with out-of-order tolerance, and a checksum over the whole
+// message. It is the piece a downstream user writes first, so the library
+// ships it: sending a 100 kB firmware image over 4095-octet-bounded PPDUs
+// becomes a one-call operation on each side.
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Fragment header layout: id(1) | index(1) | count(1) | flags(1), followed
+// by the fragment payload. The final fragment carries the message CRC-32
+// in its last four octets.
+const (
+	headerLen = 4
+	crcLen    = 4
+	// flagLast marks the final fragment.
+	flagLast = 0x01
+)
+
+// MaxFragmentPayload computes the usable payload per fragment for a given
+// frame capacity (octets).
+func MaxFragmentPayload(frameCapacity int) int {
+	return frameCapacity - headerLen
+}
+
+// Fragmenter splits messages.
+type Fragmenter struct {
+	// FragmentSize is the per-frame payload budget in octets (the frame
+	// capacity handed to the PHY encoder).
+	FragmentSize int
+	nextID       uint8
+}
+
+// Split fragments one message. Each returned slice fits FragmentSize.
+func (f *Fragmenter) Split(message []byte) ([][]byte, error) {
+	if len(message) == 0 {
+		return nil, fmt.Errorf("transport: empty message")
+	}
+	if f.FragmentSize < headerLen+crcLen+1 {
+		return nil, fmt.Errorf("transport: fragment size %d too small", f.FragmentSize)
+	}
+	payloadPer := f.FragmentSize - headerLen
+	// Reserve room for the trailing CRC in the last fragment.
+	total := len(message) + crcLen
+	count := (total + payloadPer - 1) / payloadPer
+	if count > 255 {
+		return nil, fmt.Errorf("transport: message of %d octets needs %d fragments (max 255)", len(message), count)
+	}
+	id := f.nextID
+	f.nextID++
+
+	crc := crc32.ChecksumIEEE(message)
+	var trailer [crcLen]byte
+	binary.LittleEndian.PutUint32(trailer[:], crc)
+	body := append(append([]byte(nil), message...), trailer[:]...)
+
+	out := make([][]byte, 0, count)
+	for i := 0; i < count; i++ {
+		lo := i * payloadPer
+		hi := lo + payloadPer
+		if hi > len(body) {
+			hi = len(body)
+		}
+		frag := make([]byte, headerLen, headerLen+hi-lo)
+		frag[0] = id
+		frag[1] = uint8(i)
+		frag[2] = uint8(count)
+		if i == count-1 {
+			frag[3] = flagLast
+		}
+		frag = append(frag, body[lo:hi]...)
+		out = append(out, frag)
+	}
+	return out, nil
+}
+
+// Reassembler collects fragments (possibly out of order, possibly from
+// interleaved messages) and emits completed messages.
+type Reassembler struct {
+	pending map[uint8]*pendingMessage
+}
+
+type pendingMessage struct {
+	count    int
+	received int
+	parts    [][]byte
+}
+
+// Feed ingests one fragment. When it completes a message, the message is
+// returned (otherwise nil). Corrupt or inconsistent fragments error.
+func (r *Reassembler) Feed(frag []byte) ([]byte, error) {
+	if len(frag) < headerLen+1 {
+		return nil, fmt.Errorf("transport: fragment of %d octets too short", len(frag))
+	}
+	id, index, count := frag[0], int(frag[1]), int(frag[2])
+	if count == 0 || index >= count {
+		return nil, fmt.Errorf("transport: fragment %d/%d malformed", index, count)
+	}
+	if r.pending == nil {
+		r.pending = make(map[uint8]*pendingMessage)
+	}
+	pm := r.pending[id]
+	if pm == nil {
+		pm = &pendingMessage{count: count, parts: make([][]byte, count)}
+		r.pending[id] = pm
+	}
+	if pm.count != count {
+		return nil, fmt.Errorf("transport: fragment count changed mid-message (%d vs %d)", count, pm.count)
+	}
+	if pm.parts[index] == nil {
+		pm.parts[index] = append([]byte(nil), frag[headerLen:]...)
+		pm.received++
+	}
+	if pm.received < pm.count {
+		return nil, nil
+	}
+	delete(r.pending, id)
+	var body []byte
+	for _, p := range pm.parts {
+		body = append(body, p...)
+	}
+	if len(body) < crcLen+1 {
+		return nil, fmt.Errorf("transport: reassembled body too short")
+	}
+	message := body[:len(body)-crcLen]
+	want := binary.LittleEndian.Uint32(body[len(body)-crcLen:])
+	if crc32.ChecksumIEEE(message) != want {
+		return nil, fmt.Errorf("transport: message checksum mismatch")
+	}
+	return message, nil
+}
+
+// PendingMessages reports how many partially received messages are held.
+func (r *Reassembler) PendingMessages() int { return len(r.pending) }

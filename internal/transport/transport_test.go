@@ -1,0 +1,253 @@
+package transport
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sledzig/internal/bits"
+	"sledzig/internal/core"
+	"sledzig/internal/wifi"
+)
+
+func TestSplitFeedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := &Fragmenter{FragmentSize: 64}
+	var r Reassembler
+	for trial := 0; trial < 20; trial++ {
+		msg := bits.RandomBytes(rng, 1+rng.Intn(2000))
+		frags, err := f.Split(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []byte
+		for _, frag := range frags {
+			if len(frag) > 64 {
+				t.Fatalf("fragment of %d octets exceeds budget", len(frag))
+			}
+			out, err := r.Feed(frag)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out != nil {
+				got = out
+			}
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("trial %d: message mismatch (%d vs %d octets)", trial, len(got), len(msg))
+		}
+	}
+	if r.PendingMessages() != 0 {
+		t.Fatalf("%d messages stuck pending", r.PendingMessages())
+	}
+}
+
+func TestOutOfOrderAndInterleaved(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := &Fragmenter{FragmentSize: 32}
+	a := bits.RandomBytes(rng, 300)
+	b := bits.RandomBytes(rng, 200)
+	fa, err := f.Split(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := f.Split(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave and shuffle within each message.
+	all := append(append([][]byte(nil), fa...), fb...)
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	var r Reassembler
+	done := map[int]bool{}
+	for _, frag := range all {
+		out, err := r.Feed(frag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out == nil {
+			continue
+		}
+		switch {
+		case bytes.Equal(out, a):
+			done[0] = true
+		case bytes.Equal(out, b):
+			done[1] = true
+		default:
+			t.Fatal("reassembled an unknown message")
+		}
+	}
+	if !done[0] || !done[1] {
+		t.Fatalf("messages completed: %v", done)
+	}
+}
+
+func TestDuplicateFragmentsIgnored(t *testing.T) {
+	f := &Fragmenter{FragmentSize: 16}
+	frags, err := f.Split([]byte("duplicate me, go on"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r Reassembler
+	var got []byte
+	for _, frag := range frags {
+		for rep := 0; rep < 3; rep++ {
+			out, err := r.Feed(frag)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out != nil {
+				got = out
+			}
+		}
+	}
+	if string(got) != "duplicate me, go on" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	f := &Fragmenter{FragmentSize: 16}
+	frags, err := f.Split([]byte("integrity matters here"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frags[1][headerLen] ^= 0x40
+	var r Reassembler
+	var lastErr error
+	for _, frag := range frags {
+		if _, err := r.Feed(frag); err != nil {
+			lastErr = err
+		}
+	}
+	if lastErr == nil {
+		t.Fatal("corrupted message reassembled silently")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	f := &Fragmenter{FragmentSize: 4}
+	if _, err := f.Split([]byte("too small budget")); err == nil {
+		t.Error("tiny fragment size accepted")
+	}
+	f = &Fragmenter{FragmentSize: 16}
+	if _, err := f.Split(nil); err == nil {
+		t.Error("empty message accepted")
+	}
+	if _, err := f.Split(make([]byte, 16*300)); err == nil {
+		t.Error("over-255-fragment message accepted")
+	}
+	var r Reassembler
+	if _, err := r.Feed([]byte{1, 2}); err == nil {
+		t.Error("short fragment accepted")
+	}
+	if _, err := r.Feed([]byte{1, 5, 3, 0, 9}); err == nil {
+		t.Error("index >= count accepted")
+	}
+}
+
+func TestPropertyAnySizeRoundTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	prop := func(seed int64) bool {
+		lr := rand.New(rand.NewSource(seed))
+		size := 1 + lr.Intn(5000)
+		budget := 12 + lr.Intn(200)
+		msg := bits.RandomBytes(lr, size)
+		f := &Fragmenter{FragmentSize: budget}
+		frags, err := f.Split(msg)
+		if err != nil {
+			// Over-long messages for tiny budgets are allowed to fail.
+			return (size+4+budget-5)/(budget-4) > 255
+		}
+		var r Reassembler
+		for i, frag := range frags {
+			out, err := r.Feed(frag)
+			if err != nil {
+				return false
+			}
+			if i == len(frags)-1 {
+				return bytes.Equal(out, msg)
+			}
+		}
+		return false
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOverSledZigFrames carries a multi-fragment message through actual
+// SledZig encode/decode round trips — the full stack.
+func TestOverSledZigFrames(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	message := bits.RandomBytes(rng, 2500)
+	f := &Fragmenter{FragmentSize: 400}
+	frags, err := f.Split(message)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := core.NewPlan(wifi.ConventionPaper, wifi.Mode{Modulation: wifi.QAM64, CodeRate: wifi.Rate34}, core.CH2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := core.Encoder{Plan: plan}
+	dec := core.Decoder{Convention: wifi.ConventionPaper}
+	var r Reassembler
+	var got []byte
+	for _, frag := range frags {
+		res, err := enc.Encode(frag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wave, err := res.Frame.Waveform()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rx, err := wifi.Receiver{Convention: wifi.ConventionPaper}.Receive(wave)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rxFrag, _, err := dec.DecodeAuto(rx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := r.Feed(rxFrag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != nil {
+			got = out
+		}
+	}
+	if !bytes.Equal(got, message) {
+		t.Fatal("message did not survive the full stack")
+	}
+}
+
+func TestFragmentIDWraparound(t *testing.T) {
+	// 300 sequential messages reuse the 8-bit id space; completed
+	// messages must not collide with later ones sharing their id.
+	f := &Fragmenter{FragmentSize: 32}
+	var r Reassembler
+	for i := 0; i < 300; i++ {
+		msg := []byte{byte(i), byte(i >> 8), 7, 7, 7}
+		frags, err := f.Split(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []byte
+		for _, frag := range frags {
+			out, err := r.Feed(frag)
+			if err != nil {
+				t.Fatalf("message %d: %v", i, err)
+			}
+			if out != nil {
+				got = out
+			}
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("message %d corrupted", i)
+		}
+	}
+}

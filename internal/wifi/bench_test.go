@@ -1,0 +1,77 @@
+package wifi
+
+import (
+	"math/rand"
+	"testing"
+
+	"sledzig/internal/bits"
+)
+
+func BenchmarkScramble(b *testing.B) {
+	data := bits.Random(rand.New(rand.NewSource(1)), 12000)
+	b.SetBytes(12000 / 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ScrambleWithSeed(data, DefaultScramblerSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConvolutionalEncode(b *testing.B) {
+	data := bits.Random(rand.New(rand.NewSource(1)), 12000)
+	b.SetBytes(12000 / 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ConvolutionalEncode(data)
+	}
+}
+
+func BenchmarkViterbiSoft(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	data := bits.Random(rng, 1000)
+	coded := ConvolutionalEncode(data)
+	llrs := make([]float64, len(coded))
+	for i, bit := range coded {
+		if bit == 0 {
+			llrs[i] = 4
+		} else {
+			llrs[i] = -4
+		}
+	}
+	b.SetBytes(1000 / 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ViterbiDecodeSoft(llrs, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOFDMSymbol(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]complex128, NumDataSubcarriers)
+	for i := range pts {
+		pts[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AssembleSymbol(pts, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSoftDemapQAM256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]complex128, NumDataSubcarriers)
+	for i := range pts {
+		pts[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ConventionIEEE.SoftDemapAll(QAM256, pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package wifi
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Carrier-frequency-offset estimation from the legacy preamble, the
+// standard two-stage scheme: a coarse estimate from the 16-sample
+// periodicity of the short training symbols and a fine estimate from the
+// 64-sample periodicity of the long training symbols. The coarse stage
+// resolves up to +/-625 kHz, the fine stage refines within +/-156 kHz.
+
+// EstimateCFO returns the carrier frequency offset (Hz) observed on a
+// PPDU waveform that starts at sample 0.
+func EstimateCFO(waveform []complex128) (float64, error) {
+	if len(waveform) < PreambleLength {
+		return 0, fmt.Errorf("wifi: waveform too short (%d samples) for CFO estimation", len(waveform))
+	}
+	// Coarse: autocorrelation at lag 16 over the STS (samples 16..144,
+	// avoiding the AGC-settling start and the LTS boundary).
+	coarse := autocorrPhase(waveform[16:144], 16)
+	fCoarse := -coarse / (2 * math.Pi * 16 / SampleRate)
+
+	// Derotate and refine with the LTS (lag 64 over samples 192..320).
+	derot := make([]complex128, 128)
+	for i := range derot {
+		n := 192 + i
+		phase := -2 * math.Pi * fCoarse * float64(n) / SampleRate
+		derot[i] = waveform[n] * cmplx.Exp(complex(0, phase))
+	}
+	fine := autocorrPhase(derot, 64)
+	fFine := -fine / (2 * math.Pi * 64 / SampleRate)
+	return fCoarse + fFine, nil
+}
+
+// autocorrPhase returns the phase of sum x[n] * conj(x[n+lag]).
+func autocorrPhase(x []complex128, lag int) float64 {
+	var acc complex128
+	for n := 0; n+lag < len(x); n++ {
+		acc += x[n] * cmplx.Conj(x[n+lag])
+	}
+	return cmplx.Phase(acc)
+}
+
+// CorrectCFO returns a copy of the waveform derotated by the given offset.
+func CorrectCFO(waveform []complex128, offsetHz float64) []complex128 {
+	out := make([]complex128, len(waveform))
+	step := -2 * math.Pi * offsetHz / SampleRate
+	for i, v := range waveform {
+		out[i] = v * cmplx.Exp(complex(0, step*float64(i)))
+	}
+	return out
+}
+
+// ReceiveWithCFO estimates and corrects the carrier offset before running
+// the normal receive chain — the entry point for captures from
+// free-running oscillators (802.11 tolerates +/-20 ppm, i.e. +/-48 kHz at
+// 2.4 GHz).
+func (r Receiver) ReceiveWithCFO(waveform []complex128) (*RxResult, float64, error) {
+	cfo, err := EstimateCFO(waveform)
+	if err != nil {
+		return nil, 0, err
+	}
+	res, err := r.Receive(CorrectCFO(waveform, cfo))
+	return res, cfo, err
+}

@@ -1,0 +1,109 @@
+package wifi
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sledzig/internal/bits"
+)
+
+func TestConventionQAMRoundTripAllPoints(t *testing.T) {
+	for _, conv := range []Convention{ConventionIEEE, ConventionPaper} {
+		for _, m := range []Modulation{QPSK, QAM16, QAM64, QAM256} {
+			n := m.BitsPerSubcarrier()
+			for v := 0; v < 1<<n; v++ {
+				in := bits.FromUint(uint64(v), n)
+				p, err := conv.MapSymbolC(m, in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out, err := conv.DemapSymbolC(m, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bits.Equal(in, out) {
+					t.Fatalf("%v %v: %s -> %v -> %s", conv, m, bits.String(in), p, bits.String(out))
+				}
+			}
+		}
+	}
+}
+
+func TestConventionConstellationsSharePoints(t *testing.T) {
+	// Both labelings use the same physical constellation; only bit labels
+	// differ. The multiset of points must match.
+	for _, m := range []Modulation{QAM16, QAM64, QAM256} {
+		n := m.BitsPerSubcarrier()
+		count := map[complex128]int{}
+		for v := 0; v < 1<<n; v++ {
+			pI, err := ConventionIEEE.MapSymbolC(m, bits.FromUint(uint64(v), n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			pP, err := ConventionPaper.MapSymbolC(m, bits.FromUint(uint64(v), n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			count[pI]++
+			count[pP]--
+		}
+		for pt, c := range count {
+			if c != 0 {
+				t.Fatalf("%v: point %v unbalanced (%d)", m, pt, c)
+			}
+		}
+	}
+}
+
+func TestConventionInterleaveRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		lr := rand.New(rand.NewSource(seed))
+		for _, conv := range []Convention{ConventionIEEE, ConventionPaper} {
+			for _, m := range []Modulation{QAM16, QAM64, QAM256} {
+				n := NumDataSubcarriers * m.BitsPerSubcarrier()
+				data := bits.Random(lr, n)
+				inter, err := conv.InterleaveC(m, data)
+				if err != nil {
+					return false
+				}
+				back, err := conv.DeinterleaveC(m, inter)
+				if err != nil {
+					return false
+				}
+				if !bits.Equal(back, data) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConventionSignificantOffsetsPinBothLabelings(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, conv := range []Convention{ConventionIEEE, ConventionPaper} {
+		for _, m := range []Modulation{QAM16, QAM64, QAM256} {
+			offsets, values := conv.SignificantOffsetsC(m)
+			for trial := 0; trial < 32; trial++ {
+				b := bits.Random(rng, m.BitsPerSubcarrier())
+				for i, off := range offsets {
+					b[off] = values[i]
+				}
+				p, err := conv.MapSymbolC(m, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				k := NormFactor(m)
+				power := (real(p)*real(p) + imag(p)*imag(p)) / (k * k)
+				if power < 1.99 || power > 2.01 {
+					t.Fatalf("%v %v: pinned point power %g", conv, m, power)
+				}
+			}
+		}
+	}
+}

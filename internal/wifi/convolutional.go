@@ -1,0 +1,242 @@
+package wifi
+
+import (
+	"fmt"
+
+	"sledzig/internal/bits"
+)
+
+// Generator polynomials of the 802.11 rate-1/2 mother code (constraint
+// length 7): g0 = 133 octal, g1 = 171 octal. The masks are expressed with
+// the coefficient of x_{n-i} at bit position i, so that pushing the newest
+// input bit into bit 0 of a shift register lets the coded bits be computed
+// as GF(2) dot products.
+const (
+	ConstraintLength = 7
+	// G0Mask has taps at delays {0, 2, 3, 5, 6}.
+	G0Mask uint32 = 0x6D
+	// G1Mask has taps at delays {0, 1, 2, 3, 6}.
+	G1Mask uint32 = 0x4F
+)
+
+// EncodeStep computes the coded pair (y0, y1) for a 7-bit window
+// [x_n, x_{n-1}, ..., x_{n-6}] packed with x_n at bit 0. It is the
+// primitive the SledZig extra-bit solver inverts.
+func EncodeStep(window uint32) (y0, y1 bits.Bit) {
+	return bits.DotGF2(G0Mask, window), bits.DotGF2(G1Mask, window)
+}
+
+// ConvolutionalEncode runs the rate-1/2 mother code over in (register
+// initialized to zero) and returns the 2*len(in) coded bits, ordered
+// y1, y2, ... with y_{2n-1} = g0 output and y_{2n} = g1 output of step n.
+func ConvolutionalEncode(in []bits.Bit) []bits.Bit {
+	out := make([]bits.Bit, 0, 2*len(in))
+	var reg uint32
+	for _, x := range in {
+		reg = ((reg << 1) | uint32(x&1)) & 0x7F
+		y0, y1 := EncodeStep(reg)
+		out = append(out, y0, y1)
+	}
+	return out
+}
+
+// puncturePattern returns the keep-mask over one puncturing period of
+// mother-coded bits for rate r. Rate 1/2 keeps everything.
+func puncturePattern(r CodeRate) ([]bool, error) {
+	switch r {
+	case Rate12:
+		return []bool{true, true}, nil
+	case Rate23:
+		return []bool{true, true, true, false}, nil
+	case Rate34:
+		return []bool{true, true, true, false, false, true}, nil
+	case Rate56:
+		return []bool{true, true, true, false, false, true, true, false, false, true}, nil
+	default:
+		return nil, fmt.Errorf("wifi: unsupported code rate %v", r)
+	}
+}
+
+// Puncture removes the coded bits a rate-r puncturer drops from the
+// rate-1/2 stream coded.
+func Puncture(coded []bits.Bit, r CodeRate) ([]bits.Bit, error) {
+	pat, err := puncturePattern(r)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]bits.Bit, 0, len(coded)*r.Numerator()/r.Denominator()+2)
+	for i, b := range coded {
+		if pat[i%len(pat)] {
+			out = append(out, b)
+		}
+	}
+	return out, nil
+}
+
+// MotherIndices returns, for a rate-r punctured stream of length n, the
+// index in the rate-1/2 mother stream of each transmitted bit. It is the
+// inverse bookkeeping of Puncture and is used by the SledZig significant-
+// bit derivation (a transmitted bit's encoder constraint applies at its
+// mother position).
+func MotherIndices(n int, r CodeRate) ([]int, error) {
+	pat, err := puncturePattern(r)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, 0, n)
+	for mother := 0; len(out) < n; mother++ {
+		if pat[mother%len(pat)] {
+			out = append(out, mother)
+		}
+	}
+	return out, nil
+}
+
+// Depuncture expands a received rate-r stream back to mother-code length,
+// marking punctured positions as erasures. Erasures carry no branch metric
+// in the Viterbi decoder.
+func Depuncture(rx []bits.Bit, r CodeRate) (data []bits.Bit, erased []bool, err error) {
+	pat, err := puncturePattern(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Walk the keep-pattern until every received bit has a mother slot;
+	// partial trailing periods are allowed (the encoder may stop mid-
+	// pattern when the input length is not a multiple of the period).
+	j := 0
+	for i := 0; j < len(rx); i++ {
+		if pat[i%len(pat)] {
+			j++
+		}
+		data = append(data, 0)
+		erased = append(erased, !pat[i%len(pat)])
+	}
+	// Fill the placed bits.
+	j = 0
+	for i := range data {
+		if !erased[i] {
+			data[i] = rx[j]
+			j++
+		}
+	}
+	// The Viterbi decoder consumes pairs; pad a dangling half-step with an
+	// erasure.
+	if len(data)%2 != 0 {
+		data = append(data, 0)
+		erased = append(erased, true)
+	}
+	return data, erased, nil
+}
+
+// ViterbiDecode performs hard-decision maximum-likelihood decoding of the
+// rate-1/2 mother code. coded holds the pairs (y_{2n-1}, y_{2n}) per input
+// bit; erased marks positions to ignore (from depuncturing) and may be nil.
+// The encoder is assumed to start in the zero state; when terminated is
+// true the decoder also assumes six zero tail bits returned it to the zero
+// state, as the 802.11 DATA field guarantees.
+func ViterbiDecode(coded []bits.Bit, erased []bool, terminated bool) ([]bits.Bit, error) {
+	if len(coded)%2 != 0 {
+		return nil, fmt.Errorf("wifi: coded length %d is odd", len(coded))
+	}
+	if erased != nil && len(erased) != len(coded) {
+		return nil, fmt.Errorf("wifi: erasure mask length %d != coded length %d", len(erased), len(coded))
+	}
+	steps := len(coded) / 2
+	if steps == 0 {
+		return nil, nil
+	}
+
+	const numStates = 64 // 2^(K-1)
+	const inf = int32(1) << 30
+
+	// Branch outputs per (state, input). The state packs the six most
+	// recent input bits with the newest at bit 0.
+	var outBits [numStates][2][2]bits.Bit
+	for s := 0; s < numStates; s++ {
+		for in := 0; in < 2; in++ {
+			window := (uint32(s)<<1 | uint32(in)) & 0x7F
+			y0, y1 := EncodeStep(window)
+			outBits[s][in] = [2]bits.Bit{y0, y1}
+		}
+	}
+
+	metric := make([]int32, numStates)
+	next := make([]int32, numStates)
+	for i := range metric {
+		metric[i] = inf
+	}
+	metric[0] = 0
+
+	type survivor struct {
+		prev uint8
+		in   uint8
+	}
+	surv := make([][numStates]survivor, steps)
+
+	for t := 0; t < steps; t++ {
+		for i := range next {
+			next[i] = inf
+		}
+		r0, r1 := coded[2*t]&1, coded[2*t+1]&1
+		e0, e1 := false, false
+		if erased != nil {
+			e0, e1 = erased[2*t], erased[2*t+1]
+		}
+		for s := 0; s < numStates; s++ {
+			m := metric[s]
+			if m >= inf {
+				continue
+			}
+			for in := 0; in < 2; in++ {
+				var cost int32
+				ob := outBits[s][in]
+				if !e0 && ob[0] != r0 {
+					cost++
+				}
+				if !e1 && ob[1] != r1 {
+					cost++
+				}
+				ns := ((s << 1) | in) & 0x3F
+				if nm := m + cost; nm < next[ns] {
+					next[ns] = nm
+					surv[t][ns] = survivor{prev: uint8(s), in: uint8(in)}
+				}
+			}
+		}
+		metric, next = next, metric
+	}
+
+	best := 0
+	if !terminated {
+		for s := 1; s < numStates; s++ {
+			if metric[s] < metric[best] {
+				best = s
+			}
+		}
+	}
+
+	decoded := make([]bits.Bit, steps)
+	state := uint8(best)
+	for t := steps - 1; t >= 0; t-- {
+		sv := surv[t][state]
+		decoded[t] = bits.Bit(sv.in)
+		state = sv.prev
+	}
+	return decoded, nil
+}
+
+// EncodeAndPuncture is the full transmit-side coder: rate-1/2 encode then
+// puncture to rate r.
+func EncodeAndPuncture(in []bits.Bit, r CodeRate) ([]bits.Bit, error) {
+	return Puncture(ConvolutionalEncode(in), r)
+}
+
+// DepunctureAndDecode is the full receive-side decoder: depuncture to the
+// mother rate, then Viterbi decode.
+func DepunctureAndDecode(rx []bits.Bit, r CodeRate, terminated bool) ([]bits.Bit, error) {
+	mother, erased, err := Depuncture(rx, r)
+	if err != nil {
+		return nil, err
+	}
+	return ViterbiDecode(mother, erased, terminated)
+}

@@ -1,0 +1,93 @@
+package wifi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Minimal 802.11 MAC framing, so PSDUs carried by this PHY are real data
+// MPDUs: frame control, duration, three addresses, sequence control,
+// payload, and the FCS (CRC-32). SledZig is payload-agnostic — it encodes
+// whatever MPDU the MAC hands down — but a realistic MPDU makes the
+// examples and integration tests honest about the full stack.
+
+// MACAddress is a 48-bit IEEE MAC address.
+type MACAddress [6]byte
+
+// String renders the address in colon notation.
+func (a MACAddress) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", a[0], a[1], a[2], a[3], a[4], a[5])
+}
+
+// MACFrame is an 802.11 data MPDU (ToDS=0, FromDS=0 for simplicity).
+type MACFrame struct {
+	// Receiver, transmitter and BSSID addresses.
+	Addr1, Addr2, Addr3 MACAddress
+	// Sequence number (0..4095); the fragment number is always 0.
+	Sequence uint16
+	// Payload is the MSDU.
+	Payload []byte
+}
+
+const (
+	macHeaderLen = 24
+	macFCSLen    = 4
+	// frameControlData marks a data frame, protocol version 0.
+	frameControlData = 0x0008
+)
+
+// MaxMSDU bounds the payload so the MPDU fits the PHY's 4095-octet limit.
+const MaxMSDU = maxPSDULength - macHeaderLen - macFCSLen
+
+// Marshal serializes the MPDU including its FCS.
+func (f *MACFrame) Marshal() ([]byte, error) {
+	if len(f.Payload) == 0 {
+		return nil, fmt.Errorf("wifi: empty MSDU")
+	}
+	if len(f.Payload) > MaxMSDU {
+		return nil, fmt.Errorf("wifi: MSDU of %d octets exceeds %d", len(f.Payload), MaxMSDU)
+	}
+	if f.Sequence > 0x0FFF {
+		return nil, fmt.Errorf("wifi: sequence %d exceeds 4095", f.Sequence)
+	}
+	out := make([]byte, 0, macHeaderLen+len(f.Payload)+macFCSLen)
+	var hdr [macHeaderLen]byte
+	binary.LittleEndian.PutUint16(hdr[0:], frameControlData)
+	// Duration left zero (no NAV modeling).
+	copy(hdr[4:], f.Addr1[:])
+	copy(hdr[10:], f.Addr2[:])
+	copy(hdr[16:], f.Addr3[:])
+	binary.LittleEndian.PutUint16(hdr[22:], f.Sequence<<4)
+	out = append(out, hdr[:]...)
+	out = append(out, f.Payload...)
+	fcs := crc32.ChecksumIEEE(out)
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], fcs)
+	return append(out, tail[:]...), nil
+}
+
+// ParseMACFrame validates and decodes an MPDU produced by Marshal,
+// checking the FCS.
+func ParseMACFrame(mpdu []byte) (*MACFrame, error) {
+	if len(mpdu) < macHeaderLen+1+macFCSLen {
+		return nil, fmt.Errorf("wifi: MPDU of %d octets too short", len(mpdu))
+	}
+	body := mpdu[:len(mpdu)-macFCSLen]
+	wantFCS := binary.LittleEndian.Uint32(mpdu[len(mpdu)-macFCSLen:])
+	if crc32.ChecksumIEEE(body) != wantFCS {
+		return nil, fmt.Errorf("wifi: FCS mismatch")
+	}
+	fc := binary.LittleEndian.Uint16(body[0:])
+	if fc != frameControlData {
+		return nil, fmt.Errorf("wifi: unsupported frame control %#04x", fc)
+	}
+	f := &MACFrame{
+		Sequence: binary.LittleEndian.Uint16(body[22:]) >> 4,
+		Payload:  append([]byte(nil), body[macHeaderLen:]...),
+	}
+	copy(f.Addr1[:], body[4:])
+	copy(f.Addr2[:], body[10:])
+	copy(f.Addr3[:], body[16:])
+	return f, nil
+}

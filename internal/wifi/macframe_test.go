@@ -1,0 +1,96 @@
+package wifi
+
+import (
+	"math/rand"
+	"testing"
+
+	"sledzig/internal/bits"
+)
+
+func TestMACFrameRoundTrip(t *testing.T) {
+	f := &MACFrame{
+		Addr1:    MACAddress{0xAA, 0xBB, 0xCC, 0xDD, 0xEE, 0xFF},
+		Addr2:    MACAddress{1, 2, 3, 4, 5, 6},
+		Addr3:    MACAddress{6, 5, 4, 3, 2, 1},
+		Sequence: 123,
+		Payload:  []byte("ip packet bytes go here"),
+	}
+	mpdu, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseMACFrame(mpdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Addr1 != f.Addr1 || got.Addr2 != f.Addr2 || got.Addr3 != f.Addr3 {
+		t.Fatalf("addresses mismatch: %+v", got)
+	}
+	if got.Sequence != 123 || string(got.Payload) != string(f.Payload) {
+		t.Fatalf("decoded %+v", got)
+	}
+}
+
+func TestMACFrameFCSDetectsCorruption(t *testing.T) {
+	f := &MACFrame{Sequence: 1, Payload: []byte{1, 2, 3}}
+	mpdu, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpdu[5] ^= 0x80
+	if _, err := ParseMACFrame(mpdu); err == nil {
+		t.Fatal("corrupted MPDU passed FCS")
+	}
+}
+
+func TestMACFrameValidation(t *testing.T) {
+	if _, err := (&MACFrame{}).Marshal(); err == nil {
+		t.Error("empty MSDU accepted")
+	}
+	if _, err := (&MACFrame{Sequence: 5000, Payload: []byte{1}}).Marshal(); err == nil {
+		t.Error("sequence overflow accepted")
+	}
+	if _, err := (&MACFrame{Payload: make([]byte, MaxMSDU+1)}).Marshal(); err == nil {
+		t.Error("oversize MSDU accepted")
+	}
+	if _, err := ParseMACFrame([]byte{1, 2, 3}); err == nil {
+		t.Error("short MPDU accepted")
+	}
+}
+
+// TestMACFrameThroughSledZig carries a real MPDU through the SledZig PHY
+// pipeline end-to-end.
+func TestMACFrameThroughSledZig(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := &MACFrame{Sequence: 9, Payload: bits.RandomBytes(rng, 400)}
+	mpdu, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := Transmitter{Mode: Mode{QAM64, Rate34}}.Frame(mpdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wave, err := frame.Waveform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Receiver{}.Receive(wave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseMACFrame(res.PSDU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sequence != 9 || len(got.Payload) != 400 {
+		t.Fatalf("decoded %+v", got)
+	}
+}
+
+func TestMACAddressString(t *testing.T) {
+	a := MACAddress{0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x01}
+	if a.String() != "de:ad:be:ef:00:01" {
+		t.Fatalf("got %s", a.String())
+	}
+}

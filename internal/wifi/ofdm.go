@@ -1,0 +1,126 @@
+package wifi
+
+import (
+	"fmt"
+	"math"
+
+	"sledzig/internal/dsp"
+)
+
+// pilotPolarity is the 127-element pilot polarity sequence p_n of
+// 802.11-2012 (18.3.5.10); symbol n uses p_{n mod 127}.
+var pilotPolarity = [127]int8{
+	1, 1, 1, 1, -1, -1, -1, 1, -1, -1, -1, -1, 1, 1, -1, 1,
+	-1, -1, 1, 1, -1, 1, 1, -1, 1, 1, 1, 1, 1, 1, -1, 1,
+	1, 1, -1, 1, 1, -1, -1, 1, 1, 1, -1, 1, -1, -1, -1, 1,
+	-1, 1, -1, -1, 1, -1, -1, 1, 1, 1, 1, 1, -1, -1, 1, 1,
+	-1, -1, 1, -1, 1, -1, 1, 1, -1, -1, -1, 1, 1, -1, -1, -1,
+	-1, 1, -1, -1, 1, -1, 1, 1, 1, 1, -1, 1, -1, 1, -1, 1,
+	-1, -1, -1, -1, -1, 1, -1, 1, 1, -1, 1, -1, 1, 1, 1, -1,
+	-1, 1, -1, -1, -1, 1, 1, 1, -1, -1, -1, -1, -1, -1, -1,
+}
+
+// PilotPolarity returns p_n for OFDM symbol index n (SIGNAL symbol is
+// n = 0, first DATA symbol is n = 1).
+func PilotPolarity(n int) float64 {
+	return float64(pilotPolarity[n%len(pilotPolarity)])
+}
+
+// AssembleSymbol builds the 64-entry frequency-domain vector for one OFDM
+// symbol from 48 data points (ascending subcarrier order) and the symbol
+// index (for pilot polarity), then returns the 80-sample time-domain symbol
+// (16-sample cyclic prefix + 64-sample IFFT output).
+func AssembleSymbol(data []complex128, symbolIndex int) ([]complex128, error) {
+	freq, err := SubcarrierMap(data, symbolIndex)
+	if err != nil {
+		return nil, err
+	}
+	return TimeDomain(freq), nil
+}
+
+// SubcarrierMap places 48 data points and the 4 pilots into the 64-bin
+// frequency-domain vector (bin k mod 64 for signed subcarrier k).
+func SubcarrierMap(data []complex128, symbolIndex int) ([]complex128, error) {
+	if len(data) != NumDataSubcarriers {
+		return nil, fmt.Errorf("wifi: need %d data points, got %d", NumDataSubcarriers, len(data))
+	}
+	freq := make([]complex128, NumSubcarriers)
+	for i, k := range DataSubcarriers() {
+		freq[bin(k)] = data[i]
+	}
+	p := complex(PilotPolarity(symbolIndex), 0)
+	freq[bin(-21)] = p
+	freq[bin(-7)] = p
+	freq[bin(7)] = p
+	freq[bin(21)] = -p
+	return freq, nil
+}
+
+// ExtractSubcarriers inverts SubcarrierMap for the data bins: given the
+// 64-bin frequency vector of a received symbol it returns the 48 data
+// points in ascending subcarrier order.
+func ExtractSubcarriers(freq []complex128) ([]complex128, error) {
+	if len(freq) != NumSubcarriers {
+		return nil, fmt.Errorf("wifi: need %d bins, got %d", NumSubcarriers, len(freq))
+	}
+	out := make([]complex128, 0, NumDataSubcarriers)
+	for _, k := range DataSubcarriers() {
+		out = append(out, freq[bin(k)])
+	}
+	return out, nil
+}
+
+// bin converts a signed subcarrier index to an FFT bin index.
+func bin(k int) int {
+	return ((k % NumSubcarriers) + NumSubcarriers) % NumSubcarriers
+}
+
+// TimeDomain converts a 64-bin frequency vector to the 80-sample
+// cyclic-prefixed time-domain symbol.
+func TimeDomain(freq []complex128) []complex128 {
+	td := dsp.MustIFFT(freq)
+	out := make([]complex128, 0, SymbolLength)
+	out = append(out, td[NumSubcarriers-CPLength:]...)
+	out = append(out, td...)
+	return out
+}
+
+// FrequencyDomain strips the cyclic prefix from an 80-sample symbol and
+// returns its 64-bin FFT.
+func FrequencyDomain(sym []complex128) ([]complex128, error) {
+	if len(sym) != SymbolLength {
+		return nil, fmt.Errorf("wifi: symbol length %d != %d", len(sym), SymbolLength)
+	}
+	return dsp.FFT(sym[CPLength:])
+}
+
+// ApplyEdgeWindow smooths the transitions between consecutive OFDM
+// symbols with a raised-cosine ramp of rampLen samples (17.3.2.5's
+// windowing function). It reduces out-of-band emissions — and the
+// spectral leakage into the protected ZigBee channel — at no cost to the
+// receiver, which only reads the CP-protected FFT window. The waveform
+// must be whole 80-sample symbols.
+func ApplyEdgeWindow(wave []complex128, rampLen int) ([]complex128, error) {
+	if rampLen < 1 || rampLen > CPLength/2 {
+		return nil, fmt.Errorf("wifi: ramp length %d out of range [1, %d]", rampLen, CPLength/2)
+	}
+	if len(wave)%SymbolLength != 0 {
+		return nil, fmt.Errorf("wifi: waveform of %d samples is not whole symbols", len(wave))
+	}
+	out := make([]complex128, len(wave))
+	copy(out, wave)
+	ramp := make([]float64, rampLen)
+	for i := range ramp {
+		ramp[i] = 0.5 * (1 - math.Cos(math.Pi*(float64(i)+0.5)/float64(rampLen)))
+	}
+	for symStart := 0; symStart < len(out); symStart += SymbolLength {
+		for i := 0; i < rampLen; i++ {
+			// Fade in at the symbol head and out at its tail. The faded
+			// head samples sit inside the cyclic prefix, ahead of the
+			// receiver's FFT window.
+			out[symStart+i] *= complex(ramp[i], 0)
+			out[symStart+SymbolLength-1-i] *= complex(ramp[i], 0)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,79 @@
+package wifi
+
+import (
+	"math"
+
+	"sledzig/internal/dsp"
+)
+
+// PreambleLength is the legacy preamble duration in samples: 10 short
+// training symbols (160 samples, 8 us) plus a double guard interval and two
+// long training symbols (160 samples, 8 us) — 16 us total, the figure the
+// paper's interference analysis (section IV-F) relies on.
+const PreambleLength = 320
+
+// stsFreq returns the frequency-domain short-training sequence S_{-26..26}
+// placed into 64 bins (18.3.3, scaled by sqrt(13/6)).
+func stsFreq() []complex128 {
+	scale := complex(math.Sqrt(13.0/6.0), 0)
+	pp := scale * complex(1, 1)
+	mm := scale * complex(-1, -1)
+	vals := map[int]complex128{
+		-24: pp, -20: mm, -16: pp, -12: mm, -8: mm, -4: pp,
+		4: mm, 8: mm, 12: pp, 16: pp, 20: pp, 24: pp,
+	}
+	freq := make([]complex128, NumSubcarriers)
+	for k, v := range vals {
+		freq[bin(k)] = v
+	}
+	return freq
+}
+
+// ltsSequence is L_{-26..26} (18.3.3), indexed from k = -26.
+var ltsSequence = [53]int8{
+	1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1,
+	-1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 0, 1, -1, -1, 1, 1,
+	-1, 1, -1, 1, -1, -1, -1, -1, -1, 1, 1, -1, -1, 1, -1, 1,
+	-1, 1, 1, 1, 1,
+}
+
+// ltsFreq returns the frequency-domain long-training sequence in 64 bins.
+func ltsFreq() []complex128 {
+	freq := make([]complex128, NumSubcarriers)
+	for i, v := range ltsSequence {
+		k := i - 26
+		freq[bin(k)] = complex(float64(v), 0)
+	}
+	return freq
+}
+
+// LTSReference returns the known LTS values on the 48 data subcarriers in
+// ascending order, used for channel estimation.
+func LTSReference() []complex128 {
+	freq := ltsFreq()
+	out := make([]complex128, 0, NumDataSubcarriers)
+	for _, k := range DataSubcarriers() {
+		out = append(out, freq[bin(k)])
+	}
+	return out
+}
+
+// Preamble generates the 320-sample legacy preamble: ten repetitions of the
+// 16-sample short training symbol followed by a 32-sample guard interval
+// and two 64-sample long training symbols.
+func Preamble() []complex128 {
+	out := make([]complex128, 0, PreambleLength)
+
+	// Short part: the IFFT of S has period 16; take 160 samples.
+	short := dsp.MustIFFT(stsFreq())
+	for i := 0; i < 160; i++ {
+		out = append(out, short[i%NumSubcarriers])
+	}
+
+	// Long part: double-length CP then two LTS periods.
+	long := dsp.MustIFFT(ltsFreq())
+	out = append(out, long[NumSubcarriers-32:]...)
+	out = append(out, long...)
+	out = append(out, long...)
+	return out
+}

@@ -1,0 +1,45 @@
+package wifi
+
+import "fmt"
+
+// Rate adaptation, the escape hatch the paper mentions in section V-D2:
+// "In extreme cases when ZigBee may interfere with the WiFi transmission,
+// the WiFi link can adapt to the settings with lower SNR threshold."
+// AdaptRate implements that policy over the paper's Table IV mode set.
+
+// minSNRByMode mirrors the Table IV minimum-SNR column (dB).
+var minSNRByMode = map[Mode]float64{
+	{QAM16, Rate12}:  11,
+	{QAM16, Rate34}:  15,
+	{QAM64, Rate23}:  18,
+	{QAM64, Rate34}:  20,
+	{QAM64, Rate56}:  25,
+	{QAM256, Rate34}: 29,
+	{QAM256, Rate56}: 31,
+}
+
+// MinSNRForMode returns the Table IV threshold for one of the paper's
+// modes.
+func MinSNRForMode(m Mode) (float64, error) {
+	v, ok := minSNRByMode[m]
+	if !ok {
+		return 0, fmt.Errorf("wifi: mode %v not in the Table IV set", m)
+	}
+	return v, nil
+}
+
+// AdaptRate picks the fastest paper mode whose SNR requirement (plus the
+// margin) fits the link budget. ok is false when even the most robust
+// mode does not fit.
+func AdaptRate(sinrDB, marginDB float64) (Mode, bool) {
+	best := Mode{}
+	bestRate := 0.0
+	for _, m := range PaperModes() {
+		need := minSNRByMode[m] + marginDB
+		if sinrDB >= need && m.DataRate() > bestRate {
+			best = m
+			bestRate = m.DataRate()
+		}
+	}
+	return best, bestRate > 0
+}

@@ -1,0 +1,66 @@
+package wifi
+
+import (
+	"fmt"
+
+	"sledzig/internal/bits"
+)
+
+// DefaultScramblerSeed is the 7-bit initial scrambler state used when the
+// caller does not choose one. It is the value used in the 802.11 Annex G
+// example frame (1011101b).
+const DefaultScramblerSeed = 0x5D
+
+// Scrambler is the 802.11 frame-synchronous data scrambler, the LFSR with
+// polynomial S(x) = x^7 + x^4 + 1. The same structure scrambles and
+// descrambles: the sequence it generates is XORed onto the data bits.
+type Scrambler struct {
+	state uint8 // 7-bit LFSR state, bit 0 = x^1 stage
+}
+
+// NewScrambler returns a scrambler initialized with the given 7-bit seed.
+// Seed 0 would generate the all-zero sequence and is rejected.
+func NewScrambler(seed uint8) (*Scrambler, error) {
+	if seed == 0 || seed > 0x7F {
+		return nil, fmt.Errorf("wifi: scrambler seed %#x out of range [1, 0x7f]", seed)
+	}
+	return &Scrambler{state: seed}, nil
+}
+
+// NextBit advances the LFSR one step and returns the generated sequence bit.
+func (s *Scrambler) NextBit() bits.Bit {
+	// Feedback taps at x^7 and x^4: bits 6 and 3 of the state register.
+	fb := ((s.state >> 6) ^ (s.state >> 3)) & 1
+	s.state = ((s.state << 1) | fb) & 0x7F
+	return fb
+}
+
+// Scramble XORs the scrambler sequence onto in and returns the result.
+// Applying it again with a scrambler in the same initial state restores the
+// original bits.
+func (s *Scrambler) Scramble(in []bits.Bit) []bits.Bit {
+	out := make([]bits.Bit, len(in))
+	for i, b := range in {
+		out[i] = (b ^ s.NextBit()) & 1
+	}
+	return out
+}
+
+// Sequence returns the next n scrambler sequence bits without data.
+func (s *Scrambler) Sequence(n int) []bits.Bit {
+	out := make([]bits.Bit, n)
+	for i := range out {
+		out[i] = s.NextBit()
+	}
+	return out
+}
+
+// ScrambleWithSeed is a convenience wrapper that scrambles in with a fresh
+// scrambler seeded by seed.
+func ScrambleWithSeed(in []bits.Bit, seed uint8) ([]bits.Bit, error) {
+	s, err := NewScrambler(seed)
+	if err != nil {
+		return nil, err
+	}
+	return s.Scramble(in), nil
+}

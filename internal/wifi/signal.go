@@ -1,0 +1,157 @@
+package wifi
+
+import (
+	"fmt"
+
+	"sledzig/internal/bits"
+)
+
+// The SIGNAL field (PLCP header) is one BPSK rate-1/2 OFDM symbol carrying
+// RATE (4 bits), a reserved bit, LENGTH (12 bits, LSB first), even parity,
+// and six tail bits. It is convolutionally coded and interleaved but not
+// scrambled. The SledZig receiver reads modulation and coding rate from
+// here (paper section IV-G).
+
+// rateCode returns the 4-bit RATE field for a mode. The 802.11a codes cover
+// BPSK through QAM-64 3/4; the remaining combinations the paper evaluates
+// (QAM-64 5/6, QAM-256 3/4 and 5/6) are assigned to code points unused by
+// the standard so that the full paper sweep is self-describing on the air.
+func rateCode(m Mode) (uint8, error) {
+	switch m {
+	case Mode{BPSK, Rate12}:
+		return 0b1101, nil
+	case Mode{BPSK, Rate34}:
+		return 0b1111, nil
+	case Mode{QPSK, Rate12}:
+		return 0b0101, nil
+	case Mode{QPSK, Rate34}:
+		return 0b0111, nil
+	case Mode{QAM16, Rate12}:
+		return 0b1001, nil
+	case Mode{QAM16, Rate34}:
+		return 0b1011, nil
+	case Mode{QAM64, Rate23}:
+		return 0b0001, nil
+	case Mode{QAM64, Rate34}:
+		return 0b0011, nil
+	// Extensions beyond 802.11a (see doc comment).
+	case Mode{QAM64, Rate56}:
+		return 0b0010, nil
+	case Mode{QAM256, Rate34}:
+		return 0b0100, nil
+	case Mode{QAM256, Rate56}:
+		return 0b0110, nil
+	case Mode{QAM16, Rate23}:
+		return 0b1000, nil
+	case Mode{QAM256, Rate23}:
+		return 0b1010, nil
+	}
+	return 0, fmt.Errorf("wifi: no RATE code for mode %v", m)
+}
+
+// modeFromRateCode inverts rateCode.
+func modeFromRateCode(code uint8) (Mode, error) {
+	for _, m := range allModes() {
+		if c, err := rateCode(m); err == nil && c == code {
+			return m, nil
+		}
+	}
+	return Mode{}, fmt.Errorf("wifi: unknown RATE code %#04b", code)
+}
+
+func allModes() []Mode {
+	mods := []Modulation{BPSK, QPSK, QAM16, QAM64, QAM256}
+	rates := []CodeRate{Rate12, Rate23, Rate34, Rate56}
+	out := make([]Mode, 0, len(mods)*len(rates))
+	for _, m := range mods {
+		for _, r := range rates {
+			out = append(out, Mode{m, r})
+		}
+	}
+	return out
+}
+
+// maxPSDULength is the largest LENGTH value the 12-bit field can carry.
+const maxPSDULength = 4095
+
+// SignalField encodes the 24 SIGNAL bits for a mode and PSDU length in
+// bytes.
+func SignalField(m Mode, length int) ([]bits.Bit, error) {
+	if length < 1 || length > maxPSDULength {
+		return nil, fmt.Errorf("wifi: PSDU length %d out of range [1, %d]", length, maxPSDULength)
+	}
+	code, err := rateCode(m)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]bits.Bit, 0, 24)
+	out = append(out, bits.FromUint(uint64(code), 4)...) // RATE, MSB first (R1..R4)
+	out = append(out, 0)                                 // reserved
+	for i := 0; i < 12; i++ {                            // LENGTH, LSB first
+		out = append(out, bits.Bit((length>>i)&1))
+	}
+	out = append(out, bits.Parity(out)) // even parity over bits 0..16
+	out = append(out, 0, 0, 0, 0, 0, 0) // tail
+	return out, nil
+}
+
+// ParseSignalField decodes a 24-bit SIGNAL field, validating parity.
+func ParseSignalField(b []bits.Bit) (Mode, int, error) {
+	if len(b) != 24 {
+		return Mode{}, 0, fmt.Errorf("wifi: SIGNAL field must be 24 bits, got %d", len(b))
+	}
+	if bits.Parity(b[:18]) != 0 {
+		return Mode{}, 0, fmt.Errorf("wifi: SIGNAL parity check failed")
+	}
+	mode, err := modeFromRateCode(uint8(bits.ToUint(b[:4])))
+	if err != nil {
+		return Mode{}, 0, err
+	}
+	length := 0
+	for i := 0; i < 12; i++ {
+		length |= int(b[5+i]&1) << i
+	}
+	if length == 0 {
+		return Mode{}, 0, fmt.Errorf("wifi: SIGNAL declares zero-length PSDU")
+	}
+	return mode, length, nil
+}
+
+// signalMode is the fixed BPSK rate-1/2 transmission mode of the SIGNAL
+// symbol.
+var signalMode = Mode{BPSK, Rate12}
+
+// EncodeSignalSymbol produces the 48 constellation points of the SIGNAL
+// OFDM symbol.
+func EncodeSignalSymbol(m Mode, length int) ([]complex128, error) {
+	field, err := SignalField(m, length)
+	if err != nil {
+		return nil, err
+	}
+	coded, err := EncodeAndPuncture(field, signalMode.CodeRate)
+	if err != nil {
+		return nil, err
+	}
+	inter, err := Interleave(signalMode.Modulation, coded)
+	if err != nil {
+		return nil, err
+	}
+	return MapAll(signalMode.Modulation, inter)
+}
+
+// DecodeSignalSymbol inverts EncodeSignalSymbol from received points.
+func DecodeSignalSymbol(pts []complex128) (Mode, int, error) {
+	rx, err := DemapAll(signalMode.Modulation, pts)
+	if err != nil {
+		return Mode{}, 0, err
+	}
+	deinter, err := Deinterleave(signalMode.Modulation, rx)
+	if err != nil {
+		return Mode{}, 0, err
+	}
+	field, err := DepunctureAndDecode(deinter, signalMode.CodeRate, true)
+	if err != nil {
+		return Mode{}, 0, err
+	}
+	return ParseSignalField(field)
+}

@@ -1,0 +1,229 @@
+package wifi
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"sledzig/internal/bits"
+)
+
+// Soft-decision receive path: a max-log LLR demapper over the exact
+// constellation of either convention, and a Viterbi decoder with additive
+// float branch metrics. Soft decoding recovers the ~2 dB that hard
+// decisions give away, bringing the measured minimum-SNR table onto the
+// paper's (soft-decision) figures.
+
+// constellationTable caches, per (convention, modulation), every
+// constellation point alongside its bit label.
+type constellationTable struct {
+	points []complex128
+	labels [][]bits.Bit
+}
+
+var constellationCache sync.Map // map[struct{Convention; Modulation}]*constellationTable
+
+func constellation(c Convention, m Modulation) (*constellationTable, error) {
+	type key struct {
+		c Convention
+		m Modulation
+	}
+	if v, ok := constellationCache.Load(key{c, m}); ok {
+		return v.(*constellationTable), nil
+	}
+	n := m.BitsPerSubcarrier()
+	if n == 0 {
+		return nil, fmt.Errorf("wifi: invalid modulation %d", int(m))
+	}
+	t := &constellationTable{
+		points: make([]complex128, 0, 1<<n),
+		labels: make([][]bits.Bit, 0, 1<<n),
+	}
+	for v := 0; v < 1<<n; v++ {
+		label := bits.FromUint(uint64(v), n)
+		p, err := c.MapSymbolC(m, label)
+		if err != nil {
+			return nil, err
+		}
+		t.points = append(t.points, p)
+		t.labels = append(t.labels, label)
+	}
+	constellationCache.Store(key{c, m}, t)
+	return t, nil
+}
+
+// SoftDemapSymbol returns per-bit log-likelihood ratios (positive = bit 0
+// more likely) for one received point under a max-log approximation. The
+// noise variance only scales the LLRs, which the Viterbi minimization is
+// invariant to, so it is fixed at 1.
+func (c Convention) SoftDemapSymbol(m Modulation, p complex128) ([]float64, error) {
+	tbl, err := constellation(c, m)
+	if err != nil {
+		return nil, err
+	}
+	n := m.BitsPerSubcarrier()
+	best0 := make([]float64, n)
+	best1 := make([]float64, n)
+	for i := range best0 {
+		best0[i] = math.Inf(1)
+		best1[i] = math.Inf(1)
+	}
+	for i, pt := range tbl.points {
+		dre := real(p) - real(pt)
+		dim := imag(p) - imag(pt)
+		d := dre*dre + dim*dim
+		for b, bit := range tbl.labels[i] {
+			if bit == 0 {
+				if d < best0[b] {
+					best0[b] = d
+				}
+			} else if d < best1[b] {
+				best1[b] = d
+			}
+		}
+	}
+	llr := make([]float64, n)
+	for b := range llr {
+		llr[b] = best1[b] - best0[b]
+	}
+	return llr, nil
+}
+
+// SoftDemapAll demaps a point sequence to a flat LLR stream.
+func (c Convention) SoftDemapAll(m Modulation, pts []complex128) ([]float64, error) {
+	out := make([]float64, 0, len(pts)*m.BitsPerSubcarrier())
+	for _, p := range pts {
+		l, err := c.SoftDemapSymbol(m, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, l...)
+	}
+	return out, nil
+}
+
+// DeinterleaveFloats inverts the per-symbol interleaver on an LLR block.
+func (c Convention) DeinterleaveFloats(m Modulation, in []float64) ([]float64, error) {
+	nCBPS := NumDataSubcarriers * m.BitsPerSubcarrier()
+	if len(in) != nCBPS {
+		return nil, fmt.Errorf("wifi: deinterleave input length %d != N_CBPS %d for %v", len(in), nCBPS, m)
+	}
+	out := make([]float64, nCBPS)
+	for j, v := range in {
+		out[c.DeinterleaveIndexC(m, j)] = v
+	}
+	return out, nil
+}
+
+// DepunctureFloats expands a rate-r LLR stream to mother-code length,
+// inserting zero LLRs (erasures) at punctured positions.
+func DepunctureFloats(rx []float64, r CodeRate) ([]float64, error) {
+	pat, err := puncturePattern(r)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, 0, len(rx)*2)
+	j := 0
+	for i := 0; j < len(rx); i++ {
+		if pat[i%len(pat)] {
+			out = append(out, rx[j])
+			j++
+		} else {
+			out = append(out, 0)
+		}
+	}
+	if len(out)%2 != 0 {
+		out = append(out, 0)
+	}
+	return out, nil
+}
+
+// ViterbiDecodeSoft is the soft-metric counterpart of ViterbiDecode: llrs
+// holds one value per mother-coded bit (positive favours 0), zeros acting
+// as erasures.
+func ViterbiDecodeSoft(llrs []float64, terminated bool) ([]bits.Bit, error) {
+	if len(llrs)%2 != 0 {
+		return nil, fmt.Errorf("wifi: LLR stream length %d is odd", len(llrs))
+	}
+	steps := len(llrs) / 2
+	if steps == 0 {
+		return nil, nil
+	}
+	const numStates = 64
+	inf := math.Inf(1)
+
+	var outBits [numStates][2][2]bits.Bit
+	for s := 0; s < numStates; s++ {
+		for in := 0; in < 2; in++ {
+			w := (uint32(s)<<1 | uint32(in)) & 0x7F
+			y0, y1 := EncodeStep(w)
+			outBits[s][in] = [2]bits.Bit{y0, y1}
+		}
+	}
+
+	metric := make([]float64, numStates)
+	next := make([]float64, numStates)
+	for i := range metric {
+		metric[i] = inf
+	}
+	metric[0] = 0
+
+	type survivor struct {
+		prev uint8
+		in   uint8
+	}
+	surv := make([][numStates]survivor, steps)
+
+	for t := 0; t < steps; t++ {
+		for i := range next {
+			next[i] = inf
+		}
+		l0, l1 := llrs[2*t], llrs[2*t+1]
+		for s := 0; s < numStates; s++ {
+			m := metric[s]
+			if math.IsInf(m, 1) {
+				continue
+			}
+			for in := 0; in < 2; in++ {
+				cost := m
+				ob := outBits[s][in]
+				// Cost of asserting bit value b against LLR l
+				// (l = log P(0)/P(1)): add l when the branch outputs 1,
+				// -l when it outputs 0; constant offsets cancel.
+				if ob[0] == 1 {
+					cost += l0
+				} else {
+					cost -= l0
+				}
+				if ob[1] == 1 {
+					cost += l1
+				} else {
+					cost -= l1
+				}
+				ns := ((s << 1) | in) & 0x3F
+				if cost < next[ns] {
+					next[ns] = cost
+					surv[t][ns] = survivor{prev: uint8(s), in: uint8(in)}
+				}
+			}
+		}
+		metric, next = next, metric
+	}
+
+	best := 0
+	if !terminated {
+		for s := 1; s < numStates; s++ {
+			if metric[s] < metric[best] {
+				best = s
+			}
+		}
+	}
+	decoded := make([]bits.Bit, steps)
+	state := uint8(best)
+	for t := steps - 1; t >= 0; t-- {
+		sv := surv[t][state]
+		decoded[t] = bits.Bit(sv.in)
+		state = sv.prev
+	}
+	return decoded, nil
+}

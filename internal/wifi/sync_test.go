@@ -1,0 +1,97 @@
+package wifi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sledzig/internal/bits"
+)
+
+func embedFrame(t *testing.T, rng *rand.Rand, offset int, noiseSigma float64, psdu []byte, mode Mode) []complex128 {
+	t.Helper()
+	frame, err := Transmitter{Mode: mode}.Frame(psdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wave, err := frame.Waveform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	capture := make([]complex128, offset+len(wave)+600)
+	for i := range capture {
+		capture[i] = complex(rng.NormFloat64()*noiseSigma, rng.NormFloat64()*noiseSigma)
+	}
+	for i, v := range wave {
+		capture[offset+i] += v
+	}
+	return capture
+}
+
+func TestSynchronizerFindsPPDU(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	psdu := bits.RandomBytes(rng, 200)
+	for _, offset := range []int{0, 333, 4096} {
+		capture := embedFrame(t, rng, offset, 1e-4, psdu, Mode{QAM16, Rate12})
+		got, err := (Synchronizer{}).Detect(capture)
+		if err != nil {
+			t.Fatalf("offset %d: %v", offset, err)
+		}
+		if got != offset {
+			t.Fatalf("detected %d, want %d", got, offset)
+		}
+	}
+}
+
+func TestReceiveUnsynchronizedDecodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	psdu := bits.RandomBytes(rng, 150)
+	capture := embedFrame(t, rng, 777, 1e-4, psdu, Mode{QAM64, Rate34})
+	// Add a moderate CFO on top.
+	capture = CorrectCFO(capture, -18e3)
+	res, start, err := (Synchronizer{}).ReceiveUnsynchronized(Receiver{Soft: true}, capture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != 777 {
+		t.Fatalf("start %d", start)
+	}
+	for i := range psdu {
+		if res.PSDU[i] != psdu[i] {
+			t.Fatalf("PSDU mismatch at %d", i)
+		}
+	}
+}
+
+func TestSynchronizerUnderNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	psdu := bits.RandomBytes(rng, 100)
+	// SNR around 15 dB: signal power of the preamble is ~0.0127 per
+	// sample; sigma^2*2 = 0.0127/30.
+	sigma := math.Sqrt(0.0127 / 30 / 2)
+	capture := embedFrame(t, rng, 1500, sigma, psdu, Mode{QAM16, Rate12})
+	got, err := (Synchronizer{}).Detect(capture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1500 {
+		t.Fatalf("detected %d, want 1500", got)
+	}
+}
+
+func TestSynchronizerRejectsNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	capture := make([]complex128, 8000)
+	for i := range capture {
+		capture[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	if start, err := (Synchronizer{}).Detect(capture); err == nil {
+		t.Fatalf("pure noise detected as a PPDU at %d", start)
+	}
+}
+
+func TestSynchronizerShortCapture(t *testing.T) {
+	if _, err := (Synchronizer{}).Detect(make([]complex128, 100)); err == nil {
+		t.Fatal("short capture accepted")
+	}
+}

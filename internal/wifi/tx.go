@@ -1,0 +1,192 @@
+package wifi
+
+import (
+	"fmt"
+
+	"sledzig/internal/bits"
+)
+
+// serviceBits is the length of the SERVICE field that precedes the PSDU in
+// the DATA field; tailBits terminate the convolutional coder.
+const (
+	serviceBits = 16
+	tailBits    = 6
+)
+
+// Frame is a fully assembled DATA field ready for OFDM modulation: the
+// scrambled encoder-input bits plus the bookkeeping needed to modulate and
+// to analyze per-subcarrier behaviour.
+type Frame struct {
+	Mode       Mode
+	Convention Convention
+	PSDULength int  // LENGTH value signalled in the PLCP header (octets)
+	Terminated bool // scrambled tail zeroed (standard) or left intact (SledZig)
+
+	// ScrambledBits is the encoder input: N_sym * N_DBPS bits.
+	ScrambledBits []bits.Bit
+	// NumSymbols is the number of DATA OFDM symbols.
+	NumSymbols int
+}
+
+// Transmitter assembles standard 802.11 frames. The zero value is not
+// usable; construct with a valid Mode. Seed 0 selects
+// DefaultScramblerSeed.
+type Transmitter struct {
+	Mode Mode
+	Seed uint8
+	// Convention selects the interleaver/labeling pipeline (see
+	// Convention); the zero value is the IEEE-standard chain.
+	Convention Convention
+}
+
+// NumDataSymbols returns how many OFDM symbols a PSDU of length octets
+// occupies in mode m.
+func NumDataSymbols(m Mode, length int) int {
+	nDBPS := m.DataBitsPerSymbol()
+	total := serviceBits + 8*length + tailBits
+	return (total + nDBPS - 1) / nDBPS
+}
+
+// Frame scrambles SERVICE + PSDU + tail + pad and zeroes the scrambled
+// tail, producing the standard encoder input.
+func (t Transmitter) Frame(psdu []byte) (*Frame, error) {
+	if err := t.Mode.Validate(); err != nil {
+		return nil, err
+	}
+	if len(psdu) < 1 || len(psdu) > maxPSDULength {
+		return nil, fmt.Errorf("wifi: PSDU length %d out of range [1, %d]", len(psdu), maxPSDULength)
+	}
+	seed := t.Seed
+	if seed == 0 {
+		seed = DefaultScramblerSeed
+	}
+	nSym := NumDataSymbols(t.Mode, len(psdu))
+	total := nSym * t.Mode.DataBitsPerSymbol()
+
+	logical := make([]bits.Bit, total) // zeros: SERVICE, tail, pad prefilled
+	copy(logical[serviceBits:], bits.FromBytes(psdu))
+
+	scrambled, err := ScrambleWithSeed(logical, seed)
+	if err != nil {
+		return nil, err
+	}
+	// Zero the scrambled tail so the trellis terminates (17.3.5.3).
+	tailStart := serviceBits + 8*len(psdu)
+	for i := tailStart; i < tailStart+tailBits; i++ {
+		scrambled[i] = 0
+	}
+	return &Frame{
+		Mode:          t.Mode,
+		Convention:    t.Convention,
+		PSDULength:    len(psdu),
+		Terminated:    true,
+		ScrambledBits: scrambled,
+		NumSymbols:    nSym,
+	}, nil
+}
+
+// FrameFromScrambled wraps an externally produced scrambled encoder-input
+// stream (the SledZig path: the core package controls these bits directly).
+// signalledLength is the octet LENGTH to advertise in the PLCP header.
+func (t Transmitter) FrameFromScrambled(scrambled []bits.Bit, signalledLength int) (*Frame, error) {
+	if err := t.Mode.Validate(); err != nil {
+		return nil, err
+	}
+	nDBPS := t.Mode.DataBitsPerSymbol()
+	if len(scrambled) == 0 || len(scrambled)%nDBPS != 0 {
+		return nil, fmt.Errorf("wifi: scrambled stream length %d not a positive multiple of N_DBPS %d", len(scrambled), nDBPS)
+	}
+	if signalledLength < 1 || signalledLength > maxPSDULength {
+		return nil, fmt.Errorf("wifi: signalled length %d out of range [1, %d]", signalledLength, maxPSDULength)
+	}
+	return &Frame{
+		Mode:          t.Mode,
+		Convention:    t.Convention,
+		PSDULength:    signalledLength,
+		Terminated:    false,
+		ScrambledBits: bits.Clone(scrambled),
+		NumSymbols:    len(scrambled) / nDBPS,
+	}, nil
+}
+
+// DataPoints returns the constellation points of every DATA symbol:
+// NumSymbols slices of 48 points each, in ascending subcarrier order.
+func (f *Frame) DataPoints() ([][]complex128, error) {
+	coded, err := EncodeAndPuncture(f.ScrambledBits, f.Mode.CodeRate)
+	if err != nil {
+		return nil, err
+	}
+	inter, err := f.Convention.InterleaveAllC(f.Mode.Modulation, coded)
+	if err != nil {
+		return nil, err
+	}
+	pts, err := f.Convention.MapAllC(f.Mode.Modulation, inter)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]complex128, f.NumSymbols)
+	for s := 0; s < f.NumSymbols; s++ {
+		out[s] = pts[s*NumDataSubcarriers : (s+1)*NumDataSubcarriers]
+	}
+	return out, nil
+}
+
+// Waveform renders the complete PPDU baseband waveform: preamble, SIGNAL
+// symbol, and all DATA symbols at 20 MS/s.
+func (f *Frame) Waveform() ([]complex128, error) {
+	sigPts, err := EncodeSignalSymbol(f.Mode, f.PSDULength)
+	if err != nil {
+		return nil, err
+	}
+	dataPts, err := f.DataPoints()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]complex128, 0, PreambleLength+(1+f.NumSymbols)*SymbolLength)
+	out = append(out, Preamble()...)
+	sig, err := AssembleSymbol(sigPts, 0)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, sig...)
+	for s, pts := range dataPts {
+		sym, err := AssembleSymbol(pts, s+1)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sym...)
+	}
+	return out, nil
+}
+
+// DataWaveform renders only the DATA portion (no preamble, no SIGNAL) —
+// what the paper's RSSI experiments measure, since a ZigBee RSSI sample
+// integrates over many payload symbols.
+func (f *Frame) DataWaveform() ([]complex128, error) {
+	dataPts, err := f.DataPoints()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]complex128, 0, f.NumSymbols*SymbolLength)
+	for s, pts := range dataPts {
+		sym, err := AssembleSymbol(pts, s+1)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sym...)
+	}
+	return out, nil
+}
+
+// Duration returns the full PPDU airtime in seconds.
+func (f *Frame) Duration() float64 {
+	samples := PreambleLength + (1+f.NumSymbols)*SymbolLength
+	return float64(samples) / SampleRate
+}
+
+// PPDUDuration computes the airtime of a PPDU carrying length octets in
+// mode m without building the frame.
+func PPDUDuration(m Mode, length int) float64 {
+	samples := PreambleLength + (1+NumDataSymbols(m, length))*SymbolLength
+	return float64(samples) / SampleRate
+}

@@ -1,0 +1,510 @@
+package wifi
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sledzig/internal/bits"
+)
+
+func TestScramblerRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed uint8) bool {
+		seed = seed%0x7F + 1
+		data := bits.Random(rng, 403)
+		s1, err := ScrambleWithSeed(data, seed)
+		if err != nil {
+			return false
+		}
+		s2, err := ScrambleWithSeed(s1, seed)
+		if err != nil {
+			return false
+		}
+		return bits.Equal(data, s2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScramblerPeriod127(t *testing.T) {
+	s, err := NewScrambler(DefaultScramblerSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := s.Sequence(254)
+	if !bits.Equal(seq[:127], seq[127:]) {
+		t.Fatal("scrambler sequence does not repeat with period 127")
+	}
+	// Maximal-length: all 127 nonzero states appear, so the sequence has 64
+	// ones and 63 zeros.
+	ones := 0
+	for _, b := range seq[:127] {
+		ones += int(b)
+	}
+	if ones != 64 {
+		t.Fatalf("scrambler period has %d ones, want 64", ones)
+	}
+}
+
+func TestScramblerRejectsBadSeed(t *testing.T) {
+	for _, seed := range []uint8{0, 0x80, 0xFF} {
+		if _, err := NewScrambler(seed); err == nil {
+			t.Errorf("NewScrambler(%#x) accepted invalid seed", seed)
+		}
+	}
+}
+
+// 802.11-2012 17.3.5.5: with the all-ones initial state the scrambler's
+// 127-bit sequence begins 00001110 11110010 11001001.
+func TestScramblerAllOnesSequence(t *testing.T) {
+	s, err := NewScrambler(0x7F)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bits.Bit{
+		0, 0, 0, 0, 1, 1, 1, 0,
+		1, 1, 1, 1, 0, 0, 1, 0,
+		1, 1, 0, 0, 1, 0, 0, 1,
+	}
+	got := s.Sequence(len(want))
+	if !bits.Equal(got, want) {
+		t.Fatalf("scrambler sequence mismatch:\n got %s\nwant %s", bits.String(got), bits.String(want))
+	}
+}
+
+func TestConvolutionalKnownVector(t *testing.T) {
+	// The all-zeros input yields all-zeros output; an impulse yields the
+	// generator taps read off over the following six steps.
+	imp := make([]bits.Bit, 8)
+	imp[0] = 1
+	coded := ConvolutionalEncode(imp)
+	// Step n sees window with the 1 at delay n-1.
+	wantG0 := []bits.Bit{1, 0, 1, 1, 0, 1, 1, 0} // taps {0,2,3,5,6}
+	wantG1 := []bits.Bit{1, 1, 1, 1, 0, 0, 1, 0} // taps {0,1,2,3,6}
+	for n := 0; n < 8; n++ {
+		if coded[2*n] != wantG0[n] || coded[2*n+1] != wantG1[n] {
+			t.Fatalf("impulse response step %d = (%d,%d), want (%d,%d)",
+				n, coded[2*n], coded[2*n+1], wantG0[n], wantG1[n])
+		}
+	}
+}
+
+func TestViterbiRoundTripNoErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, r := range []CodeRate{Rate12, Rate23, Rate34, Rate56} {
+		// Length divisible by every puncturing period's input count.
+		data := bits.Random(rng, 120)
+		// Terminate with 6 zeros.
+		data = append(data, make([]bits.Bit, 6)...)
+		coded, err := EncodeAndPuncture(data, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decoded, err := DepunctureAndDecode(coded, r, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bits.Equal(decoded, data) {
+			t.Fatalf("rate %v: Viterbi round trip failed", r)
+		}
+	}
+}
+
+func TestViterbiCorrectsErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := bits.Random(rng, 200)
+	data = append(data, make([]bits.Bit, 6)...)
+	coded := ConvolutionalEncode(data)
+	// Flip isolated bits, spaced beyond the constraint length's reach.
+	for _, pos := range []int{10, 60, 111, 200, 333} {
+		coded[pos] ^= 1
+	}
+	decoded, err := ViterbiDecode(coded, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bits.Equal(decoded, data) {
+		t.Fatal("Viterbi failed to correct isolated bit errors")
+	}
+}
+
+func TestViterbiPropertyRandomNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(seed int64) bool {
+		lr := rand.New(rand.NewSource(seed))
+		data := bits.Random(lr, 96)
+		data = append(data, make([]bits.Bit, 6)...)
+		coded := ConvolutionalEncode(data)
+		// 3 random isolated flips at least 14 positions apart.
+		positions := []int{20 + lr.Intn(10), 80 + lr.Intn(10), 150 + lr.Intn(10)}
+		for _, p := range positions {
+			coded[p] ^= 1
+		}
+		decoded, err := ViterbiDecode(coded, nil, true)
+		if err != nil {
+			return false
+		}
+		return bits.Equal(decoded, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPunctureDepunctureShape(t *testing.T) {
+	for _, tc := range []struct {
+		r       CodeRate
+		in, out int
+	}{
+		{Rate12, 48, 96},
+		{Rate23, 48, 72},
+		{Rate34, 48, 64},
+		{Rate56, 50, 60},
+	} {
+		data := make([]bits.Bit, tc.in)
+		coded, err := EncodeAndPuncture(data, tc.r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(coded) != tc.out {
+			t.Errorf("rate %v: %d input bits -> %d coded bits, want %d", tc.r, tc.in, len(coded), tc.out)
+		}
+	}
+}
+
+func TestMotherIndices(t *testing.T) {
+	idx, err := MotherIndices(6, Rate34)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 5, 6, 7}
+	for i := range want {
+		if idx[i] != want[i] {
+			t.Fatalf("MotherIndices(3/4) = %v, want %v", idx, want)
+		}
+	}
+}
+
+func TestInterleaverBijection(t *testing.T) {
+	for _, m := range []Modulation{BPSK, QPSK, QAM16, QAM64, QAM256} {
+		n := NumDataSubcarriers * m.BitsPerSubcarrier()
+		seen := make([]bool, n)
+		for k := 0; k < n; k++ {
+			j := InterleaveIndex(m, k)
+			if j < 0 || j >= n {
+				t.Fatalf("%v: InterleaveIndex(%d) = %d out of range", m, k, j)
+			}
+			if seen[j] {
+				t.Fatalf("%v: InterleaveIndex not injective at %d", m, k)
+			}
+			seen[j] = true
+			if back := DeinterleaveIndex(m, j); back != k {
+				t.Fatalf("%v: DeinterleaveIndex(%d) = %d, want %d", m, j, back, k)
+			}
+		}
+	}
+}
+
+func TestInterleaveRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, m := range []Modulation{QAM16, QAM64, QAM256} {
+		data := bits.Random(rng, 3*NumDataSubcarriers*m.BitsPerSubcarrier())
+		inter, err := InterleaveAll(m, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := DeinterleaveAll(m, inter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bits.Equal(back, data) {
+			t.Fatalf("%v: interleave round trip failed", m)
+		}
+	}
+}
+
+func TestQAMGrayMapping16(t *testing.T) {
+	// 802.11 Table 18-10: b0b1 -> I in {-3,-1,1,3} as 00,01,11,10.
+	k := NormFactor(QAM16)
+	cases := map[[4]bits.Bit]complex128{
+		{0, 0, 0, 0}: complex(-3*k, -3*k),
+		{0, 1, 0, 1}: complex(-1*k, -1*k),
+		{1, 1, 1, 1}: complex(1*k, 1*k),
+		{1, 0, 1, 0}: complex(3*k, 3*k),
+		{1, 1, 0, 0}: complex(1*k, -3*k),
+	}
+	for in, want := range cases {
+		got, err := MapSymbol(QAM16, in[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cmplx.Abs(got-want) > 1e-12 {
+			t.Errorf("MapSymbol(QAM16, %v) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestQAMRoundTripAllPoints(t *testing.T) {
+	for _, m := range []Modulation{BPSK, QPSK, QAM16, QAM64, QAM256} {
+		n := m.BitsPerSubcarrier()
+		for v := 0; v < 1<<n; v++ {
+			in := bits.FromUint(uint64(v), n)
+			p, err := MapSymbol(m, in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := DemapSymbol(m, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bits.Equal(in, out) {
+				t.Fatalf("%v: point %s demapped to %s", m, bits.String(in), bits.String(out))
+			}
+		}
+	}
+}
+
+func TestQAMUnitAveragePower(t *testing.T) {
+	for _, m := range []Modulation{BPSK, QPSK, QAM16, QAM64, QAM256} {
+		n := m.BitsPerSubcarrier()
+		var sum float64
+		for v := 0; v < 1<<n; v++ {
+			p, err := MapSymbol(m, bits.FromUint(uint64(v), n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += real(p)*real(p) + imag(p)*imag(p)
+		}
+		avg := sum / float64(int(1)<<n)
+		if math.Abs(avg-1) > 1e-12 {
+			t.Errorf("%v: average constellation power %g, want 1", m, avg)
+		}
+	}
+}
+
+func TestTheoreticalPowerReduction(t *testing.T) {
+	// Paper section III-B: 7.0, 13.2, 19.3 dB.
+	cases := []struct {
+		m    Modulation
+		want float64
+	}{
+		{QAM16, 7.0},
+		{QAM64, 13.2},
+		{QAM256, 19.3},
+	}
+	for _, tc := range cases {
+		got := PowerReductionDB(tc.m)
+		if math.Abs(got-tc.want) > 0.05 {
+			t.Errorf("PowerReductionDB(%v) = %.2f dB, want %.1f dB", tc.m, got, tc.want)
+		}
+	}
+}
+
+func TestSignificantOffsetsForceLowestRing(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, m := range []Modulation{QAM16, QAM64, QAM256} {
+		offsets, values := SignificantOffsets(m)
+		wantCount := map[Modulation]int{QAM16: 2, QAM64: 4, QAM256: 6}[m]
+		if len(offsets) != wantCount {
+			t.Fatalf("%v: %d significant bits, want %d (Table I)", m, len(offsets), wantCount)
+		}
+		// Any point with the significant bits pinned must land on the
+		// lowest-power ring, whatever the free bits hold.
+		for trial := 0; trial < 64; trial++ {
+			b := bits.Random(rng, m.BitsPerSubcarrier())
+			for i, off := range offsets {
+				b[off] = values[i]
+			}
+			p, err := MapSymbol(m, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			power := (real(p)*real(p) + imag(p)*imag(p)) / (NormFactor(m) * NormFactor(m))
+			if math.Abs(power-2) > 1e-9 {
+				t.Fatalf("%v: pinned point %v has unnormalized power %g, want 2", m, p, power)
+			}
+		}
+	}
+}
+
+func TestModeTables(t *testing.T) {
+	cases := []struct {
+		mode         Mode
+		nCBPS, nDBPS int
+	}{
+		{Mode{QAM16, Rate12}, 192, 96},
+		{Mode{QAM16, Rate34}, 192, 144},
+		{Mode{QAM64, Rate23}, 288, 192},
+		{Mode{QAM64, Rate34}, 288, 216},
+		{Mode{QAM64, Rate56}, 288, 240},
+		{Mode{QAM256, Rate34}, 384, 288},
+		{Mode{QAM256, Rate56}, 384, 320},
+	}
+	for _, tc := range cases {
+		if got := tc.mode.CodedBitsPerSymbol(); got != tc.nCBPS {
+			t.Errorf("%v: N_CBPS = %d, want %d", tc.mode, got, tc.nCBPS)
+		}
+		if got := tc.mode.DataBitsPerSymbol(); got != tc.nDBPS {
+			t.Errorf("%v: N_DBPS = %d, want %d", tc.mode, got, tc.nDBPS)
+		}
+	}
+}
+
+func TestSubcarrierSets(t *testing.T) {
+	ds := DataSubcarriers()
+	if len(ds) != 48 {
+		t.Fatalf("%d data subcarriers, want 48", len(ds))
+	}
+	for _, k := range ds {
+		if IsPilot(k) || IsNull(k) {
+			t.Errorf("data subcarrier %d overlaps pilot/null", k)
+		}
+	}
+	if got := PilotSubcarriers(); len(got) != 4 {
+		t.Fatalf("%d pilots, want 4", len(got))
+	}
+}
+
+func TestSignalFieldRoundTrip(t *testing.T) {
+	for _, m := range PaperModes() {
+		for _, length := range []int{1, 100, 1500, 4095} {
+			b, err := SignalField(m, length)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotMode, gotLen, err := ParseSignalField(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotMode != m || gotLen != length {
+				t.Errorf("SIGNAL round trip: got (%v, %d), want (%v, %d)", gotMode, gotLen, m, length)
+			}
+		}
+	}
+}
+
+func TestSignalSymbolRoundTrip(t *testing.T) {
+	pts, err := EncodeSignalSymbol(Mode{QAM64, Rate34}, 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != NumDataSubcarriers {
+		t.Fatalf("SIGNAL symbol has %d points, want %d", len(pts), NumDataSubcarriers)
+	}
+	mode, length, err := DecodeSignalSymbol(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode != (Mode{QAM64, Rate34}) || length != 1234 {
+		t.Fatalf("SIGNAL symbol round trip: got (%v, %d)", mode, length)
+	}
+}
+
+func TestSignalParityDetectsCorruption(t *testing.T) {
+	b, err := SignalField(Mode{QAM16, Rate12}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[7] ^= 1
+	if _, _, err := ParseSignalField(b); err == nil {
+		t.Fatal("corrupted SIGNAL field passed parity")
+	}
+}
+
+func TestPreambleStructure(t *testing.T) {
+	p := Preamble()
+	if len(p) != PreambleLength {
+		t.Fatalf("preamble length %d, want %d", len(p), PreambleLength)
+	}
+	// Short training symbol repeats with period 16 over the first 160
+	// samples.
+	for i := 16; i < 160; i++ {
+		if cmplx.Abs(p[i]-p[i-16]) > 1e-12 {
+			t.Fatalf("STS not periodic at sample %d", i)
+		}
+	}
+	// The two LTS periods are identical.
+	for i := 0; i < 64; i++ {
+		if cmplx.Abs(p[192+i]-p[256+i]) > 1e-12 {
+			t.Fatalf("LTS repetitions differ at sample %d", i)
+		}
+	}
+}
+
+func TestFrameWaveformRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, mode := range []Mode{{QAM16, Rate12}, {QAM64, Rate23}, {QAM256, Rate56}} {
+		psdu := bits.RandomBytes(rng, 300)
+		tx := Transmitter{Mode: mode}
+		frame, err := tx.Frame(psdu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wave, err := frame.Waveform()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Receiver{}.Receive(wave)
+		if err != nil {
+			t.Fatalf("%v: receive: %v", mode, err)
+		}
+		if res.Mode != mode {
+			t.Fatalf("%v: decoded mode %v", mode, res.Mode)
+		}
+		if len(res.PSDU) != len(psdu) {
+			t.Fatalf("%v: decoded %d bytes, want %d", mode, len(res.PSDU), len(psdu))
+		}
+		for i := range psdu {
+			if res.PSDU[i] != psdu[i] {
+				t.Fatalf("%v: PSDU differs at byte %d", mode, i)
+			}
+		}
+	}
+}
+
+func TestOFDMSymbolRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	data := make([]complex128, NumDataSubcarriers)
+	for i := range data {
+		data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	sym, err := AssembleSymbol(data, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sym) != SymbolLength {
+		t.Fatalf("symbol length %d, want %d", len(sym), SymbolLength)
+	}
+	// Cyclic prefix equals the tail of the symbol.
+	for i := 0; i < CPLength; i++ {
+		if cmplx.Abs(sym[i]-sym[NumSubcarriers+i]) > 1e-12 {
+			t.Fatalf("cyclic prefix mismatch at %d", i)
+		}
+	}
+	freq, err := FrequencyDomain(sym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ExtractSubcarriers(freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if cmplx.Abs(got[i]-data[i]) > 1e-9 {
+			t.Fatalf("subcarrier %d: got %v want %v", i, got[i], data[i])
+		}
+	}
+}
+
+func TestPPDUDuration(t *testing.T) {
+	// QAM-16 r=1/2 (24 Mbit/s equivalent... 96 bits/symbol): 1500-byte PSDU
+	// needs ceil((16+12000+6)/96) = 126 symbols -> 20us + 126*4us = 524us.
+	d := PPDUDuration(Mode{QAM16, Rate12}, 1500)
+	if math.Abs(d-524e-6) > 1e-9 {
+		t.Fatalf("PPDUDuration = %g, want 524us", d)
+	}
+}

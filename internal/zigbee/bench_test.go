@@ -1,0 +1,55 @@
+package zigbee
+
+import (
+	"math/rand"
+	"testing"
+
+	"sledzig/internal/bits"
+)
+
+func BenchmarkSpread(b *testing.B) {
+	data := bits.RandomBytes(rand.New(rand.NewSource(1)), 127)
+	b.SetBytes(127)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Spread(data)
+	}
+}
+
+func BenchmarkDespread(b *testing.B) {
+	chips := Spread(bits.RandomBytes(rand.New(rand.NewSource(1)), 127))
+	b.SetBytes(127)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Despread(chips); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOQPSKModulate(b *testing.B) {
+	chips := Spread(bits.RandomBytes(rand.New(rand.NewSource(1)), 64))
+	mod := Modulator{SamplesPerChip: 10}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mod.Modulate(chips); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSynchronizerLocate(b *testing.B) {
+	wave, err := Transmitter{}.Transmit(bits.RandomBytes(rand.New(rand.NewSource(1)), 30))
+	if err != nil {
+		b.Fatal(err)
+	}
+	capture := make([]complex128, len(wave)+4000)
+	copy(capture[2000:], wave)
+	sync := Synchronizer{SamplesPerChip: 10}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sync.Locate(capture); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

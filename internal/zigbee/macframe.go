@@ -1,0 +1,108 @@
+package zigbee
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Minimal 802.15.4 MAC framing with short (16-bit) addressing: data
+// frames with acknowledgment requests and the 5-octet immediate ACK
+// frame. The MAC-level FCS is the PHY FCS this package already computes
+// in BuildPPDU, so these helpers produce MAC payloads for the PHY layer.
+
+// FrameType distinguishes the MAC frame kinds used here.
+type FrameType int
+
+// Frame kinds (subset of 802.15.4).
+const (
+	FrameData FrameType = 1
+	FrameAck  FrameType = 2
+)
+
+// DataFrame is an intra-PAN data MPDU with short addressing.
+type DataFrame struct {
+	PANID    uint16
+	Dest     uint16
+	Source   uint16
+	Sequence uint8
+	// AckRequest asks the receiver for an immediate ACK.
+	AckRequest bool
+	Payload    []byte
+}
+
+const dataHeaderLen = 9 // FCF(2) + seq(1) + PAN(2) + dest(2) + src(2)
+
+// MaxDataPayload bounds the MSDU so the MPDU (plus PHY FCS) fits 127
+// octets.
+const MaxDataPayload = MaxPayload - FCSLength - dataHeaderLen
+
+// Marshal serializes the data frame (without the PHY FCS, which
+// BuildPPDU appends).
+func (f *DataFrame) Marshal() ([]byte, error) {
+	if len(f.Payload) == 0 {
+		return nil, fmt.Errorf("zigbee: empty MSDU")
+	}
+	if len(f.Payload) > MaxDataPayload {
+		return nil, fmt.Errorf("zigbee: MSDU of %d octets exceeds %d", len(f.Payload), MaxDataPayload)
+	}
+	// FCF: type=data(001), security=0, pending=0, ackreq, intra-PAN=1;
+	// dest addressing mode=short(10), source mode=short(10).
+	fcf := uint16(0x0001) | 0x0040 | 0x0880 | 0x8000
+	if f.AckRequest {
+		fcf |= 0x0020
+	}
+	out := make([]byte, 0, dataHeaderLen+len(f.Payload))
+	var hdr [dataHeaderLen]byte
+	binary.LittleEndian.PutUint16(hdr[0:], fcf)
+	hdr[2] = f.Sequence
+	binary.LittleEndian.PutUint16(hdr[3:], f.PANID)
+	binary.LittleEndian.PutUint16(hdr[5:], f.Dest)
+	binary.LittleEndian.PutUint16(hdr[7:], f.Source)
+	out = append(out, hdr[:]...)
+	return append(out, f.Payload...), nil
+}
+
+// AckFrame builds the 3-octet immediate acknowledgment for a sequence
+// number (FCF type=ack + seq; the PHY adds the FCS).
+func AckFrame(sequence uint8) []byte {
+	return []byte{0x02, 0x00, sequence}
+}
+
+// ParseFrame classifies and decodes a received MPDU (after the PHY has
+// validated the FCS).
+func ParseFrame(mpdu []byte) (FrameType, *DataFrame, uint8, error) {
+	if len(mpdu) < 3 {
+		return 0, nil, 0, fmt.Errorf("zigbee: MPDU of %d octets too short", len(mpdu))
+	}
+	fcf := binary.LittleEndian.Uint16(mpdu[0:])
+	switch fcf & 0x0007 {
+	case 0x0002: // ack
+		return FrameAck, nil, mpdu[2], nil
+	case 0x0001: // data
+		if len(mpdu) < dataHeaderLen+1 {
+			return 0, nil, 0, fmt.Errorf("zigbee: data MPDU of %d octets too short", len(mpdu))
+		}
+		f := &DataFrame{
+			Sequence:   mpdu[2],
+			PANID:      binary.LittleEndian.Uint16(mpdu[3:]),
+			Dest:       binary.LittleEndian.Uint16(mpdu[5:]),
+			Source:     binary.LittleEndian.Uint16(mpdu[7:]),
+			AckRequest: fcf&0x0020 != 0,
+			Payload:    append([]byte(nil), mpdu[dataHeaderLen:]...),
+		}
+		return FrameData, f, f.Sequence, nil
+	default:
+		return 0, nil, 0, fmt.Errorf("zigbee: unsupported frame type %#x", fcf&0x0007)
+	}
+}
+
+// MAC timing constants for the ACK exchange (2.4 GHz O-QPSK).
+const (
+	// TurnaroundTime is aTurnaroundTime: 12 symbols = 192 us.
+	TurnaroundTime = 12 * SymbolDuration
+	// AckWaitDuration bounds how long a transmitter waits for the ACK.
+	AckWaitDuration = 54 * SymbolDuration
+	// AckAirtime is the on-air duration of the 5-octet ACK PPDU
+	// (preamble + SFD + PHR + 3-octet MPDU + FCS).
+	AckAirtime = float64(PreambleOctets+2+3+FCSLength) * 2 * SymbolDuration
+)

@@ -1,0 +1,97 @@
+package zigbee
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDataFrameRoundTrip(t *testing.T) {
+	f := &DataFrame{
+		PANID: 0x1234, Dest: 0xBEEF, Source: 0xCAFE,
+		Sequence: 42, AckRequest: true,
+		Payload: []byte("sensor reading 21.5C"),
+	}
+	mpdu, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kind, got, seq, err := ParseFrame(mpdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != FrameData || seq != 42 {
+		t.Fatalf("kind=%v seq=%d", kind, seq)
+	}
+	if got.PANID != f.PANID || got.Dest != f.Dest || got.Source != f.Source || !got.AckRequest {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if string(got.Payload) != string(f.Payload) {
+		t.Fatalf("payload %q", got.Payload)
+	}
+}
+
+func TestDataFrameThroughPHY(t *testing.T) {
+	f := &DataFrame{PANID: 1, Dest: 2, Source: 3, Sequence: 7, Payload: []byte{9, 8, 7}}
+	mpdu, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wave, err := Transmitter{}.Transmit(mpdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rxMPDU, _, err := Receiver{}.Receive(wave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kind, got, _, err := ParseFrame(rxMPDU)
+	if err != nil || kind != FrameData {
+		t.Fatalf("kind=%v err=%v", kind, err)
+	}
+	if got.Dest != 2 || len(got.Payload) != 3 {
+		t.Fatalf("decoded %+v", got)
+	}
+}
+
+func TestAckFrame(t *testing.T) {
+	ack := AckFrame(99)
+	kind, data, seq, err := ParseFrame(ack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != FrameAck || data != nil || seq != 99 {
+		t.Fatalf("kind=%v data=%v seq=%d", kind, data, seq)
+	}
+}
+
+func TestMarshalValidation(t *testing.T) {
+	if _, err := (&DataFrame{}).Marshal(); err == nil {
+		t.Error("empty MSDU accepted")
+	}
+	if _, err := (&DataFrame{Payload: make([]byte, MaxDataPayload+1)}).Marshal(); err == nil {
+		t.Error("oversize MSDU accepted")
+	}
+}
+
+func TestParseFrameRejectsGarbage(t *testing.T) {
+	if _, _, _, err := ParseFrame([]byte{0x07, 0x00, 1}); err == nil {
+		t.Error("reserved frame type accepted")
+	}
+	if _, _, _, err := ParseFrame([]byte{0x01}); err == nil {
+		t.Error("truncated frame accepted")
+	}
+}
+
+func TestAckTiming(t *testing.T) {
+	// Turnaround 192 us, ACK airtime 352 us: both well under the 864 us
+	// wait bound, so a transmitter never times out on a delivered ACK.
+	if math.Abs(TurnaroundTime-192e-6) > 1e-9 {
+		t.Fatalf("turnaround %g", TurnaroundTime)
+	}
+	if math.Abs(AckAirtime-352e-6) > 1e-9 {
+		t.Fatalf("ack airtime %g", AckAirtime)
+	}
+	if TurnaroundTime+AckAirtime >= AckWaitDuration {
+		t.Fatal("ACK cannot arrive within the wait window")
+	}
+}

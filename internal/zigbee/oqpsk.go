@@ -1,0 +1,120 @@
+package zigbee
+
+import (
+	"fmt"
+	"math"
+
+	"sledzig/internal/bits"
+)
+
+// Half-sine O-QPSK: even-indexed chips modulate the I rail and odd-indexed
+// chips the Q rail, each shaped by a half-sine pulse spanning two chip
+// periods, with the Q rail offset by one chip period. This is the MSK-like
+// constant-envelope waveform the CC2420 transmits.
+
+// Modulator renders chip streams to baseband samples.
+type Modulator struct {
+	// SamplesPerChip sets the output rate: ChipRate * SamplesPerChip
+	// samples per second. 10 yields the 20 MS/s bus shared with the WiFi
+	// waveforms.
+	SamplesPerChip int
+}
+
+// SampleRate returns the output sample rate in Hz.
+func (m Modulator) SampleRate() float64 {
+	return ChipRate * float64(m.SamplesPerChip)
+}
+
+// Modulate converts a chip stream to a baseband waveform. The waveform is
+// (len(chips)+1) * SamplesPerChip samples long (the trailing half-pulse of
+// the last chip included).
+func (m Modulator) Modulate(chips []bits.Bit) ([]complex128, error) {
+	if m.SamplesPerChip < 2 {
+		return nil, fmt.Errorf("zigbee: SamplesPerChip %d < 2", m.SamplesPerChip)
+	}
+	spc := m.SamplesPerChip
+	n := (len(chips) + 1) * spc
+	out := make([]complex128, n)
+	// Pulse spans 2 chip periods = 2*spc samples.
+	pulse := make([]float64, 2*spc)
+	for i := range pulse {
+		pulse[i] = math.Sin(math.Pi * float64(i) / float64(len(pulse)))
+	}
+	for k, c := range chips {
+		v := 1.0
+		if c&1 == 0 {
+			v = -1.0
+		}
+		start := k * spc
+		for i, p := range pulse {
+			idx := start + i
+			if idx >= n {
+				break
+			}
+			if k%2 == 0 {
+				out[idx] += complex(v*p, 0)
+			} else {
+				out[idx] += complex(0, v*p)
+			}
+		}
+	}
+	// Normalize to unit average power over the occupied span so transmit
+	// gain calibration is waveform-independent.
+	var sum float64
+	for _, v := range out {
+		sum += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if sum > 0 {
+		scale := complex(math.Sqrt(float64(n)/sum), 0)
+		for i := range out {
+			out[i] *= scale
+		}
+	}
+	return out, nil
+}
+
+// Demodulator recovers chip decisions from baseband samples by matched
+// filtering each half-sine pulse.
+type Demodulator struct {
+	SamplesPerChip int
+}
+
+// Demodulate extracts numChips hard chip decisions from a waveform
+// produced by Modulator (possibly with noise/interference added). It also
+// returns the per-chip correlation magnitudes as soft quality values.
+func (d Demodulator) Demodulate(wave []complex128, numChips int) ([]bits.Bit, []float64, error) {
+	if d.SamplesPerChip < 2 {
+		return nil, nil, fmt.Errorf("zigbee: SamplesPerChip %d < 2", d.SamplesPerChip)
+	}
+	spc := d.SamplesPerChip
+	need := (numChips + 1) * spc
+	if len(wave) < need {
+		return nil, nil, fmt.Errorf("zigbee: waveform has %d samples, %d chips need %d", len(wave), numChips, need)
+	}
+	pulse := make([]float64, 2*spc)
+	for i := range pulse {
+		pulse[i] = math.Sin(math.Pi * float64(i) / float64(len(pulse)))
+	}
+	chips := make([]bits.Bit, numChips)
+	soft := make([]float64, numChips)
+	for k := 0; k < numChips; k++ {
+		start := k * spc
+		var corr float64
+		for i, p := range pulse {
+			idx := start + i
+			if idx >= len(wave) {
+				break
+			}
+			if k%2 == 0 {
+				corr += real(wave[idx]) * p
+			} else {
+				corr += imag(wave[idx]) * p
+			}
+		}
+		if corr >= 0 {
+			chips[k] = 1
+		}
+		soft[k] = math.Abs(corr)
+	}
+	return chips, soft, nil
+}

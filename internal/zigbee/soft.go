@@ -1,0 +1,152 @@
+package zigbee
+
+import (
+	"fmt"
+	"math"
+
+	"sledzig/internal/bits"
+)
+
+// Soft-decision despreading: instead of slicing each chip to a hard 0/1
+// and counting agreements, the receiver correlates the signed chip
+// statistics against each candidate sequence. Weak (low-confidence) chips
+// then contribute little, which buys a consistent margin under noise and
+// partial interference.
+
+// DemodulateSoft extracts signed per-chip correlation statistics from a
+// waveform (positive favours chip 1).
+func (d Demodulator) DemodulateSoft(wave []complex128, numChips int) ([]float64, error) {
+	if d.SamplesPerChip < 2 {
+		return nil, fmt.Errorf("zigbee: SamplesPerChip %d < 2", d.SamplesPerChip)
+	}
+	spc := d.SamplesPerChip
+	need := (numChips + 1) * spc
+	if len(wave) < need {
+		return nil, fmt.Errorf("zigbee: waveform has %d samples, %d chips need %d", len(wave), numChips, need)
+	}
+	pulse := make([]float64, 2*spc)
+	for i := range pulse {
+		pulse[i] = math.Sin(math.Pi * float64(i) / float64(len(pulse)))
+	}
+	soft := make([]float64, numChips)
+	for k := 0; k < numChips; k++ {
+		start := k * spc
+		var corr float64
+		for i, p := range pulse {
+			idx := start + i
+			if idx >= len(wave) {
+				break
+			}
+			if k%2 == 0 {
+				corr += real(wave[idx]) * p
+			} else {
+				corr += imag(wave[idx]) * p
+			}
+		}
+		soft[k] = corr
+	}
+	return soft, nil
+}
+
+// DespreadSymbolSoft correlates one 32-chip window of signed statistics
+// against all 16 sequences and returns the best symbol with its
+// normalized margin over the runner-up (0 = tie, larger = safer).
+func DespreadSymbolSoft(soft []float64) (symbol int, margin float64, err error) {
+	if len(soft) != ChipsPerSymbol {
+		return 0, 0, fmt.Errorf("zigbee: despread window must be %d chips, got %d", ChipsPerSymbol, len(soft))
+	}
+	best, second := math.Inf(-1), math.Inf(-1)
+	bestSym := 0
+	for s := 0; s < 16; s++ {
+		var score float64
+		for i, v := range soft {
+			if chipTable[s][i] == 1 {
+				score += v
+			} else {
+				score -= v
+			}
+		}
+		if score > best {
+			second = best
+			best = score
+			bestSym = s
+		} else if score > second {
+			second = score
+		}
+	}
+	var norm float64
+	for _, v := range soft {
+		norm += math.Abs(v)
+	}
+	if norm == 0 {
+		return bestSym, 0, nil
+	}
+	return bestSym, (best - second) / norm, nil
+}
+
+// DespreadSoft recovers bytes from a soft chip stream (whole octets) and
+// reports the worst per-symbol margin.
+func DespreadSoft(soft []float64) (data []byte, minMargin float64, err error) {
+	if len(soft)%(2*ChipsPerSymbol) != 0 {
+		return nil, 0, fmt.Errorf("zigbee: soft stream length %d is not a whole number of octets", len(soft))
+	}
+	minMargin = math.Inf(1)
+	data = make([]byte, 0, len(soft)/(2*ChipsPerSymbol))
+	for off := 0; off < len(soft); off += 2 * ChipsPerSymbol {
+		lo, m1, err := DespreadSymbolSoft(soft[off : off+ChipsPerSymbol])
+		if err != nil {
+			return nil, 0, err
+		}
+		hi, m2, err := DespreadSymbolSoft(soft[off+ChipsPerSymbol : off+2*ChipsPerSymbol])
+		if err != nil {
+			return nil, 0, err
+		}
+		minMargin = math.Min(minMargin, math.Min(m1, m2))
+		data = append(data, byte(lo)|byte(hi)<<4)
+	}
+	return data, minMargin, nil
+}
+
+// ReceiveSoft decodes a PPDU waveform with soft-decision despreading.
+func (r Receiver) ReceiveSoft(wave []complex128) ([]byte, error) {
+	spc := r.samplesPerChip()
+	demod := Demodulator{SamplesPerChip: spc}
+	headerChips := (PreambleOctets + 2) * 2 * ChipsPerSymbol
+	if (headerChips+1)*spc > len(wave) {
+		return nil, fmt.Errorf("zigbee: waveform too short for PPDU header")
+	}
+	soft, err := demod.DemodulateSoft(wave, headerChips)
+	if err != nil {
+		return nil, err
+	}
+	header, _, err := DespreadSoft(soft)
+	if err != nil {
+		return nil, err
+	}
+	mpdu := int(header[len(header)-1] & 0x7F)
+	totalChips := (PreambleOctets + 2 + mpdu) * 2 * ChipsPerSymbol
+	if (totalChips+1)*spc > len(wave) {
+		return nil, fmt.Errorf("zigbee: waveform truncated: PHR declares %d octets", mpdu)
+	}
+	soft, err = demod.DemodulateSoft(wave, totalChips)
+	if err != nil {
+		return nil, err
+	}
+	octets, _, err := DespreadSoft(soft)
+	if err != nil {
+		return nil, err
+	}
+	return ParsePPDU(octets)
+}
+
+// HardChipsFromSoft slices signed statistics to hard chips — the bridge
+// between the two receiver paths (useful in tests).
+func HardChipsFromSoft(soft []float64) []bits.Bit {
+	out := make([]bits.Bit, len(soft))
+	for i, v := range soft {
+		if v >= 0 {
+			out[i] = 1
+		}
+	}
+	return out
+}

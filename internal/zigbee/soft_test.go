@@ -1,0 +1,104 @@
+package zigbee
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sledzig/internal/bits"
+)
+
+func TestDespreadSoftCleanRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	payload := bits.RandomBytes(rng, 40)
+	wave, err := Transmitter{}.Transmit(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := (Receiver{}).ReceiveSoft(wave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range payload {
+		if got[i] != payload[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestSoftAgreesWithHardOnCleanChips(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	chips := bits.Random(rng, 320)
+	mod := Modulator{SamplesPerChip: 10}
+	wave, err := mod.Modulate(chips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demod := Demodulator{SamplesPerChip: 10}
+	soft, err := demod.DemodulateSoft(wave, len(chips))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bits.Equal(HardChipsFromSoft(soft), chips) {
+		t.Fatal("hard slicing of soft statistics disagrees with the chips")
+	}
+}
+
+// TestSoftBeatsHardUnderNoise: at an SNR where hard despreading starts to
+// fail, the soft path must deliver at least as many frames.
+func TestSoftBeatsHardUnderNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const trials = 40
+	payload := []byte{0xA5, 0x5A, 0x3C, 0xC3, 0x77, 0x12, 0x90, 0x0F}
+	hardOK, softOK := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		wave, err := Transmitter{}.Transmit(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sigma := math.Sqrt(0.56) // ~2.5 dB SNR per sample
+		noisy := make([]complex128, len(wave))
+		for i, v := range wave {
+			noisy[i] = v + complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+		}
+		if _, _, err := (Receiver{}).Receive(noisy); err == nil {
+			hardOK++
+		}
+		if _, err := (Receiver{}).ReceiveSoft(noisy); err == nil {
+			softOK++
+		}
+	}
+	if softOK < hardOK {
+		t.Fatalf("soft (%d/%d) worse than hard (%d/%d)", softOK, trials, hardOK, trials)
+	}
+	if softOK == 0 {
+		t.Fatal("soft path decoded nothing")
+	}
+}
+
+func TestDespreadSymbolSoftMargin(t *testing.T) {
+	// A clean symbol has a healthy margin; an all-zeros window reports 0.
+	seq, _ := ChipSequence(5)
+	soft := make([]float64, ChipsPerSymbol)
+	for i, c := range seq {
+		if c == 1 {
+			soft[i] = 1
+		} else {
+			soft[i] = -1
+		}
+	}
+	sym, margin, err := DespreadSymbolSoft(soft)
+	if err != nil || sym != 5 {
+		t.Fatalf("sym=%d err=%v", sym, err)
+	}
+	if margin <= 0.1 {
+		t.Fatalf("margin %g too small for a clean symbol", margin)
+	}
+	zero := make([]float64, ChipsPerSymbol)
+	if _, m, _ := DespreadSymbolSoft(zero); m != 0 {
+		t.Fatalf("zero window margin %g", m)
+	}
+	if _, _, err := DespreadSymbolSoft(soft[:10]); err == nil {
+		t.Fatal("short window accepted")
+	}
+}

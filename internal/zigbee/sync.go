@@ -1,0 +1,201 @@
+package zigbee
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Synchronizer locates the start of a PPDU inside a longer capture by
+// matched-filtering against the known preamble waveform — the job a real
+// receiver's correlator does continuously. It makes the waveform-level
+// interference experiments honest: the receiver is not told where the
+// frame begins.
+type Synchronizer struct {
+	SamplesPerChip int
+	// SearchStep subsamples the correlation search (1 = every sample).
+	// The preamble correlation peak is several chips wide, so small steps
+	// only cost time; 0 selects SamplesPerChip/2.
+	SearchStep int
+}
+
+// refPreamble renders the deterministic preamble waveform (the first
+// PreambleOctets of zeros) used as the matched-filter template.
+func (s Synchronizer) refPreamble() ([]complex128, error) {
+	spc := s.SamplesPerChip
+	if spc == 0 {
+		spc = 10
+	}
+	mod := Modulator{SamplesPerChip: spc}
+	return mod.Modulate(Spread(make([]byte, PreambleOctets)))
+}
+
+// Locate returns the sample offset of the best preamble match in wave and
+// the normalized correlation metric (1 = perfect, 0 = uncorrelated). An
+// error is returned when the capture is shorter than the preamble.
+func (s Synchronizer) Locate(wave []complex128) (offset int, metric float64, err error) {
+	ref, err := s.refPreamble()
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(wave) < len(ref) {
+		return 0, 0, fmt.Errorf("zigbee: capture of %d samples shorter than the %d-sample preamble", len(wave), len(ref))
+	}
+	step := s.SearchStep
+	if step <= 0 {
+		spc := s.SamplesPerChip
+		if spc == 0 {
+			spc = 10
+		}
+		step = spc / 2
+		if step < 1 {
+			step = 1
+		}
+	}
+	spc := s.SamplesPerChip
+	if spc == 0 {
+		spc = 10
+	}
+	// Correlate in 16 us (one preamble symbol) segments and combine the
+	// magnitudes non-coherently, so a carrier offset of tens of kHz —
+	// which rotates several cycles across the whole 128 us preamble —
+	// only costs a fraction of a cycle per segment.
+	segLen := ChipsPerSymbol * spc
+	score := func(off int) float64 {
+		var total, refEnergy, segEnergy float64
+		for segStart := 0; segStart+segLen <= len(ref); segStart += segLen {
+			var corr complex128
+			var re, se float64
+			for i := 0; i < segLen; i++ {
+				r := ref[segStart+i]
+				v := wave[off+segStart+i]
+				corr += v * cmplx.Conj(r)
+				re += real(r)*real(r) + imag(r)*imag(r)
+				se += real(v)*real(v) + imag(v)*imag(v)
+			}
+			total += cmplx.Abs(corr)
+			refEnergy += re
+			segEnergy += se
+		}
+		if refEnergy == 0 || segEnergy == 0 {
+			return 0
+		}
+		return total / math.Sqrt(refEnergy*segEnergy)
+	}
+	best, bestScore := 0, -1.0
+	for off := 0; off+len(ref) <= len(wave); off += step {
+		if sc := score(off); sc > bestScore {
+			bestScore = sc
+			best = off
+		}
+	}
+	// Refine around the coarse peak at single-sample resolution.
+	if step > 1 {
+		lo := best - step
+		if lo < 0 {
+			lo = 0
+		}
+		hi := best + step
+		for off := lo; off <= hi && off+len(ref) <= len(wave); off++ {
+			if sc := score(off); sc > bestScore {
+				bestScore = sc
+				best = off
+			}
+		}
+	}
+	return best, bestScore, nil
+}
+
+// ReceiveUnsynchronized locates the frame in a capture and decodes it.
+// minMetric rejects captures without a credible preamble (0.5 is a
+// reasonable floor under heavy interference; 0 accepts the best match
+// unconditionally).
+func (s Synchronizer) ReceiveUnsynchronized(wave []complex128, minMetric float64) ([]byte, *RxStats, error) {
+	off, metric, err := s.Locate(wave)
+	if err != nil {
+		return nil, nil, err
+	}
+	if metric < minMetric {
+		return nil, nil, fmt.Errorf("zigbee: no preamble found (best correlation %.2f)", metric)
+	}
+	spc := s.SamplesPerChip
+	if spc == 0 {
+		spc = 10
+	}
+	// Derotate by the carrier phase estimated from the preamble
+	// correlation, so the demodulator's I/Q rails line up.
+	ref, err := s.refPreamble()
+	if err != nil {
+		return nil, nil, err
+	}
+	var corr complex128
+	for i, r := range ref {
+		corr += wave[off+i] * cmplx.Conj(r)
+	}
+	rotated := wave[off:]
+	if cmplx.Abs(corr) > 0 {
+		phase := cmplx.Conj(corr / complex(cmplx.Abs(corr), 0))
+		derot := make([]complex128, len(rotated))
+		for i, v := range rotated {
+			derot[i] = v * phase
+		}
+		rotated = derot
+	}
+	return Receiver{SamplesPerChip: spc}.Receive(rotated)
+}
+
+// EstimateCFO measures the carrier offset from the preamble's periodicity:
+// the 802.15.4 preamble repeats the symbol-0 chip sequence every 32 chips
+// (16 us), so the phase of the lag-32-chip autocorrelation is 2*pi*f*16us.
+// Unambiguous range: +/-31.25 kHz (about +/-13 ppm at 2.4 GHz); wider
+// offsets need a frequency sweep, as real receivers do in hardware.
+// offset is the sample index of the frame start (from Locate).
+func (s Synchronizer) EstimateCFO(wave []complex128, offset int) (float64, error) {
+	spc := s.SamplesPerChip
+	if spc == 0 {
+		spc = 10
+	}
+	lag := ChipsPerSymbol * spc
+	// Use the first 6 preamble symbols (leave margin before the SFD).
+	span := 6 * lag
+	if offset < 0 || offset+span+lag > len(wave) {
+		return 0, fmt.Errorf("zigbee: capture too short for CFO estimation")
+	}
+	var acc complex128
+	for i := 0; i < span; i++ {
+		acc += wave[offset+i+lag] * cmplx.Conj(wave[offset+i])
+	}
+	sampleRate := ChipRate * float64(spc)
+	period := float64(lag) / sampleRate // 16 us
+	return cmplx.Phase(acc) / (2 * math.Pi * period), nil
+}
+
+// CorrectCFO derotates a capture by the given offset.
+func CorrectCFO(wave []complex128, sampleRate, offsetHz float64) []complex128 {
+	out := make([]complex128, len(wave))
+	step := -2 * math.Pi * offsetHz / sampleRate
+	for i, v := range wave {
+		out[i] = v * cmplx.Exp(complex(0, step*float64(i)))
+	}
+	return out
+}
+
+// ReceiveWithCFO locates the frame, estimates and removes the carrier
+// offset, and decodes.
+func (s Synchronizer) ReceiveWithCFO(wave []complex128, minMetric float64) ([]byte, float64, error) {
+	off, _, err := s.Locate(wave)
+	if err != nil {
+		return nil, 0, err
+	}
+	cfo, err := s.EstimateCFO(wave, off)
+	if err != nil {
+		return nil, 0, err
+	}
+	spc := s.SamplesPerChip
+	if spc == 0 {
+		spc = 10
+	}
+	corrected := CorrectCFO(wave, ChipRate*float64(spc), cfo)
+	payload, _, err := s.ReceiveUnsynchronized(corrected, minMetric)
+	return payload, cfo, err
+}

@@ -1,0 +1,61 @@
+package sledzig
+
+import (
+	"fmt"
+
+	"sledzig/internal/transport"
+)
+
+// Message-level API: fragmentation and reassembly over SledZig frames,
+// for payloads beyond a single PPDU.
+
+// EncodeMessage fragments message and encodes each fragment as its own
+// SledZig frame. fragmentSize bounds the per-frame payload (0 picks 1000
+// octets).
+func (e *Encoder) EncodeMessage(message []byte, fragmentSize int) ([]*Frame, error) {
+	if fragmentSize == 0 {
+		fragmentSize = 1000
+	}
+	frag := &transport.Fragmenter{FragmentSize: fragmentSize}
+	parts, err := frag.Split(message)
+	if err != nil {
+		return nil, err
+	}
+	frames := make([]*Frame, 0, len(parts))
+	for _, p := range parts {
+		f, err := e.Encode(p)
+		if err != nil {
+			return nil, err
+		}
+		frames = append(frames, f)
+	}
+	return frames, nil
+}
+
+// MessageReceiver reassembles messages from decoded SledZig waveforms.
+type MessageReceiver struct {
+	dec *Decoder
+	re  transport.Reassembler
+}
+
+// NewMessageReceiver wires a decoder to a reassembler.
+func NewMessageReceiver(cfg Config) (*MessageReceiver, error) {
+	dec, err := NewDecoder(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &MessageReceiver{dec: dec}, nil
+}
+
+// Feed decodes one PPDU waveform and returns a completed message when the
+// final fragment arrives (nil otherwise).
+func (m *MessageReceiver) Feed(waveform []complex128) ([]byte, error) {
+	frag, _, err := m.dec.Decode(waveform)
+	if err != nil {
+		return nil, fmt.Errorf("sledzig: fragment decode: %w", err)
+	}
+	return m.re.Feed(frag)
+}
+
+// Pending reports partially received messages.
+func (m *MessageReceiver) Pending() int { return m.re.PendingMessages() }

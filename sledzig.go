@@ -1,0 +1,232 @@
+// Package sledzig is a software reproduction of "SledZig: Boosting
+// Cross-Technology Coexistence for Low-Power Wireless Devices"
+// (ICDCS 2022): a WiFi payload-encoding mechanism that pins the OFDM
+// subcarriers overlapping a chosen ZigBee channel to the lowest-power QAM
+// constellation points, cutting the WiFi energy inside that 2 MHz band by
+// up to ~19 dB while the transmit chain stays 100% standard.
+//
+// The package is a facade over the internal substrates:
+//
+//   - internal/wifi — a bit-exact 802.11 OFDM baseband PHY,
+//   - internal/zigbee — the 802.15.4 DSSS/O-QPSK PHY,
+//   - internal/core — the SledZig encoder/decoder itself,
+//   - internal/channel — the paper-calibrated radio environment,
+//   - internal/mac — the CSMA/CA coexistence simulator.
+//
+// Quickstart:
+//
+//	enc, _ := sledzig.NewEncoder(sledzig.Config{
+//	    Modulation: sledzig.QAM64,
+//	    CodeRate:   sledzig.Rate34,
+//	    Channel:    sledzig.CH2,
+//	})
+//	frame, _ := enc.Encode([]byte("hello zigbee neighbours"))
+//	wave, _ := frame.Waveform()            // 20 MS/s baseband samples
+//	dec, _ := sledzig.NewDecoder(sledzig.Config{})
+//	payload, ch, _ := dec.Decode(wave)     // channel auto-detected
+package sledzig
+
+import (
+	"fmt"
+
+	"sledzig/internal/bits"
+	"sledzig/internal/core"
+	"sledzig/internal/wifi"
+)
+
+// Re-exported enumerations so callers never import internal packages.
+type (
+	// Modulation is the WiFi subcarrier modulation.
+	Modulation = wifi.Modulation
+	// CodeRate is the convolutional coding rate.
+	CodeRate = wifi.CodeRate
+	// Convention selects the bit-pipeline convention (IEEE-exact or the
+	// paper's USRP implementation, reverse-engineered from its Table II).
+	Convention = wifi.Convention
+	// Channel is one of the four ZigBee channels overlapping the WiFi
+	// channel.
+	Channel = core.ZigBeeChannel
+)
+
+// Supported modulations.
+const (
+	BPSK   = wifi.BPSK
+	QPSK   = wifi.QPSK
+	QAM16  = wifi.QAM16
+	QAM64  = wifi.QAM64
+	QAM256 = wifi.QAM256
+)
+
+// Supported coding rates.
+const (
+	Rate12 = wifi.Rate12
+	Rate23 = wifi.Rate23
+	Rate34 = wifi.Rate34
+	Rate56 = wifi.Rate56
+)
+
+// Pipeline conventions.
+const (
+	ConventionIEEE  = wifi.ConventionIEEE
+	ConventionPaper = wifi.ConventionPaper
+)
+
+// Overlapped ZigBee channels (ascending frequency; on WiFi channel 13
+// these are ZigBee channels 23-26).
+const (
+	CH1 = core.CH1
+	CH2 = core.CH2
+	CH3 = core.CH3
+	CH4 = core.CH4
+)
+
+// Config selects the transmission parameters. The zero value of Channel is
+// invalid for encoding; decoding detects the channel from the air.
+type Config struct {
+	Modulation Modulation
+	CodeRate   CodeRate
+	Channel    Channel
+	// Convention selects the bit pipeline. The zero value is
+	// ConventionIEEE (the 802.11-standard interleaver and labeling); set
+	// ConventionPaper to match the authors' USRP implementation, whose
+	// Table II bit positions this repository reproduces exactly.
+	Convention Convention
+	// ScramblerSeed (1..127); 0 selects the 802.11 Annex G example seed.
+	ScramblerSeed uint8
+}
+
+func (c Config) mode() wifi.Mode {
+	m := wifi.Mode{Modulation: c.Modulation, CodeRate: c.CodeRate}
+	if m.Modulation == 0 {
+		m.Modulation = wifi.QAM16
+	}
+	if m.CodeRate == 0 {
+		m.CodeRate = wifi.Rate12
+	}
+	return m
+}
+
+// Encoder produces SledZig frames.
+type Encoder struct {
+	cfg  Config
+	plan *core.Plan
+	enc  *core.Encoder
+}
+
+// NewEncoder validates the configuration and precomputes the extra-bit
+// plan.
+func NewEncoder(cfg Config) (*Encoder, error) {
+	if !cfg.Channel.Valid() {
+		return nil, fmt.Errorf("sledzig: config must name a protected channel (CH1..CH4)")
+	}
+	plan, err := core.NewPlan(cfg.Convention, cfg.mode(), cfg.Channel)
+	if err != nil {
+		return nil, err
+	}
+	return &Encoder{
+		cfg:  cfg,
+		plan: plan,
+		enc:  &core.Encoder{Plan: plan, Seed: cfg.ScramblerSeed},
+	}, nil
+}
+
+// Frame is an encoded SledZig PPDU.
+type Frame struct {
+	res *core.EncodeResult
+}
+
+// Encode builds the frame carrying payload.
+func (e *Encoder) Encode(payload []byte) (*Frame, error) {
+	res, err := e.enc.Encode(payload)
+	if err != nil {
+		return nil, err
+	}
+	return &Frame{res: res}, nil
+}
+
+// Waveform renders the complete PPDU (preamble + SIGNAL + DATA) at
+// 20 MS/s complex baseband.
+func (f *Frame) Waveform() ([]complex128, error) {
+	return f.res.Frame.Waveform()
+}
+
+// TransmitBits returns the unscrambled DATA-field bits — what a completely
+// standard 802.11 transmitter would be fed to emit this exact frame. Each
+// byte holds one bit (0/1).
+func (f *Frame) TransmitBits() []byte {
+	return bits.Clone(f.res.TransmitBits)
+}
+
+// NumSymbols returns the frame length in OFDM symbols.
+func (f *Frame) NumSymbols() int { return f.res.Frame.NumSymbols }
+
+// ExtraBits returns how many extra bits the frame spent satisfying the
+// constellation constraints.
+func (f *Frame) ExtraBits() int { return len(f.res.Layout.Positions) }
+
+// AirtimeSeconds returns the PPDU duration on the air.
+func (f *Frame) AirtimeSeconds() float64 { return f.res.Frame.Duration() }
+
+// OverheadFraction is the per-symbol throughput loss of the encoder's
+// plan (paper Table IV).
+func (e *Encoder) OverheadFraction() float64 { return e.plan.ThroughputLossFraction() }
+
+// ExtraBitsPerSymbol is the paper's Table III count for this plan.
+func (e *Encoder) ExtraBitsPerSymbol() int { return e.plan.ExtraBitsPerSymbol() }
+
+// MaxPayload returns the largest payload that fits in n OFDM symbols.
+func (e *Encoder) MaxPayload(nSymbols int) int { return e.enc.MaxPayload(nSymbols) }
+
+// Decoder recovers payloads from received waveforms.
+type Decoder struct {
+	cfg Config
+}
+
+// NewDecoder builds a decoder; only Convention and ScramblerSeed of cfg
+// matter (mode and channel are read off the air).
+func NewDecoder(cfg Config) (*Decoder, error) {
+	return &Decoder{cfg: cfg}, nil
+}
+
+// Decode demodulates a PPDU waveform, detects the protected ZigBee
+// channel from the constellation, strips the extra bits, and returns the
+// original payload.
+func (d *Decoder) Decode(waveform []complex128) ([]byte, Channel, error) {
+	rx, err := wifi.Receiver{Seed: d.cfg.ScramblerSeed, Convention: d.cfg.Convention}.Receive(waveform)
+	if err != nil {
+		return nil, 0, err
+	}
+	return core.Decoder{Convention: d.cfg.Convention}.DecodeAuto(rx)
+}
+
+// DecodeNormal demodulates a standard (non-SledZig) WiFi PPDU and returns
+// its PSDU — useful for baseline comparisons.
+func (d *Decoder) DecodeNormal(waveform []complex128) ([]byte, error) {
+	rx, err := wifi.Receiver{Seed: d.cfg.ScramblerSeed, Convention: d.cfg.Convention}.Receive(waveform)
+	if err != nil {
+		return nil, err
+	}
+	return rx.PSDU, nil
+}
+
+// PowerReductionDB returns the theoretical per-subcarrier power drop of
+// pinning a modulation to its lowest ring (7.0 / 13.2 / 19.3 dB for
+// QAM-16/64/256 — paper section III-B).
+func PowerReductionDB(m Modulation) float64 {
+	return wifi.PowerReductionDB(m)
+}
+
+// ChannelFromNumbers maps absolute channel numbers (ZigBee 11..26, WiFi
+// 1..13) to the relative overlapped channel.
+func ChannelFromNumbers(zigbeeChannel, wifiChannel int) (Channel, error) {
+	return core.FromZigBeeChannelNumber(zigbeeChannel, wifiChannel)
+}
+
+// SenseProtectedChannel inspects a quiet-period baseband capture (20 MS/s,
+// centered on the WiFi channel) and reports which overlapped ZigBee
+// channel carries a low-power neighbour worth protecting — the adaptive
+// variant the paper sketches in its related-work discussion. ok is false
+// when no channel stands out of the noise.
+func SenseProtectedChannel(capture []complex128) (Channel, bool, error) {
+	return core.ChannelSensor{}.Sense(capture)
+}
