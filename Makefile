@@ -1,12 +1,20 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test bench experiments selfcheck cover fmt vet
+.PHONY: test race bench bench-json experiments selfcheck cover fmt vet
 
 test:
 	go test ./...
 
+race:
+	go test -race ./...
+
 bench:
 	go test -bench=. -benchmem ./...
+
+# Machine-readable benchmark run: raw `go test -bench` lines on stdout,
+# suitable for piping into benchstat or a JSON converter.
+bench-json:
+	go test -run '^$$' -bench . -benchmem ./... | tee bench.txt
 
 experiments:
 	go run ./cmd/experiments

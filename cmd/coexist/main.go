@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 
 	"sledzig"
 )
@@ -25,7 +26,19 @@ func main() {
 	nodes := flag.Int("nodes", 1, "number of contending ZigBee transmitters")
 	acks := flag.Bool("acks", false, "use 802.15.4 acknowledgments with retries")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (keeps the process alive after the run)")
 	flag.Parse()
+
+	var metrics *sledzig.Metrics
+	if *metricsAddr != "" {
+		metrics = sledzig.NewMetrics()
+		sledzig.SetDefaultMetrics(metrics)
+		bound, err := metrics.Serve(*metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (expvar /debug/vars, pprof /debug/pprof/)\n", bound)
+	}
 
 	m, ok := map[string]sledzig.Modulation{
 		"qam16": sledzig.QAM16, "qam64": sledzig.QAM64, "qam256": sledzig.QAM256,
@@ -92,5 +105,13 @@ func main() {
 		if err := enc.Encode(results); err != nil {
 			log.Fatal(err)
 		}
+	}
+	if metrics != nil {
+		// Keep serving so the run's metrics and profiles stay scrapeable;
+		// Ctrl-C exits.
+		fmt.Fprintln(os.Stderr, "run complete; still serving metrics — interrupt to exit")
+		stop := make(chan os.Signal, 1)
+		signal.Notify(stop, os.Interrupt)
+		<-stop
 	}
 }

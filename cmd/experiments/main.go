@@ -4,24 +4,60 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"time"
 
+	"sledzig"
 	"sledzig/internal/baseline"
 	"sledzig/internal/core"
 	"sledzig/internal/exp"
 	"sledzig/internal/ht40"
+	"sledzig/internal/obs"
 	"sledzig/internal/wifi"
 )
+
+// manifest is the machine-readable record of one experiments run, written
+// next to the text output so benchmark trajectories can be reproduced:
+// the exact configuration, toolchain, wall time and the final metrics
+// snapshot of the whole pipeline.
+type manifest struct {
+	Command   string            `json:"command"`
+	Config    map[string]string `json:"config"`
+	Seed      int64             `json:"seed"`
+	GoVersion string            `json:"go_version"`
+	GOOS      string            `json:"goos"`
+	GOARCH    string            `json:"goarch"`
+	StartTime time.Time         `json:"start_time"`
+	WallSecs  float64           `json:"wall_seconds"`
+	Failed    []string          `json:"failed,omitempty"`
+	Metrics   obs.Snapshot      `json:"metrics"`
+}
 
 func main() {
 	log.SetFlags(0)
 	quick := flag.Bool("quick", false, "shorter simulations (less stable statistics)")
 	seed := flag.Int64("seed", 1, "random seed for all experiments")
 	only := flag.String("only", "", "run a single experiment (theory, table2, table34, minsnr, fig5b, fig11..fig17, baselines, fleet, ht40, ccamode, percurve, phylevel)")
+	manifestPath := flag.String("manifest", "", "write a JSON run manifest (config, seed, go version, wall time, metrics snapshot) to this file")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while the experiments run")
 	flag.Parse()
+
+	metrics := sledzig.NewMetrics()
+	sledzig.SetDefaultMetrics(metrics)
+	if *metricsAddr != "" {
+		bound, err := metrics.Serve(*metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (expvar /debug/vars, pprof /debug/pprof/)\n", bound)
+	}
+	start := time.Now()
+	var failed []string
 
 	conv := wifi.ConventionPaper
 	opts := exp.ThroughputOptions{Convention: conv, Seed: *seed, Duration: 10}
@@ -38,7 +74,8 @@ func main() {
 		fmt.Printf("==================== %s ====================\n", name)
 		if err := fn(); err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
-			os.Exit(1)
+			failed = append(failed, name)
+			return
 		}
 		fmt.Println()
 	}
@@ -305,4 +342,46 @@ func main() {
 		fmt.Println("(real WiFi + ZigBee waveforms mixed at sample level; unsynchronized correlation receiver)")
 		return nil
 	})
+
+	if *manifestPath != "" {
+		if err := writeManifest(*manifestPath, metrics, start, *seed, failed); err != nil {
+			fmt.Fprintf(os.Stderr, "manifest: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "manifest written to %s\n", *manifestPath)
+	}
+	if len(failed) > 0 {
+		os.Exit(1)
+	}
+}
+
+// writeManifest records the run: every flag value (defaults included),
+// the toolchain, wall time, which experiments failed, and the final
+// metrics snapshot.
+func writeManifest(path string, metrics *sledzig.Metrics, start time.Time, seed int64, failed []string) error {
+	cfg := map[string]string{}
+	flag.VisitAll(func(f *flag.Flag) { cfg[f.Name] = f.Value.String() })
+	m := manifest{
+		Command:   "experiments",
+		Config:    cfg,
+		Seed:      seed,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		StartTime: start.UTC(),
+		WallSecs:  time.Since(start).Seconds(),
+		Failed:    failed,
+		Metrics:   metrics.Snapshot(),
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

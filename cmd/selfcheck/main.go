@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
 	"sledzig"
@@ -16,6 +18,12 @@ import (
 )
 
 func main() {
+	// Observe every check: the snapshot at the end tells a failing run
+	// which pipeline stage diverged (and how long each took), not just
+	// which check.
+	metrics := sledzig.NewMetrics()
+	sledzig.SetDefaultMetrics(metrics)
+
 	failures := 0
 	check := func(name string, fn func() error) {
 		start := time.Now()
@@ -143,9 +151,43 @@ func main() {
 		return nil
 	})
 
+	printSnapshot(metrics)
+
 	if failures > 0 {
 		fmt.Printf("%d check(s) FAILED\n", failures)
 		os.Exit(1)
 	}
 	fmt.Println("all checks passed")
+}
+
+// printSnapshot summarizes the pipeline's per-stage activity and any
+// failure counters accumulated during the checks.
+func printSnapshot(metrics *sledzig.Metrics) {
+	snap := metrics.Snapshot()
+	fmt.Println("\npipeline stage snapshot (busiest first):")
+	for _, st := range snap.TopStages(12) {
+		fmt.Printf("  %-28s %6d calls  mean %9s  total %9s",
+			st.Name, st.Calls, fmtSecs(st.MeanSec), fmtSecs(st.TotalSec))
+		if st.Errors > 0 {
+			fmt.Printf("  errors %d", st.Errors)
+		}
+		fmt.Println()
+	}
+	var fails []string
+	for name, v := range snap.Counters {
+		if strings.Contains(name, ".fail") && v > 0 {
+			fails = append(fails, fmt.Sprintf("  %-40s %d", name, v))
+		}
+	}
+	if len(fails) > 0 {
+		sort.Strings(fails)
+		fmt.Println("failure counters:")
+		for _, f := range fails {
+			fmt.Println(f)
+		}
+	}
+}
+
+func fmtSecs(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(time.Microsecond).String()
 }

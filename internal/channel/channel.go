@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"sledzig/internal/dsp"
+	"sledzig/internal/obs"
 )
 
 // Link applies a radio link to baseband waveforms: a target receive power,
@@ -79,6 +80,7 @@ func (l Link) AddNoise(wave []complex128) error {
 	for i := range wave {
 		wave[i] += complex(l.Rng.NormFloat64()*sigma, l.Rng.NormFloat64()*sigma)
 	}
+	obs.Default().Counter("channel.impairments.awgn").Inc()
 	return nil
 }
 

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+
+	"sledzig/internal/obs"
 )
 
 // Impairments beyond path loss: carrier frequency offset (free-running
@@ -19,6 +21,13 @@ func ApplyCFO(wave []complex128, sampleRate, offsetHz float64) []complex128 {
 	step := 2 * math.Pi * offsetHz / sampleRate
 	for i, v := range wave {
 		out[i] = v * cmplx.Exp(complex(0, step*float64(i)))
+	}
+	if r := obs.Default(); r != nil {
+		r.Counter("channel.impairments.cfo").Inc()
+		if bus := r.Bus(); bus.Active() {
+			bus.Publish(obs.Event{Source: "channel", Kind: "impairment.cfo", Node: -1,
+				Detail: fmt.Sprintf("offset_hz=%g", offsetHz)})
+		}
 	}
 	return out
 }
@@ -58,6 +67,13 @@ func (m Multipath) Apply(wave []complex128) ([]complex128, error) {
 				break
 			}
 			out[j] += v * tap
+		}
+	}
+	if r := obs.Default(); r != nil {
+		r.Counter("channel.impairments.multipath").Inc()
+		if bus := r.Bus(); bus.Active() {
+			bus.Publish(obs.Event{Source: "channel", Kind: "impairment.multipath", Node: -1,
+				Detail: fmt.Sprintf("taps=%d", len(m.Taps))})
 		}
 	}
 	return out, nil

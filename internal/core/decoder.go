@@ -29,10 +29,16 @@ func (d Decoder) Decode(rx *wifi.RxResult, ch ZigBeeChannel) ([]byte, error) {
 
 // DecodeAuto detects the protected channel and decodes.
 func (d Decoder) DecodeAuto(rx *wifi.RxResult) ([]byte, ZigBeeChannel, error) {
+	m := metrics()
+	t0 := m.decDetect.Start()
 	ch, ok := d.DetectChannel(rx.Mode.Modulation, rx.DataPoints)
 	if !ok {
-		return nil, 0, fmt.Errorf("core: no SledZig-protected channel detected")
+		m.decDetect.Fail(t0)
+		err := fmt.Errorf("core: no SledZig-protected channel detected")
+		m.fail(m.failDetect, "core.decode", "decode_fail.detect", err)
+		return nil, 0, err
 	}
+	m.decDetect.Done(t0, 0)
 	payload, err := d.Decode(rx, ch)
 	if err != nil {
 		return nil, ch, err
@@ -41,19 +47,29 @@ func (d Decoder) DecodeAuto(rx *wifi.RxResult) ([]byte, ZigBeeChannel, error) {
 }
 
 func (d Decoder) decodeWithPlan(rx *wifi.RxResult, plan *Plan) ([]byte, error) {
+	m := metrics()
+	t0 := m.decStrip.Start()
 	nDBPS := plan.Mode.DataBitsPerSymbol()
 	if len(rx.DataBits)%nDBPS != 0 {
-		return nil, fmt.Errorf("core: DATA field of %d bits is not whole symbols of %d", len(rx.DataBits), nDBPS)
+		err := fmt.Errorf("core: DATA field of %d bits is not whole symbols of %d", len(rx.DataBits), nDBPS)
+		m.decStrip.Fail(t0)
+		m.fail(m.failLayout, "core.decode", "decode_fail.layout", err)
+		return nil, err
 	}
 	nSym := len(rx.DataBits) / nDBPS
 	layout, err := plan.FrameLayout(nSym)
 	if err != nil {
+		m.decStrip.Fail(t0)
+		m.fail(m.failLayout, "core.decode", "decode_fail.layout", err)
 		return nil, err
 	}
 	extra := make([]bool, len(rx.DataBits))
 	for _, p := range layout.Positions {
 		if p >= len(extra) {
-			return nil, fmt.Errorf("core: layout position %d beyond frame", p)
+			err := fmt.Errorf("core: layout position %d beyond frame", p)
+			m.decStrip.Fail(t0)
+			m.fail(m.failLayout, "core.decode", "decode_fail.layout", err)
+			return nil, err
 		}
 		extra[p] = true
 	}
@@ -64,22 +80,42 @@ func (d Decoder) decodeWithPlan(rx *wifi.RxResult, plan *Plan) ([]byte, error) {
 		}
 	}
 	if len(logical) < serviceBits+8*headerOctets {
-		return nil, fmt.Errorf("core: stripped stream too short (%d bits)", len(logical))
+		err := fmt.Errorf("core: stripped stream too short (%d bits)", len(logical))
+		m.decStrip.Fail(t0)
+		m.fail(m.failLength, "core.decode", "decode_fail.length", err)
+		return nil, err
 	}
 	body := logical[serviceBits:]
 	headerBytes, err := bits.ToBytes(body[:8*headerOctets])
 	if err != nil {
+		m.decStrip.Fail(t0)
+		m.fail(m.failHeader, "core.decode", "decode_fail.header", err)
 		return nil, err
 	}
 	length := int(headerBytes[0]) | int(headerBytes[1])<<8
 	if length == 0 {
-		return nil, fmt.Errorf("core: header declares empty payload")
+		err := fmt.Errorf("core: header declares empty payload")
+		m.decStrip.Fail(t0)
+		m.fail(m.failHeader, "core.decode", "decode_fail.header", err)
+		return nil, err
 	}
 	need := 8 * (headerOctets + length)
 	if len(body) < need {
-		return nil, fmt.Errorf("core: header declares %d octets but only %d bits remain", length, len(body)-8*headerOctets)
+		err := fmt.Errorf("core: header declares %d octets but only %d bits remain", length, len(body)-8*headerOctets)
+		m.decStrip.Fail(t0)
+		m.fail(m.failLength, "core.decode", "decode_fail.length", err)
+		return nil, err
 	}
-	return bits.ToBytes(body[8*headerOctets : need])
+	payload, err := bits.ToBytes(body[8*headerOctets : need])
+	if err != nil {
+		m.decStrip.Fail(t0)
+		m.fail(m.failHeader, "core.decode", "decode_fail.header", err)
+		return nil, err
+	}
+	m.decStrip.Done(t0, len(payload))
+	m.decFrames.Inc()
+	m.decPayload.Add(uint64(len(payload)))
+	return payload, nil
 }
 
 // DetectChannel inspects received constellation points and reports which

@@ -58,20 +58,24 @@ func (e *Encoder) NumSymbols(length int) int {
 
 // Encode builds the SledZig frame for payload.
 func (e *Encoder) Encode(payload []byte) (*EncodeResult, error) {
+	m := metrics()
 	if e.Plan == nil {
 		return nil, fmt.Errorf("core: encoder has no plan")
 	}
-	if len(payload) == 0 {
-		return nil, fmt.Errorf("core: empty payload")
-	}
-	if len(payload) > 0xFFFF {
-		return nil, fmt.Errorf("core: payload length %d exceeds 65535", len(payload))
-	}
-	nSym := e.NumSymbols(len(payload))
-	layout, err := e.Plan.FrameLayout(nSym)
-	if err != nil {
+	if len(payload) == 0 || len(payload) > 0xFFFF {
+		err := fmt.Errorf("core: payload length %d outside [1, 65535]", len(payload))
+		m.fail(m.failEncoder, "core.encode", "encode_fail.validate", err)
 		return nil, err
 	}
+	nSym := e.NumSymbols(len(payload))
+	t0 := m.encLayout.Start()
+	layout, err := e.Plan.FrameLayout(nSym)
+	if err != nil {
+		m.encLayout.Fail(t0)
+		m.fail(m.failEncoder, "core.encode", "encode_fail.layout", err)
+		return nil, err
+	}
+	m.encLayout.Done(t0, 0)
 	nDBPS := e.Plan.Mode.DataBitsPerSymbol()
 	total := nSym * nDBPS
 	if len(layout.Positions) >= total {
@@ -115,21 +119,32 @@ func (e *Encoder) Encode(payload []byte) (*EncodeResult, error) {
 	if seed == 0 {
 		seed = wifi.DefaultScramblerSeed
 	}
+	t0 = m.encScramble.Start()
 	x, err := wifi.ScrambleWithSeed(u, seed)
 	if err != nil {
+		m.encScramble.Fail(t0)
 		return nil, err
 	}
+	m.encScramble.Done(t0, len(payload))
 	// Zero the placeholders: scrambling flipped some of them to the
 	// scrambler sequence; the solver assumes unknowns start at zero.
 	for _, p := range layout.Positions {
 		x[p] = 0
 	}
+	t0 = m.encSolve.Start()
 	if err := solveClusters(x, layout.Clusters); err != nil {
+		m.encSolve.Fail(t0)
+		m.fail(m.failEncoder, "core.encode", "encode_fail.solve", err)
 		return nil, err
 	}
+	m.encSolve.Done(t0, 0)
+	t0 = m.encVerify.Start()
 	if err := verifyConstraints(x, layout.Clusters); err != nil {
+		m.encVerify.Fail(t0)
+		m.fail(m.failEncoder, "core.encode", "encode_fail.verify", err)
 		return nil, err
 	}
+	m.encVerify.Done(t0, 0)
 
 	// The standard-compatible "transmit bits" are the descrambled stream.
 	transmit, err := wifi.ScrambleWithSeed(x, seed)
@@ -143,6 +158,8 @@ func (e *Encoder) Encode(payload []byte) (*EncodeResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	m.encFrames.Inc()
+	m.encPayload.Add(uint64(len(payload)))
 	return &EncodeResult{
 		Frame:         frame,
 		TransmitBits:  transmit,

@@ -8,6 +8,7 @@ import (
 
 	"sledzig/internal/channel"
 	"sledzig/internal/dsp"
+	"sledzig/internal/obs"
 	"sledzig/internal/wifi"
 	"sledzig/internal/zigbee"
 )
@@ -285,6 +286,8 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.DutyRatio > 0 && (cfg.Profile.DataDBm == 0 || cfg.Profile.PreambleDBm == 0) {
 		return nil, fmt.Errorf("mac: WiFi profile must set PreambleDBm and DataDBm (got %+v)", cfg.Profile)
 	}
+	runTimer := obs.Default().Scope("mac.sim").Stage("run")
+	tRun := runTimer.Start()
 	s := &Sim{
 		cfg: cfg,
 		rng: rand.New(rand.NewSource(cfg.Seed)),
@@ -316,6 +319,11 @@ func Run(cfg Config) (*Result, error) {
 		s.res.ZigBeeMaxLatency = s.latencyMax
 	}
 	s.res.ZigBeeThroughputBps = float64(8*cfg.ZigBeePayload*s.res.ZigBeeDelivered) / cfg.Duration
+	runTimer.Done(tRun, 0)
+	if r := obs.Default(); r != nil {
+		r.Gauge("mac.sim.last_zb_throughput_bps").Set(s.res.ZigBeeThroughputBps)
+		r.Gauge("mac.sim.last_wifi_airtime_fraction").Set(s.wifiAirtime / cfg.Duration)
+	}
 	return &s.res, nil
 }
 

@@ -1,10 +1,10 @@
 package mac
 
 import (
-	"encoding/csv"
 	"fmt"
 	"io"
-	"strconv"
+
+	"sledzig/internal/obs"
 )
 
 // TraceKind labels a simulator event.
@@ -32,32 +32,82 @@ type TraceEvent struct {
 	Node int // ZigBee node, -1 for WiFi events
 }
 
+// Event converts to the pipeline-wide obs event type, which is what all
+// non-CSV sinks consume.
+func (ev TraceEvent) Event() obs.Event {
+	return obs.Event{Time: ev.At, Source: "mac", Kind: string(ev.Kind), Node: ev.Node}
+}
+
 // Tracer receives simulator events as they happen. Implementations must
 // be fast; the simulator calls them inline.
 type Tracer func(TraceEvent)
 
-// CSVTracer writes events to w as "t,kind,node" rows; call the returned
-// flush when the simulation completes.
+// CSVTracer writes events to w as "t,source,kind,node,detail" rows (the
+// pipeline-wide obs CSV schema, source "mac"); call the returned
+// flush when the simulation completes. Any write error — including ones
+// hit mid-trace — surfaces from flush (the underlying obs.CSVSink keeps
+// the first error sticky and stops writing after it).
 func CSVTracer(w io.Writer) (Tracer, func() error) {
-	cw := csv.NewWriter(w)
-	_ = cw.Write([]string{"t", "kind", "node"})
-	tracer := func(ev TraceEvent) {
-		_ = cw.Write([]string{
-			strconv.FormatFloat(ev.At, 'f', 9, 64),
-			string(ev.Kind),
-			strconv.Itoa(ev.Node),
-		})
-	}
-	return tracer, func() error {
-		cw.Flush()
-		return cw.Error()
-	}
+	sink := obs.NewCSVSink(w)
+	tracer := func(ev TraceEvent) { sink.Emit(ev.Event()) }
+	return tracer, sink.Flush
 }
 
-// trace emits an event when a tracer is configured.
+// JSONLTracer writes events to w as one JSON object per line, in the
+// pipeline-wide obs.Event schema; call the returned flush to surface the
+// first write error.
+func JSONLTracer(w io.Writer) (Tracer, func() error) {
+	sink := obs.NewJSONLSink(w)
+	tracer := func(ev TraceEvent) { sink.Emit(ev.Event()) }
+	return tracer, sink.Flush
+}
+
+// BusTracer bridges simulator events onto an obs event bus, where they
+// mix with decode failures and impairment events from the rest of the
+// pipeline. A nil bus yields a no-op tracer.
+func BusTracer(bus *obs.Bus) Tracer {
+	return func(ev TraceEvent) { bus.Publish(ev.Event()) }
+}
+
+// macMetrics pre-resolves one counter per event kind so the simulator's
+// trace path never builds metric names inline.
+type macMetrics struct {
+	counters map[TraceKind]*obs.Counter
+	bus      *obs.Bus
+}
+
+var macLazy obs.Lazy[*macMetrics]
+
+var macNil = &macMetrics{}
+
+func simMetrics() *macMetrics {
+	return macLazy.Get(func(r *obs.Registry) *macMetrics {
+		if r == nil {
+			return macNil
+		}
+		kinds := []TraceKind{
+			TraceWiFiStart, TraceWiFiEnd, TraceCCABusy, TraceCCADrop,
+			TraceZBStart, TraceZBDelivered, TraceZBCorrupted, TraceZBCollided,
+			TraceZBRetry, TraceZBDropped, TraceZBAckFailure,
+		}
+		m := &macMetrics{counters: make(map[TraceKind]*obs.Counter, len(kinds)), bus: r.Bus()}
+		for _, k := range kinds {
+			m.counters[k] = r.Counter("mac.events." + string(k))
+		}
+		return m
+	})
+}
+
+// trace emits an event to the configured tracer and, when observability
+// is on, to the process-wide event bus and the per-kind counters.
 func (s *Sim) trace(at float64, kind TraceKind, node int) {
 	if s.cfg.Trace != nil {
 		s.cfg.Trace(TraceEvent{At: at, Kind: kind, Node: node})
+	}
+	m := simMetrics()
+	m.counters[kind].Inc()
+	if m.bus.Active() {
+		m.bus.Publish(obs.Event{Time: at, Source: "mac", Kind: string(kind), Node: node})
 	}
 }
 

@@ -1,0 +1,131 @@
+package mac
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"sledzig/internal/obs"
+)
+
+func traceSimConfig(tr Tracer) Config {
+	return Config{
+		DWZ: 10, DZ: 1, DutyRatio: 0.5, Profile: normalProfile(),
+		Duration: 0.5, Seed: 7, Trace: tr,
+	}
+}
+
+type errAfterWriter struct {
+	n   int
+	err error
+}
+
+func (w *errAfterWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, w.err
+	}
+	w.n--
+	return len(p), nil
+}
+
+// TestCSVTracerErrorPropagation is the regression test for the old
+// CSVTracer silently swallowing write errors: a writer failing mid-trace
+// must surface that error from flush.
+func TestCSVTracerErrorPropagation(t *testing.T) {
+	wantErr := errors.New("device full")
+	tracer, flush := CSVTracer(&errAfterWriter{n: 0, err: wantErr})
+	tracer(TraceEvent{At: 0.1, Kind: TraceZBStart, Node: 0})
+	if err := flush(); !errors.Is(err, wantErr) {
+		t.Fatalf("flush error %v, want %v", err, wantErr)
+	}
+	// A second flush still reports it (sticky).
+	if err := flush(); !errors.Is(err, wantErr) {
+		t.Fatalf("flush error not sticky: %v", err)
+	}
+}
+
+func TestJSONLTracer(t *testing.T) {
+	var b strings.Builder
+	tracer, flush := JSONLTracer(&b)
+	if _, err := Run(traceSimConfig(tracer)); err != nil {
+		t.Fatal(err)
+	}
+	if err := flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("only %d trace lines", len(lines))
+	}
+	seen := map[string]bool{}
+	for _, line := range lines {
+		var ev obs.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+		if ev.Source != "mac" {
+			t.Fatalf("source %q", ev.Source)
+		}
+		seen[ev.Kind] = true
+	}
+	for _, kind := range []string{"wifi_start", "zb_start"} {
+		if !seen[kind] {
+			t.Errorf("no %q event in JSONL trace (kinds: %v)", kind, seen)
+		}
+	}
+}
+
+// TestBusTracerAndCounters runs the simulator with a registry installed
+// and checks that per-kind counters and the event bus agree with the
+// Tracer callback.
+func TestBusTracerAndCounters(t *testing.T) {
+	reg := obs.New()
+	obs.SetDefault(reg)
+	defer obs.SetDefault(nil)
+
+	ring := obs.NewRingSink(1 << 16)
+	defer reg.Bus().Subscribe(ring)()
+
+	var direct []TraceEvent
+	res, err := Run(traceSimConfig(func(ev TraceEvent) { direct = append(direct, ev) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ZigBeeSent == 0 {
+		t.Fatal("simulation sent nothing")
+	}
+
+	counts := Summarize(direct)
+	snap := reg.Snapshot()
+	for kind, n := range counts {
+		if got := snap.Counters["mac.events."+string(kind)]; got != uint64(n) {
+			t.Errorf("counter mac.events.%s = %d, tracer saw %d", kind, got, n)
+		}
+	}
+	busByKind := map[string]int{}
+	for _, ev := range ring.Events() {
+		if ev.Source == "mac" {
+			busByKind[ev.Kind]++
+		}
+	}
+	for kind, n := range counts {
+		if busByKind[string(kind)] != n {
+			t.Errorf("bus saw %d %s events, tracer saw %d", busByKind[string(kind)], kind, n)
+		}
+	}
+	// Run stage timer and gauges recorded.
+	if snap.Counters["mac.sim.run.calls"] == 0 {
+		t.Error("mac.sim.run stage not timed")
+	}
+	if snap.Gauges["mac.sim.last_zb_throughput_bps"] == 0 {
+		t.Error("throughput gauge not set")
+	}
+}
+
+// TestBusTracerNilBus checks the explicit BusTracer constructor tolerates
+// a nil bus.
+func TestBusTracerNilBus(t *testing.T) {
+	tr := BusTracer(nil)
+	tr(TraceEvent{Kind: TraceZBStart}) // must not panic
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Event is one typed pipeline occurrence: a MAC simulator transition, a
+// decode failure, an applied channel impairment. Time is in seconds on
+// the emitter's clock — simulated time for the MAC simulator, wall time
+// since process start elsewhere; Source disambiguates.
+type Event struct {
+	Time   float64 `json:"t"`
+	Source string  `json:"source"`           // emitting subsystem: "mac", "wifi.rx", "core.decode", "channel", ...
+	Kind   string  `json:"kind"`             // event taxonomy entry, e.g. "decode_fail.signal"
+	Node   int     `json:"node"`             // ZigBee node index; -1 when not node-scoped
+	Detail string  `json:"detail,omitempty"` // free-form context (error text, parameters)
+}
+
+// String renders an event compactly.
+func (ev Event) String() string {
+	s := fmt.Sprintf("%.6f %s/%s", ev.Time, ev.Source, ev.Kind)
+	if ev.Node >= 0 {
+		s += fmt.Sprintf(" node=%d", ev.Node)
+	}
+	if ev.Detail != "" {
+		s += " " + ev.Detail
+	}
+	return s
+}
+
+// Sink consumes events. Implementations must be fast or buffer
+// internally; Publish calls them inline.
+type Sink interface {
+	Emit(Event)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Event)
+
+// Emit calls f.
+func (f SinkFunc) Emit(ev Event) { f(ev) }
+
+// Bus fans events out to subscribed sinks. The zero value is ready; a
+// nil *Bus drops everything. Publish with no subscribers is one atomic
+// load.
+type Bus struct {
+	mu     sync.RWMutex
+	subs   []*subscription
+	active atomic.Bool
+}
+
+// subscription wraps a sink so unsubscribe can find it by pointer
+// identity (Sink values such as SinkFunc are not comparable).
+type subscription struct {
+	sink Sink
+}
+
+// Active reports whether any sink is subscribed — emitters check it
+// before building expensive Detail strings.
+func (b *Bus) Active() bool {
+	return b != nil && b.active.Load()
+}
+
+// Subscribe registers a sink and returns its unsubscribe function.
+func (b *Bus) Subscribe(s Sink) (unsubscribe func()) {
+	if b == nil || s == nil {
+		return func() {}
+	}
+	sub := &subscription{sink: s}
+	b.mu.Lock()
+	b.subs = append(b.subs, sub)
+	b.active.Store(true)
+	b.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			b.mu.Lock()
+			for i, have := range b.subs {
+				if have == sub {
+					b.subs = append(b.subs[:i], b.subs[i+1:]...)
+					break
+				}
+			}
+			b.active.Store(len(b.subs) > 0)
+			b.mu.Unlock()
+		})
+	}
+}
+
+// Publish delivers ev to every subscriber, inline.
+func (b *Bus) Publish(ev Event) {
+	if !b.Active() {
+		return
+	}
+	b.mu.RLock()
+	for _, sub := range b.subs {
+		sub.sink.Emit(ev)
+	}
+	b.mu.RUnlock()
+}

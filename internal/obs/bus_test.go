@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestBusSubscribePublish(t *testing.T) {
+	var b Bus
+	if b.Active() {
+		t.Fatal("fresh bus active")
+	}
+	b.Publish(Event{Kind: "dropped"}) // no subscribers: must be a cheap no-op
+
+	var got []Event
+	unsub := b.Subscribe(SinkFunc(func(ev Event) { got = append(got, ev) }))
+	if !b.Active() {
+		t.Fatal("bus with subscriber not active")
+	}
+	b.Publish(Event{Source: "mac", Kind: "zb_start", Node: 2, Time: 1.5})
+	if len(got) != 1 || got[0].Kind != "zb_start" || got[0].Node != 2 {
+		t.Fatalf("got %+v", got)
+	}
+
+	unsub()
+	unsub() // double-unsubscribe must be safe
+	if b.Active() {
+		t.Fatal("bus active after unsubscribe")
+	}
+	b.Publish(Event{Kind: "after"})
+	if len(got) != 1 {
+		t.Fatalf("event delivered after unsubscribe: %+v", got)
+	}
+}
+
+func TestBusMultipleSinks(t *testing.T) {
+	var b Bus
+	var a1, a2 int
+	u1 := b.Subscribe(SinkFunc(func(Event) { a1++ }))
+	defer b.Subscribe(SinkFunc(func(Event) { a2++ }))()
+	b.Publish(Event{})
+	u1()
+	b.Publish(Event{})
+	if a1 != 1 || a2 != 2 {
+		t.Fatalf("a1=%d a2=%d", a1, a2)
+	}
+}
+
+func TestRingSinkWraparound(t *testing.T) {
+	r := NewRingSink(3)
+	for i := 0; i < 5; i++ {
+		r.Emit(Event{Node: i})
+	}
+	if r.Total() != 5 {
+		t.Fatalf("total %d", r.Total())
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Node != i+2 { // oldest first: 2, 3, 4
+			t.Fatalf("events %+v", evs)
+		}
+	}
+}
+
+func TestRingSinkMinimumCapacity(t *testing.T) {
+	r := NewRingSink(0)
+	r.Emit(Event{Node: 1})
+	r.Emit(Event{Node: 2})
+	if evs := r.Events(); len(evs) != 1 || evs[0].Node != 2 {
+		t.Fatalf("events %+v", evs)
+	}
+}
+
+func TestCSVSinkOutput(t *testing.T) {
+	var b strings.Builder
+	s := NewCSVSink(&b)
+	s.Emit(Event{Time: 1.5, Source: "mac", Kind: "zb_start", Node: 0, Detail: "x"})
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines %q", lines)
+	}
+	if lines[0] != "t,source,kind,node,detail" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if lines[1] != "1.500000000,mac,zb_start,0,x" {
+		t.Fatalf("row %q", lines[1])
+	}
+}
+
+type failWriter struct{ err error }
+
+func (f failWriter) Write([]byte) (int, error) { return 0, f.err }
+
+func TestCSVSinkStickyError(t *testing.T) {
+	wantErr := errors.New("disk full")
+	s := NewCSVSink(failWriter{wantErr})
+	s.Emit(Event{Kind: "a"})
+	if err := s.Flush(); !errors.Is(err, wantErr) {
+		t.Fatalf("Flush error %v, want %v", err, wantErr)
+	}
+	s.Emit(Event{Kind: "b"}) // dropped, no panic
+	if err := s.Flush(); !errors.Is(err, wantErr) {
+		t.Fatalf("error not sticky: %v", err)
+	}
+}
+
+func TestJSONLSink(t *testing.T) {
+	var b strings.Builder
+	s := NewJSONLSink(&b)
+	s.Emit(Event{Time: 0.25, Source: "wifi.rx", Kind: "decode_fail.signal", Node: -1, Detail: "parity"})
+	s.Emit(Event{Time: 0.5, Source: "channel", Kind: "impairment.cfo", Node: -1})
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines %d", len(lines))
+	}
+	var ev Event
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Kind != "decode_fail.signal" || ev.Detail != "parity" || ev.Time != 0.25 {
+		t.Fatalf("round trip %+v", ev)
+	}
+	// Detail omitted when empty.
+	if strings.Contains(lines[1], "detail") {
+		t.Fatalf("empty detail not omitted: %q", lines[1])
+	}
+}
+
+func TestJSONLSinkStickyError(t *testing.T) {
+	wantErr := errors.New("pipe closed")
+	s := NewJSONLSink(failWriter{wantErr})
+	s.Emit(Event{})
+	if err := s.Flush(); !errors.Is(err, wantErr) {
+		t.Fatalf("Flush error %v", err)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	ev := Event{Time: 1.25, Source: "mac", Kind: "zb_start", Node: 3, Detail: "retry"}
+	s := ev.String()
+	for _, part := range []string{"1.250000", "mac/zb_start", "node=3", "retry"} {
+		if !strings.Contains(s, part) {
+			t.Fatalf("String() = %q missing %q", s, part)
+		}
+	}
+	if s := (Event{Node: -1}).String(); strings.Contains(s, "node=") {
+		t.Fatalf("node=-1 should be omitted: %q", s)
+	}
+}

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+)
+
+// Snapshot is a point-in-time copy of every metric in a registry — the
+// JSON-friendly exposition used by run manifests, expvar and selfcheck.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the registry's current state. A nil registry yields an
+// empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	counters, gauges, histograms := r.names()
+	for _, n := range counters {
+		s.Counters[n] = r.Counter(n).Value()
+	}
+	for _, n := range gauges {
+		s.Gauges[n] = r.Gauge(n).Value()
+	}
+	for _, n := range histograms {
+		s.Histograms[n] = r.Histogram(n).Snapshot()
+	}
+	return s
+}
+
+// PromName sanitizes a dotted metric name into a Prometheus-legal one:
+// "wifi.tx.map.seconds" -> "sledzig_wifi_tx_map_seconds".
+func PromName(name string) string {
+	var b strings.Builder
+	b.WriteString("sledzig_")
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == ':':
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples,
+// histograms as cumulative le-buckets plus _sum and _count. Output is
+// sorted by metric name, so it doubles as golden-test material.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	counters, gauges, histograms := r.names()
+	for _, n := range counters {
+		pn := PromName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, r.Counter(n).Value()); err != nil {
+			return err
+		}
+	}
+	for _, n := range gauges {
+		pn := PromName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", pn, pn, formatFloat(r.Gauge(n).Value())); err != nil {
+			return err
+		}
+	}
+	for _, n := range histograms {
+		pn := PromName(n)
+		snap := r.Histogram(n).Snapshot()
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		var cum uint64
+		for _, b := range snap.Buckets {
+			cum += b.Count
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, formatFloat(b.UpperBound), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+			pn, snap.Count, pn, formatFloat(snap.Sum), pn, snap.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatFloat renders floats the way Prometheus clients expect: decimal
+// when reasonable, "+Inf"/"-Inf" spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	default:
+		return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.9f", v), "0"), ".")
+	}
+}
+
+// PublishExpvar publishes the registry under the given expvar name (once;
+// expvar panics on duplicates, so repeated calls are ignored).
+func (r *Registry) PublishExpvar(name string) {
+	if r == nil {
+		return
+	}
+	r.expvarOnce.Do(func() {
+		expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+	})
+}
+
+// Handler serves the registry as Prometheus text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// NewMux builds the diagnostics mux a long-running binary mounts behind
+// -metrics-addr: /metrics (Prometheus), /debug/vars (expvar, including
+// the registry published as "sledzig"), and the /debug/pprof family.
+func (r *Registry) NewMux() *http.ServeMux {
+	r.PublishExpvar("sledzig")
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "sledzig diagnostics: /metrics /debug/vars /debug/pprof/")
+	})
+	return mux
+}
+
+// Serve starts the diagnostics server on addr in a background goroutine
+// and returns the bound listener address (useful with ":0"). The server
+// runs until the process exits.
+func (r *Registry) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: metrics listener: %w", err)
+	}
+	srv := &http.Server{Handler: r.NewMux()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// TopStages summarizes the busiest stages of a snapshot for human output:
+// every "<scope>.<stage>.seconds" histogram with at least one call,
+// sorted by total time spent, up to max entries (0 = all).
+func (s Snapshot) TopStages(max int) []StageSummary {
+	var out []StageSummary
+	for name, h := range s.Histograms {
+		if !strings.HasSuffix(name, ".seconds") || h.Count == 0 {
+			continue
+		}
+		base := strings.TrimSuffix(name, ".seconds")
+		out = append(out, StageSummary{
+			Name:     base,
+			Calls:    h.Count,
+			TotalSec: h.Sum,
+			MeanSec:  h.Mean(),
+			P99Sec:   h.Quantile(0.99),
+			Bytes:    s.Counters[base+".bytes"],
+			Errors:   s.Counters[base+".errors"],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TotalSec > out[j].TotalSec })
+	if max > 0 && len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
+// StageSummary is one row of TopStages.
+type StageSummary struct {
+	Name     string
+	Calls    uint64
+	TotalSec float64
+	MeanSec  float64
+	P99Sec   float64
+	Bytes    uint64
+	Errors   uint64
+}

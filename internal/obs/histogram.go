@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket layout: log-linear over decades. Each power-of-ten
+// decade [10^e, 10^(e+1)) is split into nine linear sub-buckets with
+// lower bounds m*10^e for m = 1..9, covering histMinExp..histMaxExp
+// (1 ns .. 1000 s when observing seconds). One underflow and one
+// overflow bucket catch the rest. A bucket holds values in
+// [lower, upper): a value exactly on an upper bound lands in the next
+// bucket, so the exposed `le` bounds are exclusive — indistinguishable
+// in practice for measured latencies, and cumulative counts stay
+// consistent, which is all PromQL needs.
+const (
+	histMinExp      = -9
+	histMaxExp      = 3
+	histSubBuckets  = 9
+	histRangeCount  = (histMaxExp - histMinExp + 1) * histSubBuckets
+	histBucketCount = histRangeCount + 2 // + underflow + overflow
+)
+
+// pow10 avoids math.Pow on the observe path.
+var pow10 = func() [histMaxExp - histMinExp + 1]float64 {
+	var t [histMaxExp - histMinExp + 1]float64
+	for i := range t {
+		t[i] = math.Pow(10, float64(histMinExp+i))
+	}
+	return t
+}()
+
+// Histogram is a fixed-size log-linear latency/size histogram. Observe is
+// allocation-free: an index computation plus three atomic adds. The zero
+// value is ready; a nil *Histogram ignores observations.
+type Histogram struct {
+	buckets [histBucketCount]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// bucketIndex maps a value to its bucket: 0 is underflow (v < 10^minExp),
+// histBucketCount-1 overflow (v >= 10^(maxExp+1)), the rest log-linear.
+func bucketIndex(v float64) int {
+	if v < pow10[0] || math.IsNaN(v) {
+		return 0
+	}
+	if math.IsInf(v, 1) {
+		return histBucketCount - 1
+	}
+	e := int(math.Floor(math.Log10(v)))
+	if e > histMaxExp {
+		return histBucketCount - 1
+	}
+	if e < histMinExp {
+		e = histMinExp
+	}
+	sub := int(v / pow10[e-histMinExp])
+	// Float round-off at decade boundaries can land sub at 0 or 10;
+	// renormalize into 1..9.
+	if sub >= 10 {
+		e++
+		if e > histMaxExp {
+			return histBucketCount - 1
+		}
+		sub = 1
+	}
+	if sub < 1 {
+		e--
+		if e < histMinExp {
+			return 0
+		}
+		sub = 9
+	}
+	return 1 + (e-histMinExp)*histSubBuckets + (sub - 1)
+}
+
+// BucketUpperBound returns the exclusive upper bound of bucket i (the
+// `le` label value); +Inf for the overflow bucket.
+func BucketUpperBound(i int) float64 {
+	if i <= 0 {
+		return pow10[0]
+	}
+	if i >= histBucketCount-1 {
+		return math.Inf(1)
+	}
+	i--
+	e, sub := i/histSubBuckets, i%histSubBuckets
+	return float64(sub+2) * pow10[e]
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, floatBits(bitsFloat(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(d.Seconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return bitsFloat(h.sum.Load())
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram. Buckets are
+// non-cumulative; only non-empty buckets are included.
+type HistogramSnapshot struct {
+	Count   uint64        `json:"count"`
+	Sum     float64       `json:"sum"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// BucketCount is one non-empty histogram bucket.
+type BucketCount struct {
+	UpperBound float64 `json:"le"`
+	Count      uint64  `json:"count"`
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.Sum()}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, BucketCount{UpperBound: BucketUpperBound(i), Count: n})
+		}
+	}
+	return s
+}
+
+// Mean returns the average observed value (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (0..1) from the bucket counts,
+// attributing each bucket's mass to its upper bound — a conservative
+// estimate suitable for human-readable summaries.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(s.Count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if cum >= target {
+			return b.UpperBound
+		}
+	}
+	return s.Buckets[len(s.Buckets)-1].UpperBound
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    float64
+		le   float64 // expected exclusive upper bound of the bucket v lands in
+		name string
+	}{
+		{0, 1e-9, "zero underflows"},
+		{-1, 1e-9, "negative underflows"},
+		{5e-10, 1e-9, "below 1ns underflows"},
+		{1e-9, 2e-9, "exact minimum"},
+		{1.5e-9, 2e-9, "first bucket"},
+		{9.99e-9, 1e-8, "top of first decade"},
+		{1e-6, 2e-6, "decade boundary lands in the upper decade"},
+		{2e-6, 3e-6, "exact sub-bucket boundary lands upward"},
+		{2.9e-6, 3e-6, "inside sub-bucket"},
+		{1, 2, "one second"},
+		{999, 1000, "top decade"},
+		{5000, 6000, "top decade spans to 10^4"},
+		{20000, math.Inf(1), "overflow"},
+		{math.Inf(1), math.Inf(1), "infinity overflows"},
+	}
+	for _, tc := range cases {
+		idx := bucketIndex(tc.v)
+		if idx < 0 || idx >= histBucketCount {
+			t.Fatalf("%s: index %d out of range for %g", tc.name, idx, tc.v)
+		}
+		got := BucketUpperBound(idx)
+		if got != tc.le && !(math.IsInf(got, 1) && math.IsInf(tc.le, 1)) {
+			t.Errorf("%s: value %g -> bucket le %g, want %g", tc.name, tc.v, got, tc.le)
+		}
+	}
+}
+
+// Every representable value must land in a bucket whose [lower, upper)
+// range contains it — sweep decades with awkward mantissas.
+func TestBucketIndexConsistent(t *testing.T) {
+	for e := histMinExp; e <= histMaxExp; e++ {
+		for _, m := range []float64{1, 1.0000001, 2.5, 4.999999, 5, 7.77, 9, 9.999999} {
+			v := m * math.Pow(10, float64(e))
+			idx := bucketIndex(v)
+			upper := BucketUpperBound(idx)
+			var lower float64
+			if idx > 0 {
+				lower = BucketUpperBound(idx - 1)
+			}
+			if v < lower || v >= upper {
+				t.Fatalf("value %g in bucket %d [%g, %g)", v, idx, lower, upper)
+			}
+		}
+	}
+}
+
+func TestHistogramNaN(t *testing.T) {
+	if idx := bucketIndex(math.NaN()); idx != 0 {
+		t.Fatalf("NaN bucket %d, want underflow", idx)
+	}
+}
+
+func TestHistogramSnapshotStats(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{1e-6, 2e-6, 3e-6, 4e-6} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("count %d", s.Count)
+	}
+	if math.Abs(s.Sum-1e-5) > 1e-12 {
+		t.Fatalf("sum %g", s.Sum)
+	}
+	if math.Abs(s.Mean()-2.5e-6) > 1e-12 {
+		t.Fatalf("mean %g", s.Mean())
+	}
+	// Median of {1,2,3,4}µs: the second value's bucket upper bound.
+	if q := s.Quantile(0.5); q < 2e-6 || q > 4e-6 {
+		t.Fatalf("p50 %g", q)
+	}
+	if q := s.Quantile(1); q < 4e-6 || q > 6e-6 {
+		t.Fatalf("p100 %g", q)
+	}
+}
+
+func TestNilHistogram(t *testing.T) {
+	var h *Histogram
+	h.Observe(1) // must not panic
+	h.ObserveDuration(0)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram should report zeros")
+	}
+	if s := h.Snapshot(); s.Count != 0 || len(s.Buckets) != 0 {
+		t.Fatal("nil histogram snapshot should be empty")
+	}
+}

@@ -1,0 +1,251 @@
+// Package obs is the observability substrate for the whole pipeline: a
+// lock-cheap metrics registry (atomic counters, gauges and log-linear
+// latency histograms), a Scope/Stage API that times pipeline stages, a
+// typed event bus with pluggable sinks, and exposition as Snapshot /
+// expvar / Prometheus text format / net-http-pprof.
+//
+// Every handle type is nil-safe: a nil *Registry hands out nil *Counter,
+// *Gauge, *Histogram and *Stage values whose methods are no-ops, so
+// library code instruments unconditionally and users who never opt in pay
+// only a nil check per call. Opt in by creating a Registry and either
+// threading it explicitly or installing it process-wide with SetDefault.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use; a nil *Counter ignores increments.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomically updated float64 level. A nil *Gauge ignores
+// updates.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(floatBits(v))
+	}
+}
+
+// Add increments the gauge by delta (CAS loop; gauges are not hot-path).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, floatBits(bitsFloat(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Value returns the current level (0 for a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return bitsFloat(g.bits.Load())
+}
+
+// Registry holds named metrics. Registration takes a mutex; updates on
+// the handles are pure atomics, so the intended pattern is to resolve
+// handles once (see Scope and Lazy) and increment freely. Metric names
+// are dotted lower-case paths ("wifi.tx.map.seconds"); the Prometheus
+// writer sanitizes them for exposition.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+
+	bus Bus
+
+	expvarOnce sync.Once
+}
+
+// New creates an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = new(Counter)
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = new(Gauge)
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.histograms[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.histograms[name]; h == nil {
+		h = new(Histogram)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Bus returns the registry's event bus (nil for a nil registry).
+func (r *Registry) Bus() *Bus {
+	if r == nil {
+		return nil
+	}
+	return &r.bus
+}
+
+// Emit publishes an event on the registry's bus; a no-op when the
+// registry is nil or nothing subscribed.
+func (r *Registry) Emit(ev Event) {
+	if r != nil {
+		r.bus.Publish(ev)
+	}
+}
+
+// names returns the sorted metric names of each kind — exposition wants
+// deterministic order.
+func (r *Registry) names() (counters, gauges, histograms []string) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for n := range r.counters {
+		counters = append(counters, n)
+	}
+	for n := range r.gauges {
+		gauges = append(gauges, n)
+	}
+	for n := range r.histograms {
+		histograms = append(histograms, n)
+	}
+	sort.Strings(counters)
+	sort.Strings(gauges)
+	sort.Strings(histograms)
+	return
+}
+
+// defaultRegistry is the process-wide opt-in registry; nil until
+// SetDefault installs one.
+var defaultRegistry atomic.Pointer[Registry]
+
+// SetDefault installs r as the process-wide registry picked up by all
+// instrumented packages. Passing nil turns instrumentation back off.
+func SetDefault(r *Registry) {
+	defaultRegistry.Store(r)
+}
+
+// Default returns the process-wide registry, or nil when none was
+// installed. All registry methods tolerate the nil.
+func Default() *Registry {
+	return defaultRegistry.Load()
+}
+
+// Lazy caches a value derived from the current default registry,
+// rebuilding it only when SetDefault changed the registry. Packages use
+// it to resolve their metric handles once instead of taking registry
+// locks on the hot path:
+//
+//	var m obs.Lazy[myMetrics]
+//	mm := m.Get(buildMyMetrics) // one atomic load when cached
+type Lazy[T any] struct {
+	p atomic.Pointer[lazyEntry[T]]
+}
+
+type lazyEntry[T any] struct {
+	reg *Registry
+	val T
+}
+
+// Get returns the cached value when the default registry is unchanged,
+// otherwise rebuilds via build (which receives the possibly-nil current
+// registry).
+func (l *Lazy[T]) Get(build func(*Registry) T) T {
+	r := Default()
+	if e := l.p.Load(); e != nil && e.reg == r {
+		return e.val
+	}
+	e := &lazyEntry[T]{reg: r, val: build(r)}
+	l.p.Store(e)
+	return e.val
+}
+
+func floatBits(v float64) uint64 { return math.Float64bits(v) }
+func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheusGolden(t *testing.T) {
+	r := New()
+	r.Counter("frames.total").Add(3)
+	r.Gauge("snr.db").Set(-2.5)
+	h := r.Histogram("stage.seconds")
+	h.Observe(1.5e-6) // bucket le 2e-6
+	h.Observe(2.5e-3) // bucket le 3e-3
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE sledzig_frames_total counter
+sledzig_frames_total 3
+# TYPE sledzig_snr_db gauge
+sledzig_snr_db -2.5
+# TYPE sledzig_stage_seconds histogram
+sledzig_stage_seconds_bucket{le="0.000002"} 1
+sledzig_stage_seconds_bucket{le="0.003"} 2
+sledzig_stage_seconds_bucket{le="+Inf"} 2
+sledzig_stage_seconds_sum 0.0025015
+sledzig_stage_seconds_count 2
+`
+	if got := b.String(); got != want {
+		t.Errorf("prometheus output mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"wifi.tx.map.seconds": "sledzig_wifi_tx_map_seconds",
+		"a-b c/d":             "sledzig_a_b_c_d",
+		"UPPER09_:x":          "sledzig_UPPER09_:x",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestNilRegistryWritePrometheus(t *testing.T) {
+	var r *Registry
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil || b.Len() != 0 {
+		t.Fatalf("nil registry: err=%v output=%q", err, b.String())
+	}
+}
+
+func TestDiagnosticsMux(t *testing.T) {
+	r := New()
+	r.Counter("mux.hits").Inc()
+	mux := r.NewMux()
+
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		return rec
+	}
+
+	rec := get("/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "sledzig_mux_hits 1") {
+		t.Fatalf("metrics body missing counter:\n%s", rec.Body.String())
+	}
+
+	if rec := get("/debug/vars"); rec.Code != http.StatusOK ||
+		!strings.Contains(rec.Body.String(), "sledzig") {
+		t.Fatalf("/debug/vars status %d body %q", rec.Code, rec.Body.String())
+	}
+	if rec := get("/debug/pprof/"); rec.Code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status %d", rec.Code)
+	}
+	if rec := get("/debug/pprof/cmdline"); rec.Code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status %d", rec.Code)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	r := New()
+	r.Counter("c").Add(7)
+	r.Gauge("g").Set(1.25)
+	r.Histogram("h.seconds").Observe(0.5)
+
+	s := r.Snapshot()
+	if s.Counters["c"] != 7 || s.Gauges["g"] != 1.25 {
+		t.Fatalf("snapshot %+v", s)
+	}
+	hs := s.Histograms["h.seconds"]
+	if hs.Count != 1 || hs.Sum != 0.5 || len(hs.Buckets) != 1 {
+		t.Fatalf("histogram snapshot %+v", hs)
+	}
+}

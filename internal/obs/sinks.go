@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// RingSink keeps the last N events in memory — the "flight recorder" a
+// long-running process exposes for post-mortems without unbounded growth.
+type RingSink struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	total uint64
+}
+
+// NewRingSink creates a ring holding up to capacity events.
+func NewRingSink(capacity int) *RingSink {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &RingSink{buf: make([]Event, 0, capacity)}
+}
+
+// Emit appends the event, evicting the oldest when full.
+func (r *RingSink) Emit(ev Event) {
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+	} else {
+		r.buf[r.next] = ev
+		r.next = (r.next + 1) % cap(r.buf)
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (r *RingSink) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Total returns how many events were ever emitted (≥ len(Events())).
+func (r *RingSink) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// CSVSink streams events to w as "t,source,kind,node,detail" rows. The
+// first write error sticks and is returned by Flush; later events are
+// dropped once the writer failed.
+type CSVSink struct {
+	mu  sync.Mutex
+	cw  *csv.Writer
+	err error
+}
+
+// NewCSVSink writes the header row and returns the sink.
+func NewCSVSink(w io.Writer) *CSVSink {
+	s := &CSVSink{cw: csv.NewWriter(w)}
+	s.err = s.cw.Write([]string{"t", "source", "kind", "node", "detail"})
+	return s
+}
+
+// Emit writes one row.
+func (s *CSVSink) Emit(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.err = s.cw.Write([]string{
+		strconv.FormatFloat(ev.Time, 'f', 9, 64),
+		ev.Source,
+		ev.Kind,
+		strconv.Itoa(ev.Node),
+		ev.Detail,
+	})
+}
+
+// Flush drains buffers and returns the first error hit anywhere on the
+// write path.
+func (s *CSVSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cw.Flush()
+	if s.err != nil {
+		return s.err
+	}
+	s.err = s.cw.Error()
+	return s.err
+}
+
+// JSONLSink streams events to w as one JSON object per line. Like
+// CSVSink, the first error sticks.
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	w   io.Writer
+	err error
+}
+
+// NewJSONLSink wraps w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w), w: w}
+}
+
+// Emit writes one line.
+func (s *JSONLSink) Emit(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(ev)
+}
+
+// Flush returns the first encode/write error (JSON lines are unbuffered,
+// so there is nothing left to drain).
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}

@@ -10,7 +10,43 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+
+	"sledzig/internal/obs"
 )
+
+// transportMetrics holds the fragment/reassembly counters, resolved
+// lazily against the process-wide registry.
+type transportMetrics struct {
+	fragmentsSplit    *obs.Counter
+	messagesSplit     *obs.Counter
+	fragmentsReceived *obs.Counter
+	fragmentsDup      *obs.Counter
+	messagesDone      *obs.Counter
+	failMalformed     *obs.Counter
+	failChecksum      *obs.Counter
+}
+
+var transportLazy obs.Lazy[*transportMetrics]
+
+var transportNil = &transportMetrics{}
+
+func metrics() *transportMetrics {
+	return transportLazy.Get(func(r *obs.Registry) *transportMetrics {
+		if r == nil {
+			return transportNil
+		}
+		s := r.Scope("transport")
+		return &transportMetrics{
+			fragmentsSplit:    s.Counter("fragments_split"),
+			messagesSplit:     s.Counter("messages_split"),
+			fragmentsReceived: s.Counter("fragments_received"),
+			fragmentsDup:      s.Counter("fragments_duplicate"),
+			messagesDone:      s.Counter("messages_reassembled"),
+			failMalformed:     s.Counter("fail.malformed"),
+			failChecksum:      s.Counter("fail.checksum"),
+		}
+	})
+}
 
 // Fragment header layout: id(1) | index(1) | count(1) | flags(1), followed
 // by the fragment payload. The final fragment carries the message CRC-32
@@ -76,6 +112,9 @@ func (f *Fragmenter) Split(message []byte) ([][]byte, error) {
 		frag = append(frag, body[lo:hi]...)
 		out = append(out, frag)
 	}
+	m := metrics()
+	m.messagesSplit.Inc()
+	m.fragmentsSplit.Add(uint64(len(out)))
 	return out, nil
 }
 
@@ -94,11 +133,14 @@ type pendingMessage struct {
 // Feed ingests one fragment. When it completes a message, the message is
 // returned (otherwise nil). Corrupt or inconsistent fragments error.
 func (r *Reassembler) Feed(frag []byte) ([]byte, error) {
+	m := metrics()
 	if len(frag) < headerLen+1 {
+		m.failMalformed.Inc()
 		return nil, fmt.Errorf("transport: fragment of %d octets too short", len(frag))
 	}
 	id, index, count := frag[0], int(frag[1]), int(frag[2])
 	if count == 0 || index >= count {
+		m.failMalformed.Inc()
 		return nil, fmt.Errorf("transport: fragment %d/%d malformed", index, count)
 	}
 	if r.pending == nil {
@@ -110,11 +152,15 @@ func (r *Reassembler) Feed(frag []byte) ([]byte, error) {
 		r.pending[id] = pm
 	}
 	if pm.count != count {
+		m.failMalformed.Inc()
 		return nil, fmt.Errorf("transport: fragment count changed mid-message (%d vs %d)", count, pm.count)
 	}
 	if pm.parts[index] == nil {
 		pm.parts[index] = append([]byte(nil), frag[headerLen:]...)
 		pm.received++
+		m.fragmentsReceived.Inc()
+	} else {
+		m.fragmentsDup.Inc()
 	}
 	if pm.received < pm.count {
 		return nil, nil
@@ -125,13 +171,16 @@ func (r *Reassembler) Feed(frag []byte) ([]byte, error) {
 		body = append(body, p...)
 	}
 	if len(body) < crcLen+1 {
+		m.failMalformed.Inc()
 		return nil, fmt.Errorf("transport: reassembled body too short")
 	}
 	message := body[:len(body)-crcLen]
 	want := binary.LittleEndian.Uint32(body[len(body)-crcLen:])
 	if crc32.ChecksumIEEE(message) != want {
+		m.failChecksum.Inc()
 		return nil, fmt.Errorf("transport: message checksum mismatch")
 	}
+	m.messagesDone.Inc()
 	return message, nil
 }
 

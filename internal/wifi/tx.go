@@ -66,10 +66,13 @@ func (t Transmitter) Frame(psdu []byte) (*Frame, error) {
 	logical := make([]bits.Bit, total) // zeros: SERVICE, tail, pad prefilled
 	copy(logical[serviceBits:], bits.FromBytes(psdu))
 
+	m := phy()
+	t0 := m.txScramble.Start()
 	scrambled, err := ScrambleWithSeed(logical, seed)
 	if err != nil {
 		return nil, err
 	}
+	m.txScramble.Done(t0, len(psdu))
 	// Zero the scrambled tail so the trellis terminates (17.3.5.3).
 	tailStart := serviceBits + 8*len(psdu)
 	for i := tailStart; i < tailStart+tailBits; i++ {
@@ -112,18 +115,25 @@ func (t Transmitter) FrameFromScrambled(scrambled []bits.Bit, signalledLength in
 // DataPoints returns the constellation points of every DATA symbol:
 // NumSymbols slices of 48 points each, in ascending subcarrier order.
 func (f *Frame) DataPoints() ([][]complex128, error) {
+	m := phy()
+	t0 := m.txEncode.Start()
 	coded, err := EncodeAndPuncture(f.ScrambledBits, f.Mode.CodeRate)
 	if err != nil {
 		return nil, err
 	}
+	m.txEncode.Done(t0, len(f.ScrambledBits)/8)
+	t0 = m.txInterleave.Start()
 	inter, err := f.Convention.InterleaveAllC(f.Mode.Modulation, coded)
 	if err != nil {
 		return nil, err
 	}
+	m.txInterleave.Done(t0, len(coded)/8)
+	t0 = m.txMap.Start()
 	pts, err := f.Convention.MapAllC(f.Mode.Modulation, inter)
 	if err != nil {
 		return nil, err
 	}
+	m.txMap.Done(t0, len(inter)/8)
 	out := make([][]complex128, f.NumSymbols)
 	for s := 0; s < f.NumSymbols; s++ {
 		out[s] = pts[s*NumDataSubcarriers : (s+1)*NumDataSubcarriers]
@@ -142,6 +152,8 @@ func (f *Frame) Waveform() ([]complex128, error) {
 	if err != nil {
 		return nil, err
 	}
+	m := phy()
+	t0 := m.txIFFT.Start()
 	out := make([]complex128, 0, PreambleLength+(1+f.NumSymbols)*SymbolLength)
 	out = append(out, Preamble()...)
 	sig, err := AssembleSymbol(sigPts, 0)
@@ -156,6 +168,9 @@ func (f *Frame) Waveform() ([]complex128, error) {
 		}
 		out = append(out, sym...)
 	}
+	m.txIFFT.Done(t0, 0)
+	m.txFrames.Inc()
+	m.txSymbols.Add(uint64(1 + f.NumSymbols))
 	return out, nil
 }
 
@@ -167,6 +182,8 @@ func (f *Frame) DataWaveform() ([]complex128, error) {
 	if err != nil {
 		return nil, err
 	}
+	m := phy()
+	t0 := m.txIFFT.Start()
 	out := make([]complex128, 0, f.NumSymbols*SymbolLength)
 	for s, pts := range dataPts {
 		sym, err := AssembleSymbol(pts, s+1)
@@ -175,6 +192,8 @@ func (f *Frame) DataWaveform() ([]complex128, error) {
 		}
 		out = append(out, sym...)
 	}
+	m.txIFFT.Done(t0, 0)
+	m.txSymbols.Add(uint64(f.NumSymbols))
 	return out, nil
 }
 

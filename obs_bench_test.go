@@ -1,0 +1,74 @@
+package sledzig
+
+import "testing"
+
+// benchEncode is the hot path whose instrumentation overhead
+// docs/observability.md documents: a full SledZig encode.
+func benchEncode(b *testing.B) {
+	enc, err := NewEncoder(Config{Modulation: QAM64, CodeRate: Rate34, Channel: CH2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := enc.Encode(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncodeBare measures the encoder with observability off (the
+// default): every instrumentation point is a nil check.
+func BenchmarkEncodeBare(b *testing.B) {
+	SetDefaultMetrics(nil)
+	benchEncode(b)
+}
+
+// BenchmarkEncodeInstrumented measures the encoder with a registry
+// installed, i.e. every stage timer and counter live.
+func BenchmarkEncodeInstrumented(b *testing.B) {
+	SetDefaultMetrics(NewMetrics())
+	defer SetDefaultMetrics(nil)
+	benchEncode(b)
+}
+
+// BenchmarkDecodeBare / BenchmarkDecodeInstrumented mirror the receive
+// side.
+func benchDecode(b *testing.B) {
+	enc, err := NewEncoder(Config{Modulation: QAM64, CodeRate: Rate34, Channel: CH2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	frame, err := enc.Encode(make([]byte, 200))
+	if err != nil {
+		b.Fatal(err)
+	}
+	wave, err := frame.Waveform()
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec, err := NewDecoder(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := dec.Decode(wave); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeBare(b *testing.B) {
+	SetDefaultMetrics(nil)
+	benchDecode(b)
+}
+
+func BenchmarkDecodeInstrumented(b *testing.B) {
+	SetDefaultMetrics(NewMetrics())
+	defer SetDefaultMetrics(nil)
+	benchDecode(b)
+}

@@ -1,0 +1,57 @@
+package sledzig
+
+import (
+	"io"
+
+	"sledzig/internal/obs"
+)
+
+// Observability. The library instruments its whole pipeline — encoder and
+// decoder stages, the PHY chains, the MAC simulator, channel impairments
+// and the transport layer — against an opt-in metrics registry. Without a
+// registry every instrumentation point is a nil check, so the cost of not
+// opting in is negligible (see docs/observability.md for the measured
+// overhead and the metric/event catalogue).
+//
+//	reg := sledzig.NewMetrics()
+//	sledzig.SetDefaultMetrics(reg)
+//	addr, _ := reg.Serve("localhost:9090") // /metrics, /debug/vars, /debug/pprof
+//	... run traffic ...
+//	snap := reg.Snapshot()
+
+// Metrics is the pipeline-wide metrics registry: atomic counters, gauges,
+// log-linear latency histograms and a typed event bus. The alias keeps
+// callers out of internal packages while exposing the full registry API
+// (Counter, Gauge, Histogram, Scope, Bus, Snapshot, WritePrometheus,
+// Serve, ...).
+type Metrics = obs.Registry
+
+// MetricsSnapshot is a point-in-time copy of every metric.
+type MetricsSnapshot = obs.Snapshot
+
+// PipelineEvent is one typed occurrence on the event bus: a MAC
+// simulator transition, a decode failure, a channel impairment.
+type PipelineEvent = obs.Event
+
+// EventSink consumes pipeline events (see NewEventRing, or implement
+// Emit directly).
+type EventSink = obs.Sink
+
+// NewMetrics creates an empty metrics registry.
+func NewMetrics() *Metrics { return obs.New() }
+
+// SetDefaultMetrics installs r as the process-wide registry all
+// instrumented code reports into; nil turns instrumentation back off.
+func SetDefaultMetrics(r *Metrics) { obs.SetDefault(r) }
+
+// DefaultMetrics returns the installed registry, or nil.
+func DefaultMetrics() *Metrics { return obs.Default() }
+
+// NewEventRing creates an in-memory flight recorder holding the last
+// capacity pipeline events; subscribe it with
+// DefaultMetrics().Bus().Subscribe(ring).
+func NewEventRing(capacity int) *obs.RingSink { return obs.NewRingSink(capacity) }
+
+// NewEventJSONL creates a sink streaming pipeline events to w as JSON
+// lines.
+func NewEventJSONL(w io.Writer) *obs.JSONLSink { return obs.NewJSONLSink(w) }
