@@ -1,6 +1,9 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test race bench bench-json experiments selfcheck cover fmt vet
+.PHONY: test race bench bench-json bench-compare bench-baseline experiments selfcheck cover fmt vet
+
+# Benchmarks gated by the checked-in allocation baseline (hot encode paths).
+BENCH_GATED = BenchmarkSledZigEncode1500B$$|BenchmarkCoreEncodeTo1500B$$|BenchmarkWaveformSynthesis$$|BenchmarkAppendWaveform$$
 
 test:
 	go test ./...
@@ -15,6 +18,17 @@ bench:
 # suitable for piping into benchstat or a JSON converter.
 bench-json:
 	go test -run '^$$' -bench . -benchmem ./... | tee bench.txt
+
+# Run the gated benchmarks and fail if allocs/op regressed against the
+# checked-in bench.baseline.txt (ns/op is reported but not gated — it is
+# machine-dependent).
+bench-compare:
+	go test -run '^$$' -bench '$(BENCH_GATED)' -benchmem . | tee bench.current.txt
+	go run ./cmd/benchdiff -baseline bench.baseline.txt -current bench.current.txt
+
+# Refresh the checked-in baseline after an intentional allocation change.
+bench-baseline:
+	go test -run '^$$' -bench '$(BENCH_GATED)' -benchmem . | tee bench.baseline.txt
 
 experiments:
 	go run ./cmd/experiments

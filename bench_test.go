@@ -7,6 +7,7 @@ package sledzig
 // a compact reproduction run.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -197,6 +198,76 @@ func BenchmarkSledZigEncode1500B(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := enc.Encode(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCoreEncodeTo1500B is the pooled counterpart of
+// BenchmarkSledZigEncode1500B: one reused result, scratch from the
+// package pools. Compare allocs/op between the two to see the pooling win.
+func BenchmarkCoreEncodeTo1500B(b *testing.B) {
+	plan, err := core.CachedPlan(wifi.ConventionIEEE, wifi.Mode{Modulation: wifi.QAM64, CodeRate: wifi.Rate34}, core.CH2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc := &core.Encoder{Plan: plan}
+	payload := bits.RandomBytes(rand.New(rand.NewSource(1)), 1500)
+	var res core.EncodeResult
+	b.SetBytes(1500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := enc.EncodeTo(payload, &res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineEncodeBatch measures pooled multi-worker throughput; on a
+// multi-core machine it should beat single-goroutine Encode by roughly the
+// worker count (the encoder's stages are CPU-bound and share no state
+// beyond the read-only plan).
+func BenchmarkEngineEncodeBatch(b *testing.B) {
+	eng, err := NewEngine(EngineConfig{
+		Config:  Config{Modulation: QAM64, CodeRate: Rate34, Channel: CH2},
+		Workers: 8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	const batch = 64
+	payloads := make([][]byte, batch)
+	rng := rand.New(rand.NewSource(1))
+	for i := range payloads {
+		payloads[i] = bits.RandomBytes(rng, 1500)
+	}
+	b.SetBytes(batch * 1500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.EncodeBatch(context.Background(), payloads); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "frames/s")
+}
+
+// BenchmarkAppendWaveform renders into a recycled buffer — the pooled
+// counterpart of BenchmarkWaveformSynthesis.
+func BenchmarkAppendWaveform(b *testing.B) {
+	enc, err := NewEncoder(Config{Modulation: QAM64, CodeRate: Rate34, Channel: CH2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	frame, err := enc.Encode(bits.RandomBytes(rand.New(rand.NewSource(1)), 1000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf []complex128
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err = frame.AppendWaveform(buf[:0])
+		if err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,116 @@
+// Command benchdiff compares two `go test -bench -benchmem` outputs and
+// fails when allocations per operation regress beyond a tolerance. It backs
+// `make bench-compare`, which guards the pooled hot paths (EncodeTo,
+// AppendWaveform, the engine) against accidental allocation creep.
+//
+// Only allocs/op is gated: it is deterministic across machines, unlike
+// ns/op, so a checked-in baseline stays meaningful on any hardware.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line.
+type result struct {
+	nsPerOp     float64
+	allocsPerOp float64
+	hasAllocs   bool
+}
+
+func main() {
+	log.SetFlags(0)
+	baselinePath := flag.String("baseline", "bench.baseline.txt", "checked-in baseline benchmark output")
+	currentPath := flag.String("current", "bench.current.txt", "fresh benchmark output to compare")
+	relTol := flag.Float64("rel", 0.10, "relative allocs/op increase tolerated")
+	absTol := flag.Float64("abs", 2, "absolute allocs/op increase always tolerated (shields tiny counts from ratio noise)")
+	flag.Parse()
+
+	base, err := parseFile(*baselinePath)
+	if err != nil {
+		log.Fatalf("baseline: %v", err)
+	}
+	cur, err := parseFile(*currentPath)
+	if err != nil {
+		log.Fatalf("current: %v", err)
+	}
+	if len(base) == 0 {
+		log.Fatalf("baseline %s holds no benchmark lines", *baselinePath)
+	}
+
+	failed := false
+	for name, b := range base {
+		c, ok := cur[name]
+		if !ok {
+			fmt.Printf("MISSING  %-40s (in baseline, not in current run)\n", name)
+			failed = true
+			continue
+		}
+		if !b.hasAllocs || !c.hasAllocs {
+			continue
+		}
+		limit := b.allocsPerOp*(1+*relTol) + *absTol
+		status := "ok"
+		if c.allocsPerOp > limit {
+			status = "REGRESSED"
+			failed = true
+		}
+		fmt.Printf("%-9s %-40s allocs/op %8.0f -> %8.0f   ns/op %10.0f -> %10.0f\n",
+			status, name, b.allocsPerOp, c.allocsPerOp, b.nsPerOp, c.nsPerOp)
+	}
+	for name := range cur {
+		if _, ok := base[name]; !ok {
+			fmt.Printf("new       %-40s (not in baseline; add it with `make bench-baseline`)\n", name)
+		}
+	}
+	if failed {
+		fmt.Println("\nallocation regression detected — if intentional, refresh the baseline with `make bench-baseline`")
+		os.Exit(1)
+	}
+}
+
+// parseFile extracts Benchmark lines from `go test -bench -benchmem`
+// output, keyed by name with the -<GOMAXPROCS> suffix stripped.
+func parseFile(path string) (map[string]result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]result{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		var r result
+		for i := 2; i+1 < len(fields); i++ {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.nsPerOp = v
+			case "allocs/op":
+				r.allocsPerOp = v
+				r.hasAllocs = true
+			}
+		}
+		out[name] = r
+	}
+	return out, sc.Err()
+}

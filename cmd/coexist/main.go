@@ -9,6 +9,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"sync"
 
 	"sledzig"
 )
@@ -27,6 +28,7 @@ func main() {
 	acks := flag.Bool("acks", false, "use 802.15.4 acknowledgments with retries")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (keeps the process alive after the run)")
+	workers := flag.Int("workers", 1, "scenario variants simulated concurrently (the normal and SledZig runs are independent; >1 runs them in parallel)")
 	flag.Parse()
 
 	var metrics *sledzig.Metrics
@@ -71,14 +73,32 @@ func main() {
 		fmt.Printf("scenario: %v on CH%d, d_WZ=%.1f m, d_Z=%.1f m, WiFi duty %.0f%%\n\n",
 			m, *ch, *dwz, *dz, *duty*100)
 	}
+	// The two variants are independent simulations; -workers > 1 runs them
+	// concurrently. Output order stays fixed (normal first) either way.
+	variants := []bool{false, true}
+	variantRes := make([]*sledzig.CoexistenceResult, len(variants))
+	variantErr := make([]error, len(variants))
+	sem := make(chan struct{}, max(1, *workers))
+	var wg sync.WaitGroup
+	for i, useSled := range variants {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, useSled bool) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			cfg := base
+			cfg.UseSledZig = useSled
+			variantRes[i], variantErr[i] = sledzig.SimulateCoexistence(cfg)
+		}(i, useSled)
+	}
+	wg.Wait()
+
 	results := map[string]*sledzig.CoexistenceResult{}
-	for _, useSled := range []bool{false, true} {
-		cfg := base
-		cfg.UseSledZig = useSled
-		res, err := sledzig.SimulateCoexistence(cfg)
-		if err != nil {
-			log.Fatal(err)
+	for i, useSled := range variants {
+		if variantErr[i] != nil {
+			log.Fatal(variantErr[i])
 		}
+		res := variantRes[i]
 		name := "normal WiFi"
 		if useSled {
 			name = "SledZig    "

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -42,10 +43,17 @@ func main() {
 	log.SetFlags(0)
 	quick := flag.Bool("quick", false, "shorter simulations (less stable statistics)")
 	seed := flag.Int64("seed", 1, "random seed for all experiments")
-	only := flag.String("only", "", "run a single experiment (theory, table2, table34, minsnr, fig5b, fig11..fig17, baselines, fleet, ht40, ccamode, percurve, phylevel)")
+	only := flag.String("only", "", "run a single experiment (theory, table2, table34, minsnr, fig5b, fig11..fig17, baselines, fleet, ht40, ccamode, percurve, phylevel, engine)")
 	manifestPath := flag.String("manifest", "", "write a JSON run manifest (config, seed, go version, wall time, metrics snapshot) to this file")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while the experiments run")
+	workers := flag.Int("workers", 0, "goroutines for parallel sweeps and the engine experiment (0 = all cores)")
 	flag.Parse()
+
+	if *workers > 0 {
+		// The sweep helpers size their fan-out from GOMAXPROCS, so one
+		// knob caps every parallel stage of the run.
+		runtime.GOMAXPROCS(*workers)
+	}
 
 	metrics := sledzig.NewMetrics()
 	sledzig.SetDefaultMetrics(metrics)
@@ -340,6 +348,51 @@ func main() {
 		}
 		fmt.Print(exp.FormatPhyLevel(res))
 		fmt.Println("(real WiFi + ZigBee waveforms mixed at sample level; unsynchronized correlation receiver)")
+		return nil
+	})
+
+	run("engine", func() error {
+		n := 256
+		if *quick {
+			n = 64
+		}
+		cfg := sledzig.Config{Modulation: sledzig.QAM64, CodeRate: sledzig.Rate34, Channel: sledzig.CH2}
+		payloads := make([][]byte, n)
+		for i := range payloads {
+			p := make([]byte, 400)
+			for j := range p {
+				p[j] = byte(int(*seed) + i + j)
+			}
+			payloads[i] = p
+		}
+
+		enc, err := sledzig.NewEncoder(cfg)
+		if err != nil {
+			return err
+		}
+		seqStart := time.Now()
+		for _, p := range payloads {
+			if _, err := enc.Encode(p); err != nil {
+				return err
+			}
+		}
+		seqSecs := time.Since(seqStart).Seconds()
+
+		eng, err := sledzig.NewEngine(sledzig.EngineConfig{Config: cfg, Workers: *workers})
+		if err != nil {
+			return err
+		}
+		defer eng.Close()
+		batchStart := time.Now()
+		if _, err := eng.EncodeBatch(context.Background(), payloads); err != nil {
+			return err
+		}
+		batchSecs := time.Since(batchStart).Seconds()
+
+		fmt.Printf("Engine throughput — %d frames of 400 B, QAM-64 r=3/4, CH2\n", n)
+		fmt.Printf("  sequential Encode:       %8.1f frames/s\n", float64(n)/seqSecs)
+		fmt.Printf("  EncodeBatch (%2d workers): %8.1f frames/s  (%.2fx)\n",
+			eng.Workers(), float64(n)/batchSecs, seqSecs/batchSecs)
 		return nil
 	})
 

@@ -1,0 +1,99 @@
+package sledzig
+
+import (
+	"math"
+
+	"sledzig/internal/core"
+	"sledzig/internal/wifi"
+)
+
+// DecodeResult carries everything DecodeDetailed learns about a received
+// SledZig frame beyond the payload itself.
+type DecodeResult struct {
+	// Payload is the recovered original payload.
+	Payload []byte
+	// Channel is the protected ZigBee channel detected from the
+	// constellation.
+	Channel Channel
+	// Modulation and CodeRate are the mode signalled in the PLCP header.
+	Modulation Modulation
+	CodeRate   CodeRate
+	// ScramblerSeed is the seed the descrambler used (the configured one,
+	// or the 802.11 Annex G default).
+	ScramblerSeed uint8
+	// ExtraBits is how many extra bits the frame spent on the
+	// constellation constraints.
+	ExtraBits int
+	// NumSymbols is the DATA-field length in OFDM symbols.
+	NumSymbols int
+	// SymbolEVM is the per-DATA-symbol RMS error-vector magnitude of the
+	// equalized constellation points against the nearest ideal points
+	// (linear scale, relative to unit average constellation power). On a
+	// clean channel it is ~0; it grows with noise and residual channel
+	// error.
+	SymbolEVM []float64
+}
+
+// DecodeDetailed demodulates a PPDU waveform and returns the payload
+// together with the detected mode, channel, extra-bit count and per-symbol
+// EVM. Decode is the thin compatibility wrapper over this.
+func (d *Decoder) DecodeDetailed(waveform []complex128) (*DecodeResult, error) {
+	seed := d.cfg.ScramblerSeed
+	if seed == 0 {
+		seed = wifi.DefaultScramblerSeed
+	}
+	rx, err := wifi.Receiver{Seed: seed, Convention: d.cfg.Convention}.Receive(waveform)
+	if err != nil {
+		return nil, wrapDecodeErr(err)
+	}
+	payload, ch, err := core.Decoder{Convention: d.cfg.Convention}.DecodeAuto(rx)
+	if err != nil {
+		return nil, wrapDecodeErr(err)
+	}
+	res := &DecodeResult{
+		Payload:       payload,
+		Channel:       ch,
+		Modulation:    rx.Mode.Modulation,
+		CodeRate:      rx.Mode.CodeRate,
+		ScramblerSeed: seed,
+		NumSymbols:    len(rx.DataPoints),
+		SymbolEVM:     symbolEVM(d.cfg.Convention, rx.Mode.Modulation, rx.DataPoints),
+	}
+	// The extra-bit count follows from the detected plan's layout; the
+	// plan cache makes this lookup free after the first frame.
+	if plan, perr := core.CachedPlan(d.cfg.Convention, rx.Mode, ch); perr == nil {
+		if layout, lerr := plan.FrameLayout(len(rx.DataPoints)); lerr == nil {
+			res.ExtraBits = len(layout.Positions)
+		}
+	}
+	return res, nil
+}
+
+// symbolEVM computes the per-symbol RMS error-vector magnitude: each
+// equalized point is hard-demapped, remapped to its ideal position, and
+// the residual measured. The constellations are normalized to unit
+// average power, so the figure is directly the relative EVM.
+func symbolEVM(conv Convention, m Modulation, dataPoints [][]complex128) []float64 {
+	out := make([]float64, len(dataPoints))
+	for s, pts := range dataPoints {
+		var sum float64
+		n := 0
+		for _, p := range pts {
+			b, err := conv.DemapSymbolC(m, p)
+			if err != nil {
+				continue
+			}
+			ideal, err := conv.MapSymbolC(m, b)
+			if err != nil {
+				continue
+			}
+			d := p - ideal
+			sum += real(d)*real(d) + imag(d)*imag(d)
+			n++
+		}
+		if n > 0 {
+			out[s] = math.Sqrt(sum / float64(n))
+		}
+	}
+	return out
+}

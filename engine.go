@@ -1,0 +1,113 @@
+package sledzig
+
+import (
+	"context"
+	"fmt"
+
+	"sledzig/internal/core"
+	"sledzig/internal/engine"
+)
+
+// EngineConfig extends Config with the worker-pool geometry.
+type EngineConfig struct {
+	Config
+	// Workers is the number of encoder goroutines; <= 0 selects
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// Queue bounds the internal job queue and each Stream's output
+	// channel; <= 0 selects 2*Workers. Full queues block submitters —
+	// backpressure instead of unbounded buffering.
+	Queue int
+}
+
+// Engine encodes frames across a pool of workers sharing one cached plan —
+// the high-throughput front-end for sweeps, simulators and traffic
+// generators. All methods are safe for concurrent use; Close it when done.
+type Engine struct {
+	e *engine.Engine
+}
+
+// NewEngine validates the configuration and starts the worker pool. The
+// plan comes from the same process-wide cache NewEncoder uses, so engines
+// and encoders with identical parameters share constraint state.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.Channel.Valid() {
+		return nil, fmt.Errorf("%w: config must name a protected channel (CH1..CH4)", ErrInvalidChannel)
+	}
+	e, err := engine.New(engine.Config{
+		Convention: cfg.Convention,
+		Mode:       cfg.mode(),
+		Channel:    cfg.Channel,
+		Seed:       cfg.ScramblerSeed,
+		Workers:    cfg.Workers,
+		Queue:      cfg.Queue,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{e: e}, nil
+}
+
+// Workers returns the resolved worker count.
+func (e *Engine) Workers() int { return e.e.Workers() }
+
+// EncodeBatch encodes every payload across the pool and returns the frames
+// in input order — byte-identical to calling Encoder.Encode sequentially
+// with the same Config. The first failing payload's error (wrapped in the
+// public taxonomy) aborts the batch result.
+func (e *Engine) EncodeBatch(ctx context.Context, payloads [][]byte) ([]*Frame, error) {
+	results, err := e.e.EncodeBatch(ctx, payloads)
+	if err != nil {
+		return nil, wrapEncodeErr(err)
+	}
+	frames := make([]*Frame, len(results))
+	for i, r := range results {
+		frames[i] = &Frame{res: r}
+	}
+	return frames, nil
+}
+
+// StreamFrame is one streamed encode outcome; Index is the payload's
+// zero-based position in the input stream.
+type StreamFrame struct {
+	Index int
+	Frame *Frame
+	Err   error
+}
+
+// Stream encodes payloads from in as they arrive, delivering results on
+// the returned bounded channel. Results carry the input index; with more
+// than one worker the delivery order is unspecified. The channel closes
+// after in closes (and all work drains) or ctx is cancelled. A stalled
+// consumer backpressures the producer through the bounded queues.
+func (e *Engine) Stream(ctx context.Context, in <-chan []byte) <-chan StreamFrame {
+	src := e.e.Stream(ctx, in)
+	out := make(chan StreamFrame)
+	go func() {
+		defer close(out)
+		for r := range src {
+			sf := StreamFrame{Index: r.Index, Err: wrapEncodeErr(r.Err)}
+			if r.Result != nil {
+				sf.Frame = &Frame{res: r.Result}
+			}
+			select {
+			case out <- sf:
+			case <-ctx.Done():
+				// Keep draining so the inner stream can finish.
+			}
+		}
+	}()
+	return out
+}
+
+// Close stops accepting work, waits for in-flight frames, and releases the
+// workers. Safe to call more than once.
+func (e *Engine) Close() { e.e.Close() }
+
+// PlanCacheSize reports how many (convention, mode, channel) plans the
+// process-wide cache currently holds — an observability helper for tests
+// and diagnostics.
+func PlanCacheSize() int { return core.PlanCacheLen() }

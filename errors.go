@@ -1,0 +1,74 @@
+package sledzig
+
+import (
+	"errors"
+	"fmt"
+
+	"sledzig/internal/core"
+	"sledzig/internal/wifi"
+)
+
+// Sentinel errors of the public API. Every error returned by NewEncoder,
+// Encode, Decode, DecodeDetailed and the Engine wraps one of these (or is
+// a plain internal error for conditions outside this taxonomy), so callers
+// classify failures with errors.Is instead of parsing messages:
+//
+//	payload, ch, err := dec.Decode(wave)
+//	switch {
+//	case errors.Is(err, sledzig.ErrNoProtectedChannel):
+//	    // standard WiFi frame — fall back to DecodeNormal
+//	case errors.Is(err, sledzig.ErrNoPreamble):
+//	    // capture too short / not a PPDU
+//	}
+var (
+	// ErrInvalidChannel marks a Config whose Channel is not CH1..CH4 where
+	// one is required (encoding).
+	ErrInvalidChannel = errors.New("sledzig: invalid protected channel")
+	// ErrPayloadTooLarge marks a payload outside the encodable range
+	// (empty, or beyond the 16-bit length header / PSDU limit).
+	ErrPayloadTooLarge = errors.New("sledzig: payload size out of range")
+	// ErrNoPreamble marks a waveform too short to contain the 802.11
+	// preamble and SIGNAL symbol, or truncated before the PPDU end.
+	ErrNoPreamble = errors.New("sledzig: no complete PPDU in waveform")
+	// ErrBadSignalField marks an undecodable PLCP SIGNAL field (parity
+	// failure, unknown RATE, reserved bit set, zero length).
+	ErrBadSignalField = errors.New("sledzig: SIGNAL field undecodable")
+	// ErrExtraBitMismatch marks a frame whose extra-bit geometry does not
+	// match the detected plan — typically a convention or seed mismatch
+	// between transmitter and receiver.
+	ErrExtraBitMismatch = errors.New("sledzig: extra-bit layout mismatch")
+	// ErrNoProtectedChannel marks a successfully demodulated frame with no
+	// SledZig-protected channel in its constellation (a standard frame).
+	ErrNoProtectedChannel = errors.New("sledzig: no protected channel detected")
+)
+
+// wrapEncodeErr maps internal encoder failures onto the public taxonomy,
+// keeping the internal chain intact for %v detail and errors.Is.
+func wrapEncodeErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, core.ErrPayloadSize) {
+		return fmt.Errorf("%w: %w", ErrPayloadTooLarge, err)
+	}
+	return err
+}
+
+// wrapDecodeErr maps internal receive/decode failures onto the public
+// taxonomy.
+func wrapDecodeErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	switch {
+	case errors.Is(err, wifi.ErrShortWaveform):
+		return fmt.Errorf("%w: %w", ErrNoPreamble, err)
+	case errors.Is(err, wifi.ErrBadSignal):
+		return fmt.Errorf("%w: %w", ErrBadSignalField, err)
+	case errors.Is(err, core.ErrNoProtectedChannel):
+		return fmt.Errorf("%w: %w", ErrNoProtectedChannel, err)
+	case errors.Is(err, core.ErrExtraBitLayout), errors.Is(err, core.ErrConstraintUnsatisfied):
+		return fmt.Errorf("%w: %w", ErrExtraBitMismatch, err)
+	}
+	return err
+}

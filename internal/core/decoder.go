@@ -34,7 +34,7 @@ func (d Decoder) DecodeAuto(rx *wifi.RxResult) ([]byte, ZigBeeChannel, error) {
 	ch, ok := d.DetectChannel(rx.Mode.Modulation, rx.DataPoints)
 	if !ok {
 		m.decDetect.Fail(t0)
-		err := fmt.Errorf("core: no SledZig-protected channel detected")
+		err := fmt.Errorf("core: no SledZig-protected channel detected: %w", ErrNoProtectedChannel)
 		m.fail(m.failDetect, "core.decode", "decode_fail.detect", err)
 		return nil, 0, err
 	}
@@ -51,7 +51,7 @@ func (d Decoder) decodeWithPlan(rx *wifi.RxResult, plan *Plan) ([]byte, error) {
 	t0 := m.decStrip.Start()
 	nDBPS := plan.Mode.DataBitsPerSymbol()
 	if len(rx.DataBits)%nDBPS != 0 {
-		err := fmt.Errorf("core: DATA field of %d bits is not whole symbols of %d", len(rx.DataBits), nDBPS)
+		err := fmt.Errorf("core: DATA field of %d bits is not whole symbols of %d: %w", len(rx.DataBits), nDBPS, ErrExtraBitLayout)
 		m.decStrip.Fail(t0)
 		m.fail(m.failLayout, "core.decode", "decode_fail.layout", err)
 		return nil, err
@@ -66,7 +66,7 @@ func (d Decoder) decodeWithPlan(rx *wifi.RxResult, plan *Plan) ([]byte, error) {
 	extra := make([]bool, len(rx.DataBits))
 	for _, p := range layout.Positions {
 		if p >= len(extra) {
-			err := fmt.Errorf("core: layout position %d beyond frame", p)
+			err := fmt.Errorf("core: layout position %d beyond frame: %w", p, ErrExtraBitLayout)
 			m.decStrip.Fail(t0)
 			m.fail(m.failLayout, "core.decode", "decode_fail.layout", err)
 			return nil, err
@@ -80,7 +80,7 @@ func (d Decoder) decodeWithPlan(rx *wifi.RxResult, plan *Plan) ([]byte, error) {
 		}
 	}
 	if len(logical) < serviceBits+8*headerOctets {
-		err := fmt.Errorf("core: stripped stream too short (%d bits)", len(logical))
+		err := fmt.Errorf("core: stripped stream too short (%d bits): %w", len(logical), ErrExtraBitLayout)
 		m.decStrip.Fail(t0)
 		m.fail(m.failLength, "core.decode", "decode_fail.length", err)
 		return nil, err
@@ -94,14 +94,14 @@ func (d Decoder) decodeWithPlan(rx *wifi.RxResult, plan *Plan) ([]byte, error) {
 	}
 	length := int(headerBytes[0]) | int(headerBytes[1])<<8
 	if length == 0 {
-		err := fmt.Errorf("core: header declares empty payload")
+		err := fmt.Errorf("core: header declares empty payload: %w", ErrExtraBitLayout)
 		m.decStrip.Fail(t0)
 		m.fail(m.failHeader, "core.decode", "decode_fail.header", err)
 		return nil, err
 	}
 	need := 8 * (headerOctets + length)
 	if len(body) < need {
-		err := fmt.Errorf("core: header declares %d octets but only %d bits remain", length, len(body)-8*headerOctets)
+		err := fmt.Errorf("core: header declares %d octets but only %d bits remain: %w", length, len(body)-8*headerOctets, ErrExtraBitLayout)
 		m.decStrip.Fail(t0)
 		m.fail(m.failLength, "core.decode", "decode_fail.length", err)
 		return nil, err

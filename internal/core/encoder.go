@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"sledzig/internal/bits"
 	"sledzig/internal/wifi"
@@ -56,16 +57,47 @@ func (e *Encoder) NumSymbols(length int) int {
 	return (needed + eff - 1) / eff
 }
 
-// Encode builds the SledZig frame for payload.
+// Encode builds the SledZig frame for payload. Every result buffer is
+// freshly allocated; batch and streaming callers that can recycle results
+// should use EncodeTo.
 func (e *Encoder) Encode(payload []byte) (*EncodeResult, error) {
+	res := new(EncodeResult)
+	if err := e.EncodeTo(payload, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// encodeScratch holds the per-frame intermediate bit buffers that never
+// escape Encode, pooled so steady-state encoding allocates nothing for
+// them.
+type encodeScratch struct {
+	logical []bits.Bit
+	u       []bits.Bit
+	extra   []bool
+}
+
+var encodeScratchPool = sync.Pool{New: func() any { return new(encodeScratch) }}
+
+// EncodeTo builds the SledZig frame for payload into res, reusing res's
+// existing buffers (TransmitBits and Frame.ScrambledBits) when their
+// capacity suffices. On success res is fully overwritten; on error its
+// contents are unspecified. The caller owns res until the next EncodeTo
+// with the same res — results handed to other goroutines must not be
+// reused. res.Layout aliases the plan's shared, read-only layout. The
+// bit-stream outputs are identical to Encode's for the same payload.
+func (e *Encoder) EncodeTo(payload []byte, res *EncodeResult) error {
 	m := metrics()
 	if e.Plan == nil {
-		return nil, fmt.Errorf("core: encoder has no plan")
+		return fmt.Errorf("core: encoder has no plan")
+	}
+	if res == nil {
+		return fmt.Errorf("core: EncodeTo needs a result to fill")
 	}
 	if len(payload) == 0 || len(payload) > 0xFFFF {
-		err := fmt.Errorf("core: payload length %d outside [1, 65535]", len(payload))
+		err := fmt.Errorf("core: payload length %d outside [1, 65535]: %w", len(payload), ErrPayloadSize)
 		m.fail(m.failEncoder, "core.encode", "encode_fail.validate", err)
-		return nil, err
+		return err
 	}
 	nSym := e.NumSymbols(len(payload))
 	t0 := m.encLayout.Start()
@@ -73,57 +105,74 @@ func (e *Encoder) Encode(payload []byte) (*EncodeResult, error) {
 	if err != nil {
 		m.encLayout.Fail(t0)
 		m.fail(m.failEncoder, "core.encode", "encode_fail.layout", err)
-		return nil, err
+		return err
 	}
 	m.encLayout.Done(t0, 0)
 	nDBPS := e.Plan.Mode.DataBitsPerSymbol()
 	total := nSym * nDBPS
 	if len(layout.Positions) >= total {
-		return nil, fmt.Errorf("core: layout consumes the whole frame")
+		return fmt.Errorf("core: layout consumes the whole frame")
 	}
+
+	scratch := encodeScratchPool.Get().(*encodeScratch)
+	defer encodeScratchPool.Put(scratch)
 
 	// Logical stream: SERVICE zeros, length header, payload, tail zeros,
 	// zero padding up to the non-extra capacity.
-	logical := make([]bits.Bit, 0, total-len(layout.Positions))
-	logical = append(logical, make([]bits.Bit, serviceBits)...)
-	header := []byte{byte(len(payload)), byte(len(payload) >> 8)}
-	logical = append(logical, bits.FromBytes(header)...)
-	logical = append(logical, bits.FromBytes(payload)...)
-	logical = append(logical, make([]bits.Bit, tailBits)...)
 	capacity := total - len(layout.Positions)
-	if len(logical) > capacity {
-		return nil, fmt.Errorf("core: internal error: logical stream %d exceeds capacity %d", len(logical), capacity)
+	need := serviceBits + 8*(headerOctets+len(payload)) + tailBits
+	if need > capacity {
+		return fmt.Errorf("core: internal error: logical stream %d exceeds capacity %d", need, capacity)
 	}
-	logical = append(logical, make([]bits.Bit, capacity-len(logical))...)
+	scratch.logical = bits.Grow(scratch.logical, capacity)
+	logical := scratch.logical
+	clear(logical)
+	header := [headerOctets]byte{byte(len(payload)), byte(len(payload) >> 8)}
+	n := serviceBits
+	n += bits.CopyBytes(logical[n:], header[:])
+	bits.CopyBytes(logical[n:], payload)
 
 	// Physical unscrambled stream: logical bits at non-extra positions.
-	extra := make([]bool, total)
+	if cap(scratch.extra) < total {
+		scratch.extra = make([]bool, total)
+	}
+	scratch.extra = scratch.extra[:total]
+	extra := scratch.extra
+	clear(extra)
 	for _, p := range layout.Positions {
 		if p < 0 || p >= total {
-			return nil, fmt.Errorf("core: extra position %d outside frame of %d bits", p, total)
+			return fmt.Errorf("core: extra position %d outside frame of %d bits", p, total)
 		}
 		extra[p] = true
 	}
-	u := make([]bits.Bit, total)
+	scratch.u = bits.Grow(scratch.u, total)
+	u := scratch.u
 	li := 0
 	for i := range u {
-		if !extra[i] {
+		if extra[i] {
+			u[i] = 0
+		} else {
 			u[i] = logical[li]
 			li++
 		}
 	}
 
 	// Scramble, then solve the extra bits in the scrambled (encoder-input)
-	// domain.
+	// domain. x becomes the frame's encoder-input stream, so it lives in
+	// the (reusable) result buffer rather than the scratch pool.
 	seed := e.Seed
 	if seed == 0 {
 		seed = wifi.DefaultScramblerSeed
 	}
+	var x []bits.Bit
+	if res.Frame != nil {
+		x = res.Frame.ScrambledBits
+	}
+	x = bits.Grow(x, total)
 	t0 = m.encScramble.Start()
-	x, err := wifi.ScrambleWithSeed(u, seed)
-	if err != nil {
+	if err := wifi.ScrambleWithSeedInto(x, u, seed); err != nil {
 		m.encScramble.Fail(t0)
-		return nil, err
+		return err
 	}
 	m.encScramble.Done(t0, len(payload))
 	// Zero the placeholders: scrambling flipped some of them to the
@@ -135,49 +184,84 @@ func (e *Encoder) Encode(payload []byte) (*EncodeResult, error) {
 	if err := solveClusters(x, layout.Clusters); err != nil {
 		m.encSolve.Fail(t0)
 		m.fail(m.failEncoder, "core.encode", "encode_fail.solve", err)
-		return nil, err
+		return err
 	}
 	m.encSolve.Done(t0, 0)
 	t0 = m.encVerify.Start()
 	if err := verifyConstraints(x, layout.Clusters); err != nil {
 		m.encVerify.Fail(t0)
 		m.fail(m.failEncoder, "core.encode", "encode_fail.verify", err)
-		return nil, err
+		return err
 	}
 	m.encVerify.Done(t0, 0)
 
 	// The standard-compatible "transmit bits" are the descrambled stream.
-	transmit, err := wifi.ScrambleWithSeed(x, seed)
-	if err != nil {
-		return nil, err
+	res.TransmitBits = bits.Grow(res.TransmitBits, total)
+	if err := wifi.ScrambleWithSeedInto(res.TransmitBits, x, seed); err != nil {
+		return err
 	}
 
 	signalled := (total - serviceBits - tailBits) / 8
-	tx := wifi.Transmitter{Mode: e.Plan.Mode, Seed: seed, Convention: e.Plan.Convention}
-	frame, err := tx.FrameFromScrambled(x, signalled)
-	if err != nil {
-		return nil, err
+	if signalled < 1 || signalled > wifi.MaxPSDULength {
+		err := fmt.Errorf("core: signalled length %d out of range [1, %d]: %w", signalled, wifi.MaxPSDULength, ErrPayloadSize)
+		m.fail(m.failEncoder, "core.encode", "encode_fail.validate", err)
+		return err
 	}
+	if err := e.Plan.Mode.Validate(); err != nil {
+		return err
+	}
+	if res.Frame == nil {
+		res.Frame = new(wifi.Frame)
+	}
+	*res.Frame = wifi.Frame{
+		Mode:          e.Plan.Mode,
+		Convention:    e.Plan.Convention,
+		PSDULength:    signalled,
+		Terminated:    false,
+		ScrambledBits: x,
+		NumSymbols:    nSym,
+	}
+	res.Layout = layout
+	res.PayloadLength = len(payload)
 	m.encFrames.Inc()
 	m.encPayload.Add(uint64(len(payload)))
-	return &EncodeResult{
-		Frame:         frame,
-		TransmitBits:  transmit,
-		Layout:        layout,
-		PayloadLength: len(payload),
-	}, nil
+	return nil
 }
+
+// solveScratch backs the augmented matrices of solveClusters; a frame
+// solves hundreds of small clusters, so the backing is pooled rather than
+// reallocated per cluster.
+type solveScratch struct {
+	rows  [][]bits.Bit
+	cells []bits.Bit
+}
+
+var solveScratchPool = sync.Pool{New: func() any { return new(solveScratch) }}
 
 // solveClusters determines the extra bits in the scrambled stream x so
 // every cluster's pinned encoder outputs hold. Clusters are processed in
 // order; each is a small GF(2) linear solve.
 func solveClusters(x []bits.Bit, clusters []Cluster) error {
+	s := solveScratchPool.Get().(*solveScratch)
+	defer solveScratchPool.Put(s)
 	for _, cl := range clusters {
 		e := len(cl.Equations)
-		// Augmented matrix over the cluster's unknown positions.
-		rows := make([][]bits.Bit, e)
+		w := e + 1
+		// Augmented matrix over the cluster's unknown positions, carved
+		// out of the pooled flat backing.
+		if cap(s.rows) < e {
+			s.rows = make([][]bits.Bit, e)
+		}
+		if cap(s.cells) < e*w {
+			s.cells = make([]bits.Bit, e*w)
+		}
+		rows := s.rows[:e]
+		cells := s.cells[:e*w]
+		clear(cells)
+		for r := range rows {
+			rows[r] = cells[r*w : (r+1)*w]
+		}
 		for r, eq := range cl.Equations {
-			rows[r] = make([]bits.Bit, e+1)
 			for c, p := range cl.Positions {
 				d := eq.Step() - p
 				if d >= 0 && d < wifi.ConstraintLength {
@@ -202,7 +286,7 @@ func solveClusters(x []bits.Bit, clusters []Cluster) error {
 				}
 			}
 			if pivot < 0 {
-				return fmt.Errorf("core: singular cluster system at column %d", col)
+				return fmt.Errorf("core: singular cluster system at column %d: %w", col, ErrConstraintUnsatisfied)
 			}
 			rows[col], rows[pivot] = rows[pivot], rows[col]
 			for r := 0; r < e; r++ {
@@ -244,8 +328,8 @@ func verifyConstraints(x []bits.Bit, clusters []Cluster) error {
 	for _, cl := range clusters {
 		for _, eq := range cl.Equations {
 			if got := encodeOutput(x, eq); got != eq.Value {
-				return fmt.Errorf("core: constraint at mother index %d unsatisfied (got %d, want %d)",
-					eq.MotherIndex, got, eq.Value)
+				return fmt.Errorf("core: constraint at mother index %d unsatisfied (got %d, want %d): %w",
+					eq.MotherIndex, got, eq.Value, ErrConstraintUnsatisfied)
 			}
 		}
 	}

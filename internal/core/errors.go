@@ -1,0 +1,22 @@
+package core
+
+import "errors"
+
+// Sentinel errors of the encode/decode pipeline. Internal failure sites
+// wrap these with %w so both the facade and tests can classify failures
+// with errors.Is instead of string matching.
+var (
+	// ErrPayloadSize marks a payload outside the encodable size range.
+	ErrPayloadSize = errors.New("payload size out of range")
+	// ErrNoProtectedChannel marks a decode on a frame where no overlapped
+	// ZigBee channel shows the SledZig lowest-ring signature.
+	ErrNoProtectedChannel = errors.New("no protected channel detected")
+	// ErrConstraintUnsatisfied marks an extra-bit system that could not be
+	// solved or verified: the frame's pinned constellation constraints and
+	// the convolutional-coder structure disagree.
+	ErrConstraintUnsatisfied = errors.New("extra-bit constraints unsatisfied")
+	// ErrExtraBitLayout marks a decode whose stripped stream is
+	// inconsistent with the plan's extra-bit layout (wrong convention,
+	// wrong channel, or a corrupted frame).
+	ErrExtraBitLayout = errors.New("extra-bit layout mismatch")
+)

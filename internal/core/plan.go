@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"sledzig/internal/bits"
 	"sledzig/internal/wifi"
@@ -25,6 +26,12 @@ type Plan struct {
 	// symbolConstraints are the constraints of one OFDM symbol, sorted by
 	// mother index.
 	symbolConstraints []Constraint
+
+	// layouts memoizes FrameLayout by symbol count. Layouts are immutable
+	// once built, so cached instances are shared freely across goroutines;
+	// frames of recurring sizes (the common case for batch traffic) pay
+	// the cluster planning cost once.
+	layouts sync.Map // int -> *FrameLayout
 }
 
 // NewPlan builds the plan for a protected ZigBee channel using its full
@@ -96,9 +103,28 @@ type Cluster struct {
 	Positions []int
 }
 
-// FrameLayout computes the global extra-bit positions and solving clusters
-// for a frame of nSymbols OFDM symbols.
+// FrameLayout returns the global extra-bit positions and solving clusters
+// for a frame of nSymbols OFDM symbols. Layouts are memoized per plan and
+// shared: the returned value is read-only and must not be modified.
 func (p *Plan) FrameLayout(nSymbols int) (*FrameLayout, error) {
+	if v, ok := p.layouts.Load(nSymbols); ok {
+		metrics().layoutHit.Inc()
+		return v.(*FrameLayout), nil
+	}
+	metrics().layoutMiss.Inc()
+	layout, err := p.computeFrameLayout(nSymbols)
+	if err != nil {
+		return nil, err
+	}
+	// Concurrent first computations are identical (the planner is
+	// deterministic); keep whichever landed first so every caller shares
+	// one instance.
+	v, _ := p.layouts.LoadOrStore(nSymbols, layout)
+	return v.(*FrameLayout), nil
+}
+
+// computeFrameLayout derives a layout from scratch.
+func (p *Plan) computeFrameLayout(nSymbols int) (*FrameLayout, error) {
 	if nSymbols < 1 {
 		return nil, fmt.Errorf("core: frame needs at least one symbol, got %d", nSymbols)
 	}
@@ -249,7 +275,7 @@ func planCluster(eqs []Constraint) (*Cluster, error) {
 		}
 	}
 	if len(pivotCols) != e {
-		return nil, fmt.Errorf("core: cluster of %d constraints at steps %d..%d is unsolvable", e, minStep, maxStep)
+		return nil, fmt.Errorf("core: cluster of %d constraints at steps %d..%d is unsolvable: %w", e, minStep, maxStep, ErrConstraintUnsatisfied)
 	}
 	positions := make([]int, e)
 	for i, c := range pivotCols {

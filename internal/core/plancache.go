@@ -1,0 +1,56 @@
+package core
+
+import (
+	"sync"
+
+	"sledzig/internal/wifi"
+)
+
+// planKey identifies one precomputed plan: everything NewPlan derives
+// state from.
+type planKey struct {
+	conv wifi.Convention
+	mode wifi.Mode
+	ch   ZigBeeChannel
+}
+
+// planEntry makes plan construction single-flight: concurrent first
+// requests for the same key build the plan once and share the result.
+type planEntry struct {
+	once sync.Once
+	plan *Plan
+	err  error
+}
+
+var planCache sync.Map // planKey -> *planEntry
+
+// CachedPlan returns the process-wide shared plan for (conv, mode, ch),
+// building it on first use. Plans are immutable after construction, so one
+// instance serves any number of encoders, decoders and engine workers
+// concurrently; hot paths should prefer this over NewPlan, which always
+// rebuilds. Construction errors are cached alongside the plan (they are
+// deterministic for a given key).
+func CachedPlan(conv wifi.Convention, mode wifi.Mode, ch ZigBeeChannel) (*Plan, error) {
+	key := planKey{conv: conv, mode: mode, ch: ch}
+	v, ok := planCache.Load(key)
+	if !ok {
+		v, _ = planCache.LoadOrStore(key, new(planEntry))
+		metrics().planMiss.Inc()
+	} else {
+		metrics().planHit.Inc()
+	}
+	e := v.(*planEntry)
+	e.once.Do(func() {
+		e.plan, e.err = NewPlan(conv, mode, ch)
+	})
+	return e.plan, e.err
+}
+
+// PlanCacheLen reports how many (convention, mode, channel) keys the
+// process-wide plan cache currently holds — an observability and test
+// hook, not a capacity control (the key space is small and bounded).
+func PlanCacheLen() int {
+	n := 0
+	planCache.Range(func(any, any) bool { n++; return true })
+	return n
+}

@@ -48,12 +48,43 @@ func MustIFFT(x []complex128) []complex128 {
 	return out
 }
 
+// FFTInto computes the DFT of x into dst. Both must have the same
+// power-of-two length and must not alias: the bit-reversal pass reads x
+// while writing dst. No allocation — the scratch-free variant hot loops
+// (OFDM symbol synthesis) use with pooled buffers.
+func FFTInto(dst, x []complex128) error {
+	return transformInto(dst, x, false)
+}
+
+// IFFTInto computes the inverse DFT of x into dst, including the 1/N
+// normalization. Same aliasing and length rules as FFTInto.
+func IFFTInto(dst, x []complex128) error {
+	if err := transformInto(dst, x, true); err != nil {
+		return err
+	}
+	n := complex(float64(len(dst)), 0)
+	for i := range dst {
+		dst[i] /= n
+	}
+	return nil
+}
+
 func transform(x []complex128, inverse bool) ([]complex128, error) {
+	out := make([]complex128, len(x))
+	if err := transformInto(out, x, inverse); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func transformInto(out, x []complex128, inverse bool) error {
 	n := len(x)
 	if n == 0 || n&(n-1) != 0 {
-		return nil, fmt.Errorf("dsp: FFT length %d is not a positive power of two", n)
+		return fmt.Errorf("dsp: FFT length %d is not a positive power of two", n)
 	}
-	out := make([]complex128, n)
+	if len(out) != n {
+		return fmt.Errorf("dsp: FFT destination length %d != input length %d", len(out), n)
+	}
 	// Bit-reversal permutation.
 	shift := 64 - uint(bits.TrailingZeros(uint(n)))
 	for i := range x {
@@ -78,7 +109,7 @@ func transform(x []complex128, inverse bool) ([]complex128, error) {
 			}
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // NextPow2 returns the smallest power of two >= n (and at least 1).

@@ -1,0 +1,189 @@
+// Package engine runs the SledZig encoder across a pool of workers: batch
+// and streaming front-ends over the shared plan cache, with bounded queues
+// for backpressure and full pipeline instrumentation. It exists so callers
+// that encode many frames (sweeps, simulators, traffic generators) saturate
+// every core without re-deriving plans or re-implementing fan-out.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"sledzig/internal/core"
+	"sledzig/internal/wifi"
+)
+
+// ErrClosed is returned by EncodeBatch and Stream submissions after Close.
+var ErrClosed = errors.New("engine closed")
+
+// Config selects the frame parameters (one engine encodes one
+// plan — convention, mode, channel, seed) and the pool geometry.
+type Config struct {
+	Convention wifi.Convention
+	Mode       wifi.Mode
+	Channel    core.ZigBeeChannel
+	// Seed is the scrambler seed (0 selects wifi.DefaultScramblerSeed).
+	Seed uint8
+
+	// Workers is the number of encoder goroutines; <= 0 selects
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// Queue bounds the job queue and each Stream's output channel;
+	// <= 0 selects 2*Workers. A full queue blocks submitters — that is
+	// the backpressure contract.
+	Queue int
+}
+
+// withDefaults resolves the pool geometry.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Queue <= 0 {
+		c.Queue = 2 * c.Workers
+	}
+	return c
+}
+
+// job is one payload in flight: deliver is called exactly once with the
+// outcome, then done (when set) is released.
+type job struct {
+	payload []byte
+	idx     int
+	deliver func(idx int, res *core.EncodeResult, err error)
+	done    *sync.WaitGroup
+}
+
+// Engine is a fixed pool of encoder workers sharing one cached plan.
+// All methods are safe for concurrent use.
+type Engine struct {
+	cfg  Config
+	plan *core.Plan
+
+	mu     sync.RWMutex // guards closed vs. sends on jobs
+	closed bool
+	jobs   chan *job
+	wg     sync.WaitGroup
+}
+
+// New builds the engine: resolves the plan through the process-wide plan
+// cache (so engines and plain Encoders with the same parameters share
+// constraint state) and starts the workers.
+func New(cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	plan, err := core.CachedPlan(cfg.Convention, cfg.Mode, cfg.Channel)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:  cfg,
+		plan: plan,
+		jobs: make(chan *job, cfg.Queue),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		e.wg.Add(1)
+		go e.worker(i)
+	}
+	return e, nil
+}
+
+// Workers returns the resolved worker count.
+func (e *Engine) Workers() int { return e.cfg.Workers }
+
+// Plan exposes the engine's shared, read-only plan.
+func (e *Engine) Plan() *core.Plan { return e.plan }
+
+func (e *Engine) worker(i int) {
+	defer e.wg.Done()
+	m := metrics()
+	stage := m.workerStage(i)
+	enc := &core.Encoder{Plan: e.plan, Seed: e.cfg.Seed}
+	for j := range e.jobs {
+		m.queueDepth.Add(-1)
+		t0 := stage.Start()
+		res := new(core.EncodeResult)
+		err := enc.EncodeTo(j.payload, res)
+		if err != nil {
+			stage.Fail(t0)
+			m.failures.Inc()
+			j.deliver(j.idx, nil, err)
+		} else {
+			stage.Done(t0, len(j.payload))
+			j.deliver(j.idx, res, nil)
+		}
+		if j.done != nil {
+			j.done.Done()
+		}
+	}
+}
+
+// submit enqueues one job, honouring cancellation and close.
+func (e *Engine) submit(ctx context.Context, j *job) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return ErrClosed
+	}
+	select {
+	case e.jobs <- j:
+		metrics().queueDepth.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// EncodeBatch encodes every payload across the pool and returns the
+// results in input order. The first error (by input order) is returned
+// after all submitted work has drained; a cancelled context abandons the
+// unsubmitted remainder but still waits for in-flight frames.
+func (e *Engine) EncodeBatch(ctx context.Context, payloads [][]byte) ([]*core.EncodeResult, error) {
+	m := metrics()
+	start := time.Now()
+	results := make([]*core.EncodeResult, len(payloads))
+	errs := make([]error, len(payloads))
+	var done sync.WaitGroup
+	deliver := func(idx int, res *core.EncodeResult, err error) {
+		results[idx] = res
+		errs[idx] = err
+	}
+	var submitErr error
+	for i, p := range payloads {
+		done.Add(1)
+		j := &job{payload: p, idx: i, deliver: deliver, done: &done}
+		if err := e.submit(ctx, j); err != nil {
+			done.Done()
+			submitErr = err
+			break
+		}
+	}
+	done.Wait()
+	m.batchLatency.ObserveDuration(time.Since(start))
+	m.batches.Inc()
+	if submitErr != nil {
+		return nil, submitErr
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("engine: payload %d: %w", i, err)
+		}
+	}
+	m.frames.Add(uint64(len(payloads)))
+	return results, nil
+}
+
+// Close stops accepting work, drains the queue, and waits for the workers
+// to exit. Safe to call more than once.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if !e.closed {
+		e.closed = true
+		close(e.jobs)
+	}
+	e.mu.Unlock()
+	e.wg.Wait()
+}

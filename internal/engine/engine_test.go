@@ -1,0 +1,244 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"sledzig/internal/core"
+	"sledzig/internal/wifi"
+)
+
+func testConfig(workers int) Config {
+	return Config{
+		Convention: wifi.ConventionIEEE,
+		Mode:       wifi.Mode{Modulation: wifi.QAM16, CodeRate: wifi.Rate12},
+		Channel:    core.CH2,
+		Workers:    workers,
+	}
+}
+
+func testPayloads(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		p := make([]byte, 40+13*i)
+		for j := range p {
+			p[j] = byte(i + j*3)
+		}
+		out[i] = p
+	}
+	return out
+}
+
+func TestEncodeBatchMatchesSequentialEncode(t *testing.T) {
+	e, err := New(testConfig(4))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer e.Close()
+	payloads := testPayloads(12)
+	got, err := e.EncodeBatch(context.Background(), payloads)
+	if err != nil {
+		t.Fatalf("EncodeBatch: %v", err)
+	}
+	if len(got) != len(payloads) {
+		t.Fatalf("got %d results for %d payloads", len(got), len(payloads))
+	}
+
+	plan, err := core.NewPlan(wifi.ConventionIEEE, wifi.Mode{Modulation: wifi.QAM16, CodeRate: wifi.Rate12}, core.CH2)
+	if err != nil {
+		t.Fatalf("NewPlan: %v", err)
+	}
+	enc := &core.Encoder{Plan: plan}
+	for i, p := range payloads {
+		want, err := enc.Encode(p)
+		if err != nil {
+			t.Fatalf("sequential Encode %d: %v", i, err)
+		}
+		if got[i] == nil {
+			t.Fatalf("result %d is nil", i)
+		}
+		// Byte-identical: compare the full waveforms, which cover the
+		// scrambled stream, SIGNAL field and OFDM assembly end to end.
+		wantWave, err := want.Frame.Waveform()
+		if err != nil {
+			t.Fatalf("sequential Waveform %d: %v", i, err)
+		}
+		gotWave, err := got[i].Frame.Waveform()
+		if err != nil {
+			t.Fatalf("batch Waveform %d: %v", i, err)
+		}
+		if len(wantWave) != len(gotWave) {
+			t.Fatalf("payload %d: waveform length %d != %d", i, len(gotWave), len(wantWave))
+		}
+		for s := range wantWave {
+			if wantWave[s] != gotWave[s] {
+				t.Fatalf("payload %d: waveform diverges at sample %d", i, s)
+			}
+		}
+		for b := range want.TransmitBits {
+			if got[i].TransmitBits[b] != want.TransmitBits[b] {
+				t.Fatalf("payload %d: transmit bits diverge at %d", i, b)
+			}
+		}
+	}
+}
+
+func TestEngineSharesCachedPlan(t *testing.T) {
+	e1, err := New(testConfig(2))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer e1.Close()
+	e2, err := New(testConfig(3))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer e2.Close()
+	if e1.Plan() != e2.Plan() {
+		t.Fatal("engines with identical parameters built distinct plans")
+	}
+	p, err := core.CachedPlan(wifi.ConventionIEEE, wifi.Mode{Modulation: wifi.QAM16, CodeRate: wifi.Rate12}, core.CH2)
+	if err != nil {
+		t.Fatalf("CachedPlan: %v", err)
+	}
+	if e1.Plan() != p {
+		t.Fatal("engine plan is not the process-wide cached plan")
+	}
+}
+
+func TestEncodeBatchConcurrentCallers(t *testing.T) {
+	e, err := New(testConfig(4))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer e.Close()
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			payloads := testPayloads(6)
+			res, err := e.EncodeBatch(context.Background(), payloads)
+			if err != nil {
+				t.Errorf("caller %d: %v", c, err)
+				return
+			}
+			for i, r := range res {
+				if r == nil || r.PayloadLength != len(payloads[i]) {
+					t.Errorf("caller %d: bad result %d", c, i)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+func TestEncodeBatchPropagatesEncodeError(t *testing.T) {
+	e, err := New(testConfig(2))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer e.Close()
+	payloads := testPayloads(3)
+	payloads[1] = nil // empty payload is invalid
+	_, err = e.EncodeBatch(context.Background(), payloads)
+	if err == nil {
+		t.Fatal("expected error for empty payload")
+	}
+	if !errors.Is(err, core.ErrPayloadSize) {
+		t.Fatalf("error %v does not unwrap to core.ErrPayloadSize", err)
+	}
+}
+
+func TestEncodeBatchContextCancel(t *testing.T) {
+	e, err := New(Config{
+		Convention: wifi.ConventionIEEE,
+		Mode:       wifi.Mode{Modulation: wifi.QAM16, CodeRate: wifi.Rate12},
+		Channel:    core.CH2,
+		Workers:    1,
+		Queue:      1,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer e.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = e.EncodeBatch(ctx, testPayloads(64))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+}
+
+func TestStreamDeliversEverything(t *testing.T) {
+	e, err := New(testConfig(3))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer e.Close()
+	payloads := testPayloads(20)
+	in := make(chan []byte)
+	go func() {
+		defer close(in)
+		for _, p := range payloads {
+			in <- p
+		}
+	}()
+	seen := make(map[int]bool)
+	for r := range e.Stream(context.Background(), in) {
+		if r.Err != nil {
+			t.Fatalf("stream result %d: %v", r.Index, r.Err)
+		}
+		if seen[r.Index] {
+			t.Fatalf("index %d delivered twice", r.Index)
+		}
+		seen[r.Index] = true
+		if r.Result.PayloadLength != len(payloads[r.Index]) {
+			t.Fatalf("index %d: payload length %d != %d", r.Index, r.Result.PayloadLength, len(payloads[r.Index]))
+		}
+	}
+	if len(seen) != len(payloads) {
+		t.Fatalf("delivered %d of %d results", len(seen), len(payloads))
+	}
+}
+
+func TestStreamContextCancelCloses(t *testing.T) {
+	e, err := New(testConfig(2))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer e.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	in := make(chan []byte)
+	out := e.Stream(ctx, in)
+	in <- bytes.Repeat([]byte{0xA5}, 50)
+	cancel()
+	// The channel must close even though in never closes.
+	for range out {
+	}
+}
+
+func TestEngineClosedRejectsWork(t *testing.T) {
+	e, err := New(testConfig(2))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	e.Close()
+	e.Close() // idempotent
+	_, err = e.EncodeBatch(context.Background(), testPayloads(2))
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("expected ErrClosed, got %v", err)
+	}
+}
+
+func TestNewRejectsInvalidChannel(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.Channel = 42
+	if _, err := New(cfg); err == nil {
+		t.Fatal("expected error for invalid channel")
+	}
+}

@@ -1,0 +1,56 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"sledzig/internal/obs"
+)
+
+// Metric handles for the engine, resolved lazily against the process-wide
+// obs registry (nil handles, and therefore no-ops, when observability is
+// off).
+type engineMetrics struct {
+	queueDepth   *obs.Gauge     // jobs enqueued but not yet picked up
+	batchLatency *obs.Histogram // EncodeBatch wall time, seconds
+	batches      *obs.Counter
+	frames       *obs.Counter
+	failures     *obs.Counter
+
+	r      *obs.Registry
+	stages sync.Map // worker index -> *obs.Stage
+}
+
+var engineLazy obs.Lazy[*engineMetrics]
+
+var engineNil = &engineMetrics{}
+
+func metrics() *engineMetrics {
+	return engineLazy.Get(func(r *obs.Registry) *engineMetrics {
+		if r == nil {
+			return engineNil
+		}
+		return &engineMetrics{
+			queueDepth:   r.Gauge("engine.queue_depth"),
+			batchLatency: r.Histogram("engine.batch.latency_seconds"),
+			batches:      r.Counter("engine.batches"),
+			frames:       r.Counter("engine.frames"),
+			failures:     r.Counter("engine.failures"),
+			r:            r,
+		}
+	})
+}
+
+// workerStage resolves the per-worker encode stage bundle
+// (engine.worker<i>.encode.{seconds,calls,bytes,errors}), cached per index.
+func (m *engineMetrics) workerStage(i int) *obs.Stage {
+	if m.r == nil {
+		return nil
+	}
+	if s, ok := m.stages.Load(i); ok {
+		return s.(*obs.Stage)
+	}
+	s := m.r.Scope(fmt.Sprintf("engine.worker%d", i)).Stage("encode")
+	actual, _ := m.stages.LoadOrStore(i, s)
+	return actual.(*obs.Stage)
+}

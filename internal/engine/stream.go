@@ -1,0 +1,64 @@
+package engine
+
+import (
+	"context"
+	"sync"
+
+	"sledzig/internal/core"
+)
+
+// StreamResult is one streamed encode outcome. Index is the zero-based
+// position of the payload in the input stream.
+type StreamResult struct {
+	Index  int
+	Result *core.EncodeResult
+	Err    error
+}
+
+// Stream encodes payloads read from in across the pool, delivering results
+// on the returned channel (buffered to Config.Queue). Results carry the
+// input index; with more than one worker the delivery order is
+// unspecified. The output channel is closed once every accepted input has
+// been delivered, after in closes or ctx is cancelled. Both queues are
+// bounded: a stalled consumer blocks the workers, a full job queue blocks
+// the reader — backpressure propagates to the producer instead of
+// buffering unboundedly.
+func (e *Engine) Stream(ctx context.Context, in <-chan []byte) <-chan StreamResult {
+	out := make(chan StreamResult, e.cfg.Queue)
+	go func() {
+		defer close(out)
+		var inflight sync.WaitGroup
+		deliver := func(idx int, res *core.EncodeResult, err error) {
+			select {
+			case out <- StreamResult{Index: idx, Result: res, Err: err}:
+			case <-ctx.Done():
+			}
+			inflight.Done()
+		}
+		idx := 0
+	feed:
+		for {
+			select {
+			case <-ctx.Done():
+				break feed
+			case p, ok := <-in:
+				if !ok {
+					break feed
+				}
+				inflight.Add(1)
+				j := &job{payload: p, idx: idx, deliver: deliver}
+				if err := e.submit(ctx, j); err != nil {
+					inflight.Done()
+					select {
+					case out <- StreamResult{Index: idx, Err: err}:
+					case <-ctx.Done():
+					}
+					break feed
+				}
+				idx++
+			}
+		}
+		inflight.Wait()
+	}()
+	return out
+}

@@ -186,15 +186,31 @@ func (c Convention) MapAllC(m Modulation, in []bits.Bit) ([]complex128, error) {
 	if len(in)%bpsc != 0 {
 		return nil, fmt.Errorf("wifi: bit stream length %d not a multiple of N_BPSC %d", len(in), bpsc)
 	}
-	out := make([]complex128, 0, len(in)/bpsc)
-	for off := 0; off < len(in); off += bpsc {
-		p, err := c.MapSymbolC(m, in[off:off+bpsc])
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, p)
+	out := make([]complex128, len(in)/bpsc)
+	if err := c.MapAllCInto(m, in, out); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// MapAllCInto is MapAllC writing into dst (len == len(in)/N_BPSC): the
+// allocation-free variant for pooled transmit paths.
+func (c Convention) MapAllCInto(m Modulation, in []bits.Bit, dst []complex128) error {
+	bpsc := m.BitsPerSubcarrier()
+	if len(in)%bpsc != 0 {
+		return fmt.Errorf("wifi: bit stream length %d not a multiple of N_BPSC %d", len(in), bpsc)
+	}
+	if len(dst) != len(in)/bpsc {
+		return fmt.Errorf("wifi: map destination length %d != %d points", len(dst), len(in)/bpsc)
+	}
+	for i := range dst {
+		p, err := c.MapSymbolC(m, in[i*bpsc:(i+1)*bpsc])
+		if err != nil {
+			return err
+		}
+		dst[i] = p
+	}
+	return nil
 }
 
 // DemapAllC hard-demaps a point sequence under the convention.
@@ -243,19 +259,32 @@ func (c Convention) SignificantOffsetsC(m Modulation) (offsets []int, values []b
 // InterleaveAllC applies the per-symbol interleaver across a multi-symbol
 // stream under the convention.
 func (c Convention) InterleaveAllC(m Modulation, in []bits.Bit) ([]bits.Bit, error) {
-	nCBPS := NumDataSubcarriers * m.BitsPerSubcarrier()
-	if len(in)%nCBPS != 0 {
-		return nil, fmt.Errorf("wifi: coded stream length %d not a multiple of N_CBPS %d", len(in), nCBPS)
-	}
-	out := make([]bits.Bit, 0, len(in))
-	for off := 0; off < len(in); off += nCBPS {
-		sym, err := c.InterleaveC(m, in[off:off+nCBPS])
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, sym...)
+	out := make([]bits.Bit, len(in))
+	if err := c.InterleaveAllCInto(m, in, out); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// InterleaveAllCInto is InterleaveAllC writing into dst (len == len(in)):
+// the allocation-free variant for pooled transmit paths. dst must not
+// alias in.
+func (c Convention) InterleaveAllCInto(m Modulation, in, dst []bits.Bit) error {
+	nCBPS := NumDataSubcarriers * m.BitsPerSubcarrier()
+	if len(in)%nCBPS != 0 {
+		return fmt.Errorf("wifi: coded stream length %d not a multiple of N_CBPS %d", len(in), nCBPS)
+	}
+	if len(dst) != len(in) {
+		return fmt.Errorf("wifi: interleave destination length %d != input length %d", len(dst), len(in))
+	}
+	for off := 0; off < len(in); off += nCBPS {
+		sym := in[off : off+nCBPS]
+		out := dst[off : off+nCBPS]
+		for k, b := range sym {
+			out[c.InterleaveIndexC(m, k)] = b
+		}
+	}
+	return nil
 }
 
 // DeinterleaveAllC inverts InterleaveAllC.

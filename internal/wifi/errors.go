@@ -1,0 +1,14 @@
+package wifi
+
+import "errors"
+
+// Sentinel errors of the receive chain, exposed so callers (and the public
+// facade) can classify failures with errors.Is without parsing messages.
+var (
+	// ErrShortWaveform marks a waveform too short to hold the preamble and
+	// SIGNAL symbol, or truncated before the PPDU the SIGNAL field declares.
+	ErrShortWaveform = errors.New("waveform too short")
+	// ErrBadSignal marks an undecodable or inconsistent SIGNAL field
+	// (parity failure, reserved bit set, unknown RATE, zero length).
+	ErrBadSignal = errors.New("SIGNAL field invalid")
+)

@@ -3,6 +3,7 @@ package wifi
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"sledzig/internal/dsp"
 )
@@ -38,22 +39,68 @@ func AssembleSymbol(data []complex128, symbolIndex int) ([]complex128, error) {
 	return TimeDomain(freq), nil
 }
 
+// symbolScratch holds the frequency- and time-domain work vectors of one
+// OFDM symbol synthesis; AppendSymbol pools these so steady-state waveform
+// rendering does not allocate per symbol.
+type symbolScratch struct {
+	freq []complex128
+	td   []complex128
+}
+
+var symbolScratchPool = sync.Pool{New: func() any {
+	return &symbolScratch{
+		freq: make([]complex128, NumSubcarriers),
+		td:   make([]complex128, NumSubcarriers),
+	}
+}}
+
+// AppendSymbol is AssembleSymbol in append form: it appends the 80-sample
+// cyclic-prefixed time-domain symbol to dst and returns the extended
+// slice. All intermediate buffers come from an internal pool, so a caller
+// that reuses dst's capacity renders symbols allocation-free.
+func AppendSymbol(dst []complex128, data []complex128, symbolIndex int) ([]complex128, error) {
+	s := symbolScratchPool.Get().(*symbolScratch)
+	defer symbolScratchPool.Put(s)
+	if err := SubcarrierMapInto(s.freq, data, symbolIndex); err != nil {
+		return dst, err
+	}
+	if err := dsp.IFFTInto(s.td, s.freq); err != nil {
+		return dst, err
+	}
+	dst = append(dst, s.td[NumSubcarriers-CPLength:]...)
+	dst = append(dst, s.td...)
+	return dst, nil
+}
+
 // SubcarrierMap places 48 data points and the 4 pilots into the 64-bin
 // frequency-domain vector (bin k mod 64 for signed subcarrier k).
 func SubcarrierMap(data []complex128, symbolIndex int) ([]complex128, error) {
-	if len(data) != NumDataSubcarriers {
-		return nil, fmt.Errorf("wifi: need %d data points, got %d", NumDataSubcarriers, len(data))
-	}
 	freq := make([]complex128, NumSubcarriers)
-	for i, k := range DataSubcarriers() {
-		freq[bin(k)] = data[i]
+	if err := SubcarrierMapInto(freq, data, symbolIndex); err != nil {
+		return nil, err
+	}
+	return freq, nil
+}
+
+// SubcarrierMapInto is SubcarrierMap writing into a caller-provided 64-bin
+// vector, which is cleared first.
+func SubcarrierMapInto(freq, data []complex128, symbolIndex int) error {
+	if len(data) != NumDataSubcarriers {
+		return fmt.Errorf("wifi: need %d data points, got %d", NumDataSubcarriers, len(data))
+	}
+	if len(freq) != NumSubcarriers {
+		return fmt.Errorf("wifi: need %d bins, got %d", NumSubcarriers, len(freq))
+	}
+	clear(freq)
+	for i, b := range dataBins {
+		freq[b] = data[i]
 	}
 	p := complex(PilotPolarity(symbolIndex), 0)
 	freq[bin(-21)] = p
 	freq[bin(-7)] = p
 	freq[bin(7)] = p
 	freq[bin(21)] = -p
-	return freq, nil
+	return nil
 }
 
 // ExtractSubcarriers inverts SubcarrierMap for the data bins: given the
@@ -64,8 +111,8 @@ func ExtractSubcarriers(freq []complex128) ([]complex128, error) {
 		return nil, fmt.Errorf("wifi: need %d bins, got %d", NumSubcarriers, len(freq))
 	}
 	out := make([]complex128, 0, NumDataSubcarriers)
-	for _, k := range DataSubcarriers() {
-		out = append(out, freq[bin(k)])
+	for _, b := range dataBins {
+		out = append(out, freq[b])
 	}
 	return out, nil
 }

@@ -2,6 +2,7 @@ package wifi
 
 import (
 	"math"
+	"sync"
 
 	"sledzig/internal/dsp"
 )
@@ -58,22 +59,45 @@ func LTSReference() []complex128 {
 	return out
 }
 
+// The preamble is identical for every frame, so it is synthesized once and
+// served from a read-only master copy afterwards.
+var (
+	preambleOnce   sync.Once
+	preambleMaster []complex128
+)
+
+func preamble() []complex128 {
+	preambleOnce.Do(func() {
+		out := make([]complex128, 0, PreambleLength)
+
+		// Short part: the IFFT of S has period 16; take 160 samples.
+		short := dsp.MustIFFT(stsFreq())
+		for i := 0; i < 160; i++ {
+			out = append(out, short[i%NumSubcarriers])
+		}
+
+		// Long part: double-length CP then two LTS periods.
+		long := dsp.MustIFFT(ltsFreq())
+		out = append(out, long[NumSubcarriers-32:]...)
+		out = append(out, long...)
+		out = append(out, long...)
+		preambleMaster = out
+	})
+	return preambleMaster
+}
+
 // Preamble generates the 320-sample legacy preamble: ten repetitions of the
 // 16-sample short training symbol followed by a 32-sample guard interval
-// and two 64-sample long training symbols.
+// and two 64-sample long training symbols. The returned slice is a fresh
+// copy the caller may modify.
 func Preamble() []complex128 {
-	out := make([]complex128, 0, PreambleLength)
-
-	// Short part: the IFFT of S has period 16; take 160 samples.
-	short := dsp.MustIFFT(stsFreq())
-	for i := 0; i < 160; i++ {
-		out = append(out, short[i%NumSubcarriers])
-	}
-
-	// Long part: double-length CP then two LTS periods.
-	long := dsp.MustIFFT(ltsFreq())
-	out = append(out, long[NumSubcarriers-32:]...)
-	out = append(out, long...)
-	out = append(out, long...)
+	out := make([]complex128, PreambleLength)
+	copy(out, preamble())
 	return out
+}
+
+// AppendPreamble appends the 320-sample legacy preamble to dst without
+// recomputing or copying beyond the append itself.
+func AppendPreamble(dst []complex128) []complex128 {
+	return append(dst, preamble()...)
 }

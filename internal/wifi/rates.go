@@ -162,17 +162,37 @@ func PilotSubcarriers() []int {
 	return out
 }
 
-// DataSubcarriers returns the 48 data subcarrier indices in ascending
-// frequency order: -26..-1 and 1..26 with 0, +/-7 and +/-21 excluded.
-func DataSubcarriers() []int {
-	out := make([]int, 0, NumDataSubcarriers)
+// dataSubcarriers is the precomputed ascending list of the 48 data
+// subcarrier indices: -26..-1 and 1..26 with 0, +/-7 and +/-21 excluded.
+var dataSubcarriers = func() [NumDataSubcarriers]int {
+	var out [NumDataSubcarriers]int
+	i := 0
 	for k := -26; k <= 26; k++ {
 		switch k {
 		case 0, -21, -7, 7, 21:
 			continue
 		}
-		out = append(out, k)
+		out[i] = k
+		i++
 	}
+	return out
+}()
+
+// dataBins is the FFT bin index of each data subcarrier, in the same
+// order as dataSubcarriers — the hot-path form of bin(DataSubcarriers()).
+var dataBins = func() [NumDataSubcarriers]int {
+	var out [NumDataSubcarriers]int
+	for i, k := range dataSubcarriers {
+		out[i] = ((k % NumSubcarriers) + NumSubcarriers) % NumSubcarriers
+	}
+	return out
+}()
+
+// DataSubcarriers returns the 48 data subcarrier indices in ascending
+// frequency order: -26..-1 and 1..26 with 0, +/-7 and +/-21 excluded.
+func DataSubcarriers() []int {
+	out := make([]int, NumDataSubcarriers)
+	copy(out, dataSubcarriers[:])
 	return out
 }
 

@@ -64,3 +64,21 @@ func ScrambleWithSeed(in []bits.Bit, seed uint8) ([]bits.Bit, error) {
 	}
 	return s.Scramble(in), nil
 }
+
+// ScrambleWithSeedInto scrambles in with a fresh scrambler seeded by seed,
+// writing the result into dst (which must be len(in) elements). dst and in
+// may be the same slice — the scrambler reads each element before writing
+// it. This is the allocation-free variant the pooled encode paths use.
+func ScrambleWithSeedInto(dst, in []bits.Bit, seed uint8) error {
+	if len(dst) != len(in) {
+		return fmt.Errorf("wifi: scramble destination of %d bits does not match source of %d", len(dst), len(in))
+	}
+	s, err := NewScrambler(seed)
+	if err != nil {
+		return err
+	}
+	for i, b := range in {
+		dst[i] = (b ^ s.NextBit()) & 1
+	}
+	return nil
+}

@@ -74,6 +74,10 @@ func allModes() []Mode {
 // maxPSDULength is the largest LENGTH value the 12-bit field can carry.
 const maxPSDULength = 4095
 
+// MaxPSDULength is the largest PSDU LENGTH the SIGNAL field can signal —
+// the upper bound on any single frame's payload.
+const MaxPSDULength = maxPSDULength
+
 // SignalField encodes the 24 SIGNAL bits for a mode and PSDU length in
 // bytes.
 func SignalField(m Mode, length int) ([]bits.Bit, error) {

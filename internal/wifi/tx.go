@@ -2,6 +2,7 @@ package wifi
 
 import (
 	"fmt"
+	"sync"
 
 	"sledzig/internal/bits"
 )
@@ -144,34 +145,75 @@ func (f *Frame) DataPoints() ([][]complex128, error) {
 // Waveform renders the complete PPDU baseband waveform: preamble, SIGNAL
 // symbol, and all DATA symbols at 20 MS/s.
 func (f *Frame) Waveform() ([]complex128, error) {
+	out := make([]complex128, 0, PreambleLength+(1+f.NumSymbols)*SymbolLength)
+	return f.AppendWaveform(out)
+}
+
+// txScratch holds the per-frame intermediate buffers of waveform
+// synthesis — the interleaved coded stream and the constellation points —
+// pooled so steady-state rendering reuses them across frames.
+type txScratch struct {
+	inter []bits.Bit
+	pts   []complex128
+}
+
+var txScratchPool = sync.Pool{New: func() any { return new(txScratch) }}
+
+// AppendWaveform is Waveform in append form: it renders the complete PPDU
+// into dst and returns the extended slice, producing samples identical to
+// Waveform. Intermediate buffers come from internal pools, so a caller
+// that recycles dst's capacity renders frames with a near-constant number
+// of allocations regardless of frame size. On error dst may have been
+// partially extended; discard it.
+func (f *Frame) AppendWaveform(dst []complex128) ([]complex128, error) {
 	sigPts, err := EncodeSignalSymbol(f.Mode, f.PSDULength)
 	if err != nil {
-		return nil, err
-	}
-	dataPts, err := f.DataPoints()
-	if err != nil {
-		return nil, err
+		return dst, err
 	}
 	m := phy()
-	t0 := m.txIFFT.Start()
-	out := make([]complex128, 0, PreambleLength+(1+f.NumSymbols)*SymbolLength)
-	out = append(out, Preamble()...)
-	sig, err := AssembleSymbol(sigPts, 0)
+	t0 := m.txEncode.Start()
+	coded, err := EncodeAndPuncture(f.ScrambledBits, f.Mode.CodeRate)
 	if err != nil {
-		return nil, err
+		return dst, err
 	}
-	out = append(out, sig...)
-	for s, pts := range dataPts {
-		sym, err := AssembleSymbol(pts, s+1)
+	m.txEncode.Done(t0, len(f.ScrambledBits)/8)
+
+	s := txScratchPool.Get().(*txScratch)
+	defer txScratchPool.Put(s)
+	t0 = m.txInterleave.Start()
+	s.inter = bits.Grow(s.inter, len(coded))
+	if err := f.Convention.InterleaveAllCInto(f.Mode.Modulation, coded, s.inter); err != nil {
+		return dst, err
+	}
+	m.txInterleave.Done(t0, len(coded)/8)
+
+	t0 = m.txMap.Start()
+	nPts := len(s.inter) / f.Mode.Modulation.BitsPerSubcarrier()
+	if cap(s.pts) < nPts {
+		s.pts = make([]complex128, nPts)
+	}
+	s.pts = s.pts[:nPts]
+	if err := f.Convention.MapAllCInto(f.Mode.Modulation, s.inter, s.pts); err != nil {
+		return dst, err
+	}
+	m.txMap.Done(t0, len(s.inter)/8)
+
+	t0 = m.txIFFT.Start()
+	dst = AppendPreamble(dst)
+	dst, err = AppendSymbol(dst, sigPts, 0)
+	if err != nil {
+		return dst, err
+	}
+	for sym := 0; sym < f.NumSymbols; sym++ {
+		dst, err = AppendSymbol(dst, s.pts[sym*NumDataSubcarriers:(sym+1)*NumDataSubcarriers], sym+1)
 		if err != nil {
-			return nil, err
+			return dst, err
 		}
-		out = append(out, sym...)
 	}
 	m.txIFFT.Done(t0, 0)
 	m.txFrames.Inc()
 	m.txSymbols.Add(uint64(1 + f.NumSymbols))
-	return out, nil
+	return dst, nil
 }
 
 // DataWaveform renders only the DATA portion (no preamble, no SIGNAL) —
@@ -186,11 +228,10 @@ func (f *Frame) DataWaveform() ([]complex128, error) {
 	t0 := m.txIFFT.Start()
 	out := make([]complex128, 0, f.NumSymbols*SymbolLength)
 	for s, pts := range dataPts {
-		sym, err := AssembleSymbol(pts, s+1)
+		out, err = AppendSymbol(out, pts, s+1)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, sym...)
 	}
 	m.txIFFT.Done(t0, 0)
 	m.txSymbols.Add(uint64(f.NumSymbols))

@@ -82,6 +82,10 @@ const (
 
 // Config selects the transmission parameters. The zero value of Channel is
 // invalid for encoding; decoding detects the channel from the air.
+//
+// Zero values of the remaining fields select documented defaults (see
+// WithDefaults): QAM-16, rate 1/2, ConventionIEEE, and the 802.11 Annex G
+// scrambler seed.
 type Config struct {
 	Modulation Modulation
 	CodeRate   CodeRate
@@ -95,15 +99,51 @@ type Config struct {
 	ScramblerSeed uint8
 }
 
+// WithDefaults returns a copy of the config with every zero field resolved
+// to its documented default: QAM-16 modulation, rate 1/2 coding, and the
+// 802.11 Annex G scrambler seed (0x5D). Channel has no default — the zero
+// value stays zero and remains invalid for encoding — and Convention's
+// zero value already is ConventionIEEE.
+func (c Config) WithDefaults() Config {
+	if c.Modulation == 0 {
+		c.Modulation = QAM16
+	}
+	if c.CodeRate == 0 {
+		c.CodeRate = Rate12
+	}
+	if c.ScramblerSeed == 0 {
+		c.ScramblerSeed = wifi.DefaultScramblerSeed
+	}
+	return c
+}
+
+// Validate reports whether every set field is a supported value. Zero
+// fields are accepted (they have defaults — see WithDefaults) except that
+// encoding additionally requires a valid Channel, which NewEncoder checks
+// and reports as ErrInvalidChannel.
+func (c Config) Validate() error {
+	if c.Modulation != 0 && !c.Modulation.Valid() {
+		return fmt.Errorf("sledzig: invalid modulation %d", int(c.Modulation))
+	}
+	if c.CodeRate != 0 && !c.CodeRate.Valid() {
+		return fmt.Errorf("sledzig: invalid code rate %d", int(c.CodeRate))
+	}
+	if c.Channel != 0 && !c.Channel.Valid() {
+		return fmt.Errorf("%w: %d is not CH1..CH4", ErrInvalidChannel, int(c.Channel))
+	}
+	if c.Convention != ConventionIEEE && c.Convention != ConventionPaper {
+		return fmt.Errorf("sledzig: invalid convention %d", int(c.Convention))
+	}
+	if c.ScramblerSeed > 127 {
+		return fmt.Errorf("sledzig: scrambler seed %d outside [0, 127]", c.ScramblerSeed)
+	}
+	return nil
+}
+
+// mode resolves the PHY mode with the zero-value defaults applied.
 func (c Config) mode() wifi.Mode {
-	m := wifi.Mode{Modulation: c.Modulation, CodeRate: c.CodeRate}
-	if m.Modulation == 0 {
-		m.Modulation = wifi.QAM16
-	}
-	if m.CodeRate == 0 {
-		m.CodeRate = wifi.Rate12
-	}
-	return m
+	c = c.WithDefaults()
+	return wifi.Mode{Modulation: c.Modulation, CodeRate: c.CodeRate}
 }
 
 // Encoder produces SledZig frames.
@@ -113,13 +153,17 @@ type Encoder struct {
 	enc  *core.Encoder
 }
 
-// NewEncoder validates the configuration and precomputes the extra-bit
-// plan.
+// NewEncoder validates the configuration and resolves the extra-bit plan
+// through the process-wide plan cache, so repeated constructions with the
+// same parameters (and Engines sharing them) reuse one precomputed plan.
 func NewEncoder(cfg Config) (*Encoder, error) {
-	if !cfg.Channel.Valid() {
-		return nil, fmt.Errorf("sledzig: config must name a protected channel (CH1..CH4)")
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
-	plan, err := core.NewPlan(cfg.Convention, cfg.mode(), cfg.Channel)
+	if !cfg.Channel.Valid() {
+		return nil, fmt.Errorf("%w: config must name a protected channel (CH1..CH4)", ErrInvalidChannel)
+	}
+	plan, err := core.CachedPlan(cfg.Convention, cfg.mode(), cfg.Channel)
 	if err != nil {
 		return nil, err
 	}
@@ -139,7 +183,7 @@ type Frame struct {
 func (e *Encoder) Encode(payload []byte) (*Frame, error) {
 	res, err := e.enc.Encode(payload)
 	if err != nil {
-		return nil, err
+		return nil, wrapEncodeErr(err)
 	}
 	return &Frame{res: res}, nil
 }
@@ -148,6 +192,13 @@ func (e *Encoder) Encode(payload []byte) (*Frame, error) {
 // 20 MS/s complex baseband.
 func (f *Frame) Waveform() ([]complex128, error) {
 	return f.res.Frame.Waveform()
+}
+
+// AppendWaveform renders the PPDU appended to dst and returns the extended
+// slice — the allocation-lean variant for callers that render many frames
+// into recycled buffers. The samples are identical to Waveform's.
+func (f *Frame) AppendWaveform(dst []complex128) ([]complex128, error) {
+	return f.res.Frame.AppendWaveform(dst)
 }
 
 // TransmitBits returns the unscrambled DATA-field bits — what a completely
@@ -191,20 +242,25 @@ func NewDecoder(cfg Config) (*Decoder, error) {
 // Decode demodulates a PPDU waveform, detects the protected ZigBee
 // channel from the constellation, strips the extra bits, and returns the
 // original payload.
+//
+// Decode is the compatibility surface: it is a thin wrapper over
+// DecodeDetailed, which additionally reports the detected mode, the
+// extra-bit count and per-symbol EVM.
 func (d *Decoder) Decode(waveform []complex128) ([]byte, Channel, error) {
-	rx, err := wifi.Receiver{Seed: d.cfg.ScramblerSeed, Convention: d.cfg.Convention}.Receive(waveform)
+	res, err := d.DecodeDetailed(waveform)
 	if err != nil {
 		return nil, 0, err
 	}
-	return core.Decoder{Convention: d.cfg.Convention}.DecodeAuto(rx)
+	return res.Payload, res.Channel, nil
 }
 
 // DecodeNormal demodulates a standard (non-SledZig) WiFi PPDU and returns
-// its PSDU — useful for baseline comparisons.
+// its PSDU — useful for baseline comparisons. Like Decode it is a thin
+// compatibility wrapper; the SledZig-specific stages are skipped.
 func (d *Decoder) DecodeNormal(waveform []complex128) ([]byte, error) {
 	rx, err := wifi.Receiver{Seed: d.cfg.ScramblerSeed, Convention: d.cfg.Convention}.Receive(waveform)
 	if err != nil {
-		return nil, err
+		return nil, wrapDecodeErr(err)
 	}
 	return rx.PSDU, nil
 }
