@@ -16,6 +16,7 @@ import (
 	"sledzig/internal/bits"
 	"sledzig/internal/core"
 	"sledzig/internal/ctc"
+	"sledzig/internal/dsp"
 	"sledzig/internal/exp"
 	"sledzig/internal/ht40"
 	"sledzig/internal/mac"
@@ -316,6 +317,103 @@ func BenchmarkFullRoundTrip(b *testing.B) {
 	}
 }
 
+// BenchmarkReceiverDecode1500B measures the pooled receive chain — one
+// reused RxResult, scratch from the package pools — over a 1500-byte
+// QAM-64 r=3/4 frame. The steady state must stay within single-digit
+// allocs/op (the SIGNAL-field decode keeps a few small slices).
+func BenchmarkReceiverDecode1500B(b *testing.B) {
+	enc, err := NewEncoder(Config{Modulation: QAM64, CodeRate: Rate34, Channel: CH2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	frame, err := enc.Encode(bits.RandomBytes(rand.New(rand.NewSource(1)), 1500))
+	if err != nil {
+		b.Fatal(err)
+	}
+	wave, err := frame.Waveform()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rx := wifi.Receiver{Convention: wifi.ConventionIEEE, Seed: wifi.DefaultScramblerSeed}
+	var res wifi.RxResult
+	b.SetBytes(1500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rx.ReceiveInto(wave, &res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSledZigDecode1500B is the full public decode path — receive,
+// channel detection, constraint stripping, descrambling and EVM — with a
+// fresh result per frame.
+func BenchmarkSledZigDecode1500B(b *testing.B) {
+	enc, err := NewEncoder(Config{Modulation: QAM64, CodeRate: Rate34, Channel: CH2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	frame, err := enc.Encode(bits.RandomBytes(rand.New(rand.NewSource(1)), 1500))
+	if err != nil {
+		b.Fatal(err)
+	}
+	wave, err := frame.Waveform()
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec, err := NewDecoder(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(1500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dec.DecodeDetailed(wave); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineDecodeBatch is the decode counterpart of
+// BenchmarkEngineEncodeBatch: pooled multi-worker demodulation of a batch
+// of 1500-byte frames.
+func BenchmarkEngineDecodeBatch(b *testing.B) {
+	eng, err := NewEngine(EngineConfig{
+		Config:  Config{Modulation: QAM64, CodeRate: Rate34, Channel: CH2},
+		Workers: 8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	const batch = 16
+	payloads := make([][]byte, batch)
+	rng := rand.New(rand.NewSource(1))
+	for i := range payloads {
+		payloads[i] = bits.RandomBytes(rng, 1500)
+	}
+	frames, err := eng.EncodeBatch(context.Background(), payloads)
+	if err != nil {
+		b.Fatal(err)
+	}
+	waves := make([][]complex128, batch)
+	for i, f := range frames {
+		if waves[i], err = f.Waveform(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(batch * 1500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.DecodeBatch(context.Background(), waves); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "frames/s")
+}
+
 func BenchmarkViterbiDecode(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	data := bits.Random(rng, 1000)
@@ -324,6 +422,89 @@ func BenchmarkViterbiDecode(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := wifi.ViterbiDecode(coded, nil, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkViterbiDecodeInto is the table-driven pooled decoder; after the
+// trellis tables and pool warm up it must run at 0 allocs/op.
+func BenchmarkViterbiDecodeInto(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	data := bits.Random(rng, 1000)
+	coded := wifi.ConvolutionalEncode(data)
+	dst := make([]bits.Bit, 0, len(data))
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wifi.ViterbiDecodeInto(dst, coded, nil, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkViterbiDecodeSoftInto covers the soft-decision path under the
+// same zero-allocation requirement.
+func BenchmarkViterbiDecodeSoftInto(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	data := bits.Random(rng, 1000)
+	coded := wifi.ConvolutionalEncode(data)
+	llrs := make([]float64, len(coded))
+	for i, c := range coded {
+		if c == 1 {
+			llrs[i] = -2.0 + rng.NormFloat64()*0.3
+		} else {
+			llrs[i] = 2.0 + rng.NormFloat64()*0.3
+		}
+	}
+	dst := make([]bits.Bit, 0, len(data))
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wifi.ViterbiDecodeSoftInto(dst, llrs, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDepunctureInto measures the single-pass pattern-table
+// depuncturer into preallocated mother-stream buffers.
+func BenchmarkDepunctureInto(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	data := bits.Random(rng, 1200)
+	coded := wifi.ConvolutionalEncode(data)
+	punctured, err := wifi.Puncture(coded, wifi.Rate34)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mother := make([]bits.Bit, 0, len(coded))
+	erased := make([]bool, 0, len(coded))
+	b.SetBytes(int64(len(punctured)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if mother, erased, err = wifi.DepunctureInto(mother, erased, punctured, wifi.Rate34); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFFTPlanForward64 exercises the cached 64-point plan — the inner
+// loop of every OFDM symbol — which must not allocate.
+func BenchmarkFFTPlanForward64(b *testing.B) {
+	plan := dsp.MustPlan(64)
+	rng := rand.New(rand.NewSource(1))
+	x := make([]complex128, 64)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	dst := make([]complex128, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := plan.Forward(dst, x); err != nil {
 			b.Fatal(err)
 		}
 	}

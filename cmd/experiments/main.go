@@ -393,6 +393,38 @@ func main() {
 		fmt.Printf("  sequential Encode:       %8.1f frames/s\n", float64(n)/seqSecs)
 		fmt.Printf("  EncodeBatch (%2d workers): %8.1f frames/s  (%.2fx)\n",
 			eng.Workers(), float64(n)/batchSecs, seqSecs/batchSecs)
+
+		// Decode half: render the waveforms once, then decode them
+		// sequentially and through the pool.
+		frames, err := eng.EncodeBatch(context.Background(), payloads)
+		if err != nil {
+			return err
+		}
+		waveforms := make([][]complex128, n)
+		for i, f := range frames {
+			if waveforms[i], err = f.Waveform(); err != nil {
+				return err
+			}
+		}
+		dec, err := sledzig.NewDecoder(cfg)
+		if err != nil {
+			return err
+		}
+		decSeqStart := time.Now()
+		for _, w := range waveforms {
+			if _, err := dec.DecodeDetailed(w); err != nil {
+				return err
+			}
+		}
+		decSeqSecs := time.Since(decSeqStart).Seconds()
+		decBatchStart := time.Now()
+		if _, err := eng.DecodeBatch(context.Background(), waveforms); err != nil {
+			return err
+		}
+		decBatchSecs := time.Since(decBatchStart).Seconds()
+		fmt.Printf("  sequential Decode:       %8.1f frames/s\n", float64(n)/decSeqSecs)
+		fmt.Printf("  DecodeBatch (%2d workers): %8.1f frames/s  (%.2fx)\n",
+			eng.Workers(), float64(n)/decBatchSecs, decSeqSecs/decBatchSecs)
 		return nil
 	})
 

@@ -1,8 +1,6 @@
 package sledzig
 
 import (
-	"math"
-
 	"sledzig/internal/core"
 	"sledzig/internal/wifi"
 )
@@ -57,7 +55,7 @@ func (d *Decoder) DecodeDetailed(waveform []complex128) (*DecodeResult, error) {
 		CodeRate:      rx.Mode.CodeRate,
 		ScramblerSeed: seed,
 		NumSymbols:    len(rx.DataPoints),
-		SymbolEVM:     symbolEVM(d.cfg.Convention, rx.Mode.Modulation, rx.DataPoints),
+		SymbolEVM:     wifi.SymbolEVM(rx.Mode.Modulation, rx.DataPoints),
 	}
 	// The extra-bit count follows from the detected plan's layout; the
 	// plan cache makes this lookup free after the first frame.
@@ -67,33 +65,4 @@ func (d *Decoder) DecodeDetailed(waveform []complex128) (*DecodeResult, error) {
 		}
 	}
 	return res, nil
-}
-
-// symbolEVM computes the per-symbol RMS error-vector magnitude: each
-// equalized point is hard-demapped, remapped to its ideal position, and
-// the residual measured. The constellations are normalized to unit
-// average power, so the figure is directly the relative EVM.
-func symbolEVM(conv Convention, m Modulation, dataPoints [][]complex128) []float64 {
-	out := make([]float64, len(dataPoints))
-	for s, pts := range dataPoints {
-		var sum float64
-		n := 0
-		for _, p := range pts {
-			b, err := conv.DemapSymbolC(m, p)
-			if err != nil {
-				continue
-			}
-			ideal, err := conv.MapSymbolC(m, b)
-			if err != nil {
-				continue
-			}
-			d := p - ideal
-			sum += real(d)*real(d) + imag(d)*imag(d)
-			n++
-		}
-		if n > 0 {
-			out[s] = math.Sqrt(sum / float64(n))
-		}
-	}
-	return out
 }

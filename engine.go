@@ -103,6 +103,71 @@ func (e *Engine) Stream(ctx context.Context, in <-chan []byte) <-chan StreamFram
 	return out
 }
 
+// decodeResultFrom maps an engine decode result to the public type.
+func decodeResultFrom(r *engine.DecodeResult) *DecodeResult {
+	return &DecodeResult{
+		Payload:       r.Payload,
+		Channel:       Channel(r.Channel),
+		Modulation:    Modulation(r.Mode.Modulation),
+		CodeRate:      CodeRate(r.Mode.CodeRate),
+		ScramblerSeed: r.ScramblerSeed,
+		ExtraBits:     r.ExtraBits,
+		NumSymbols:    r.NumSymbols,
+		SymbolEVM:     r.SymbolEVM,
+	}
+}
+
+// DecodeBatch decodes every PPDU waveform across the pool and returns the
+// results in input order — byte-identical to calling Decoder.DecodeDetailed
+// sequentially with the same Config. Each worker recycles its demodulation
+// buffers internally; the returned results are self-contained and safe to
+// retain. The first failing waveform's error (wrapped in the public
+// taxonomy) aborts the batch result.
+func (e *Engine) DecodeBatch(ctx context.Context, waveforms [][]complex128) ([]*DecodeResult, error) {
+	results, err := e.e.DecodeBatch(ctx, waveforms)
+	if err != nil {
+		return nil, wrapDecodeErr(err)
+	}
+	out := make([]*DecodeResult, len(results))
+	for i, r := range results {
+		out[i] = decodeResultFrom(r)
+	}
+	return out, nil
+}
+
+// DecodeStreamFrame is one streamed decode outcome; Index is the waveform's
+// zero-based position in the input stream.
+type DecodeStreamFrame struct {
+	Index  int
+	Result *DecodeResult
+	Err    error
+}
+
+// DecodeStream decodes waveforms from in as they arrive, delivering results
+// on the returned bounded channel. Results carry the input index; with more
+// than one worker the delivery order is unspecified. The channel closes
+// after in closes (and all work drains) or ctx is cancelled. A stalled
+// consumer backpressures the producer through the bounded queues.
+func (e *Engine) DecodeStream(ctx context.Context, in <-chan []complex128) <-chan DecodeStreamFrame {
+	src := e.e.DecodeStream(ctx, in)
+	out := make(chan DecodeStreamFrame)
+	go func() {
+		defer close(out)
+		for r := range src {
+			sf := DecodeStreamFrame{Index: r.Index, Err: wrapDecodeErr(r.Err)}
+			if r.Result != nil {
+				sf.Result = decodeResultFrom(r.Result)
+			}
+			select {
+			case out <- sf:
+			case <-ctx.Done():
+				// Keep draining so the inner stream can finish.
+			}
+		}
+	}()
+	return out
+}
+
 // Close stops accepting work, waits for in-flight frames, and releases the
 // workers. Safe to call more than once.
 func (e *Engine) Close() { e.e.Close() }

@@ -111,6 +111,71 @@ func TestEngineStreamRoundTrip(t *testing.T) {
 	}
 }
 
+func TestEngineDecodeBatchMatchesDecodeDetailed(t *testing.T) {
+	cfg := Config{Modulation: QAM64, CodeRate: Rate34, Channel: CH2}
+	eng, err := NewEngine(EngineConfig{Config: cfg, Workers: 4})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	defer eng.Close()
+	dec, err := NewDecoder(Config{})
+	if err != nil {
+		t.Fatalf("NewDecoder: %v", err)
+	}
+
+	payloads := make([][]byte, 10)
+	for i := range payloads {
+		p := make([]byte, 60+17*i)
+		for j := range p {
+			p[j] = byte(i ^ j)
+		}
+		payloads[i] = p
+	}
+	frames, err := eng.EncodeBatch(context.Background(), payloads)
+	if err != nil {
+		t.Fatalf("EncodeBatch: %v", err)
+	}
+	waves := make([][]complex128, len(frames))
+	for i, f := range frames {
+		waves[i], err = f.Waveform()
+		if err != nil {
+			t.Fatalf("Waveform %d: %v", i, err)
+		}
+	}
+	results, err := eng.DecodeBatch(context.Background(), waves)
+	if err != nil {
+		t.Fatalf("DecodeBatch: %v", err)
+	}
+	for i, w := range waves {
+		want, err := dec.DecodeDetailed(w)
+		if err != nil {
+			t.Fatalf("DecodeDetailed %d: %v", i, err)
+		}
+		got := results[i]
+		if string(got.Payload) != string(want.Payload) {
+			t.Fatalf("waveform %d: payload differs from DecodeDetailed", i)
+		}
+		if string(got.Payload) != string(payloads[i]) {
+			t.Fatalf("waveform %d: payload does not round-trip", i)
+		}
+		if got.Channel != want.Channel || got.Modulation != want.Modulation ||
+			got.CodeRate != want.CodeRate || got.ScramblerSeed != want.ScramblerSeed {
+			t.Fatalf("waveform %d: header fields differ from DecodeDetailed", i)
+		}
+		if got.ExtraBits != want.ExtraBits || got.NumSymbols != want.NumSymbols {
+			t.Fatalf("waveform %d: layout accounting differs from DecodeDetailed", i)
+		}
+		if len(got.SymbolEVM) != len(want.SymbolEVM) {
+			t.Fatalf("waveform %d: EVM lengths differ", i)
+		}
+		for s := range want.SymbolEVM {
+			if got.SymbolEVM[s] != want.SymbolEVM[s] {
+				t.Fatalf("waveform %d: EVM[%d] differs", i, s)
+			}
+		}
+	}
+}
+
 func TestDecodeDetailed(t *testing.T) {
 	cfg := Config{Modulation: QAM64, CodeRate: Rate34, Channel: CH3}
 	enc, err := NewEncoder(cfg)

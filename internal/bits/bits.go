@@ -72,6 +72,30 @@ func ToBytes(b []Bit) ([]byte, error) {
 	return out, nil
 }
 
+// ToBytesInto packs bits into dst, LSB first within each byte (ToBytes
+// without the allocation). dst must hold exactly len(b)/8 bytes.
+func ToBytesInto(dst []byte, b []Bit) error {
+	if len(b)%8 != 0 {
+		return fmt.Errorf("bits: length %d is not a multiple of 8", len(b))
+	}
+	if len(dst) != len(b)/8 {
+		return fmt.Errorf("bits: destination of %d bytes does not fit %d bits", len(dst), len(b))
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i, bit := range b {
+		switch bit {
+		case 0:
+		case 1:
+			dst[i/8] |= 1 << (i % 8)
+		default:
+			return fmt.Errorf("bits: element %d has non-binary value %d", i, bit)
+		}
+	}
+	return nil
+}
+
 // MustToBytes is ToBytes for inputs known to be valid; it panics on error.
 // Intended for tests and internal call sites that construct the slice
 // themselves.

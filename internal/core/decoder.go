@@ -18,9 +18,11 @@ type Decoder struct {
 }
 
 // Decode recovers the payload from a received frame, given the protected
-// channel (use DetectChannel first when it is unknown).
+// channel (use DetectChannel first when it is unknown). Plans come from the
+// process-wide cache, so repeated frames of one mode share a single plan
+// and its memoized frame layouts.
 func (d Decoder) Decode(rx *wifi.RxResult, ch ZigBeeChannel) ([]byte, error) {
-	plan, err := NewPlan(d.Convention, rx.Mode, ch)
+	plan, err := CachedPlan(d.Convention, rx.Mode, ch)
 	if err != nil {
 		return nil, err
 	}

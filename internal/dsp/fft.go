@@ -4,28 +4,32 @@
 // samples.
 package dsp
 
-import (
-	"fmt"
-	"math"
-	"math/bits"
-)
-
 // FFT computes the in-order discrete Fourier transform of x, whose length
-// must be a power of two. The input is not modified.
+// must be a power of two. The input is not modified. Twiddle factors and
+// the bit-reversal permutation come from the process-wide plan cache, so
+// repeated transforms of one size pay no trigonometry.
 func FFT(x []complex128) ([]complex128, error) {
-	return transform(x, false)
+	p, err := PlanFor(len(x))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]complex128, len(x))
+	if err := p.Forward(out, x); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // IFFT computes the inverse DFT of x (length a power of two), including the
 // 1/N normalization. The input is not modified.
 func IFFT(x []complex128) ([]complex128, error) {
-	out, err := transform(x, true)
+	p, err := PlanFor(len(x))
 	if err != nil {
 		return nil, err
 	}
-	n := complex(float64(len(out)), 0)
-	for i := range out {
-		out[i] /= n
+	out := make([]complex128, len(x))
+	if err := p.Inverse(out, x); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -51,65 +55,24 @@ func MustIFFT(x []complex128) []complex128 {
 // FFTInto computes the DFT of x into dst. Both must have the same
 // power-of-two length and must not alias: the bit-reversal pass reads x
 // while writing dst. No allocation — the scratch-free variant hot loops
-// (OFDM symbol synthesis) use with pooled buffers.
+// (OFDM symbol synthesis and demodulation) use with pooled buffers.
 func FFTInto(dst, x []complex128) error {
-	return transformInto(dst, x, false)
+	p, err := PlanFor(len(x))
+	if err != nil {
+		return err
+	}
+	return p.Forward(dst, x)
 }
 
 // IFFTInto computes the inverse DFT of x into dst, including the 1/N
-// normalization. Same aliasing and length rules as FFTInto.
+// normalization (folded into the final butterfly stage). Same aliasing and
+// length rules as FFTInto.
 func IFFTInto(dst, x []complex128) error {
-	if err := transformInto(dst, x, true); err != nil {
+	p, err := PlanFor(len(x))
+	if err != nil {
 		return err
 	}
-	n := complex(float64(len(dst)), 0)
-	for i := range dst {
-		dst[i] /= n
-	}
-	return nil
-}
-
-func transform(x []complex128, inverse bool) ([]complex128, error) {
-	out := make([]complex128, len(x))
-	if err := transformInto(out, x, inverse); err != nil {
-		return nil, err
-	}
-	return out, nil
-}
-
-func transformInto(out, x []complex128, inverse bool) error {
-	n := len(x)
-	if n == 0 || n&(n-1) != 0 {
-		return fmt.Errorf("dsp: FFT length %d is not a positive power of two", n)
-	}
-	if len(out) != n {
-		return fmt.Errorf("dsp: FFT destination length %d != input length %d", len(out), n)
-	}
-	// Bit-reversal permutation.
-	shift := 64 - uint(bits.TrailingZeros(uint(n)))
-	for i := range x {
-		out[bits.Reverse64(uint64(i))>>shift] = x[i]
-	}
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	for size := 2; size <= n; size <<= 1 {
-		half := size / 2
-		step := sign * 2 * math.Pi / float64(size)
-		wBase := complex(math.Cos(step), math.Sin(step))
-		for start := 0; start < n; start += size {
-			w := complex(1, 0)
-			for k := 0; k < half; k++ {
-				a := out[start+k]
-				b := out[start+k+half] * w
-				out[start+k] = a + b
-				out[start+k+half] = a - b
-				w *= wBase
-			}
-		}
-	}
-	return nil
+	return p.Inverse(dst, x)
 }
 
 // NextPow2 returns the smallest power of two >= n (and at least 1).

@@ -65,10 +65,17 @@ func Periodogram(x []complex128, n int) ([]float64, error) {
 	if len(x) < n {
 		return nil, fmt.Errorf("dsp: signal length %d shorter than FFT size %d", len(x), n)
 	}
+	plan, err := PlanFor(n)
+	if err != nil {
+		return nil, err
+	}
 	psd := make([]float64, n)
+	spec := make([]complex128, n)
 	segments := 0
 	for start := 0; start+n <= len(x); start += n {
-		spec := MustFFT(x[start : start+n])
+		if err := plan.Forward(spec, x[start:start+n]); err != nil {
+			return nil, err
+		}
 		for i, v := range spec {
 			psd[i] += real(v)*real(v) + imag(v)*imag(v)
 		}

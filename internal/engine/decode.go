@@ -1,0 +1,175 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"sledzig/internal/core"
+	"sledzig/internal/wifi"
+)
+
+// DecodeResult is one demodulated and SledZig-stripped frame. Every slice
+// is freshly allocated per frame — the worker's pooled receive buffers
+// never leak into results, so callers may retain them indefinitely.
+type DecodeResult struct {
+	// Payload is the recovered original payload.
+	Payload []byte
+	// Channel is the protected ZigBee channel detected from the
+	// constellation.
+	Channel core.ZigBeeChannel
+	// Mode is the modulation and code rate signalled in the PLCP header.
+	Mode wifi.Mode
+	// ScramblerSeed is the seed the descrambler used.
+	ScramblerSeed uint8
+	// ExtraBits is how many extra bits the frame spent on the
+	// constellation constraints.
+	ExtraBits int
+	// NumSymbols is the DATA-field length in OFDM symbols.
+	NumSymbols int
+	// SymbolEVM is the per-DATA-symbol RMS error-vector magnitude of the
+	// equalized points against the nearest ideal points.
+	SymbolEVM []float64
+}
+
+// decoderState is the per-worker receive pipeline: a receiver whose
+// RxResult buffers are recycled across frames, and the stripping decoder.
+type decoderState struct {
+	rxr wifi.Receiver
+	dec core.Decoder
+	rx  wifi.RxResult
+}
+
+func (e *Engine) newDecoderState() *decoderState {
+	seed := e.cfg.Seed
+	if seed == 0 {
+		seed = wifi.DefaultScramblerSeed
+	}
+	return &decoderState{
+		rxr: wifi.Receiver{Seed: seed, Convention: e.cfg.Convention},
+		dec: core.Decoder{Convention: e.cfg.Convention},
+	}
+}
+
+// decodeOne demodulates one waveform with the worker's recycled buffers
+// and builds a self-contained result.
+func (d *decoderState) decodeOne(waveform []complex128) (*DecodeResult, error) {
+	if err := d.rxr.ReceiveInto(waveform, &d.rx); err != nil {
+		return nil, err
+	}
+	payload, ch, err := d.dec.DecodeAuto(&d.rx)
+	if err != nil {
+		return nil, err
+	}
+	res := &DecodeResult{
+		Payload:       payload,
+		Channel:       ch,
+		Mode:          d.rx.Mode,
+		ScramblerSeed: d.rxr.Seed,
+		NumSymbols:    len(d.rx.DataPoints),
+		SymbolEVM:     wifi.SymbolEVM(d.rx.Mode.Modulation, d.rx.DataPoints),
+	}
+	// The extra-bit count follows from the detected plan's layout; both the
+	// plan and its per-length layouts are cached process-wide.
+	if plan, perr := core.CachedPlan(d.dec.Convention, d.rx.Mode, ch); perr == nil {
+		if layout, lerr := plan.FrameLayout(len(d.rx.DataPoints)); lerr == nil {
+			res.ExtraBits = len(layout.Positions)
+		}
+	}
+	return res, nil
+}
+
+// DecodeBatch decodes every waveform across the pool and returns the
+// results in input order — byte-identical to a sequential receiver with the
+// same configuration. The first error (by input order) is returned after
+// all submitted work has drained; a cancelled context abandons the
+// unsubmitted remainder but still waits for in-flight frames.
+func (e *Engine) DecodeBatch(ctx context.Context, waveforms [][]complex128) ([]*DecodeResult, error) {
+	m := metrics()
+	start := time.Now()
+	results := make([]*DecodeResult, len(waveforms))
+	errs := make([]error, len(waveforms))
+	var done sync.WaitGroup
+	deliver := func(idx int, res *DecodeResult, err error) {
+		results[idx] = res
+		errs[idx] = err
+	}
+	var submitErr error
+	for i, w := range waveforms {
+		done.Add(1)
+		j := &job{waveform: w, idx: i, deliverDec: deliver, done: &done}
+		if err := e.submit(ctx, j); err != nil {
+			done.Done()
+			submitErr = err
+			break
+		}
+	}
+	done.Wait()
+	m.decodeBatchLatency.ObserveDuration(time.Since(start))
+	m.decodeBatches.Inc()
+	if submitErr != nil {
+		return nil, submitErr
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("engine: waveform %d: %w", i, err)
+		}
+	}
+	m.decodeFrames.Add(uint64(len(waveforms)))
+	return results, nil
+}
+
+// DecodeStreamResult is one streamed decode outcome. Index is the
+// zero-based position of the waveform in the input stream.
+type DecodeStreamResult struct {
+	Index  int
+	Result *DecodeResult
+	Err    error
+}
+
+// DecodeStream decodes waveforms read from in across the pool, delivering
+// results on the returned channel (buffered to Config.Queue). Results carry
+// the input index; with more than one worker the delivery order is
+// unspecified. The output channel is closed once every accepted input has
+// been delivered, after in closes or ctx is cancelled. Both queues are
+// bounded, so a stalled consumer backpressures the producer.
+func (e *Engine) DecodeStream(ctx context.Context, in <-chan []complex128) <-chan DecodeStreamResult {
+	out := make(chan DecodeStreamResult, e.cfg.Queue)
+	go func() {
+		defer close(out)
+		var inflight sync.WaitGroup
+		deliver := func(idx int, res *DecodeResult, err error) {
+			select {
+			case out <- DecodeStreamResult{Index: idx, Result: res, Err: err}:
+			case <-ctx.Done():
+			}
+			inflight.Done()
+		}
+		idx := 0
+	feed:
+		for {
+			select {
+			case <-ctx.Done():
+				break feed
+			case w, ok := <-in:
+				if !ok {
+					break feed
+				}
+				inflight.Add(1)
+				j := &job{waveform: w, idx: idx, deliverDec: deliver}
+				if err := e.submit(ctx, j); err != nil {
+					inflight.Done()
+					select {
+					case out <- DecodeStreamResult{Index: idx, Err: err}:
+					case <-ctx.Done():
+					}
+					break feed
+				}
+				idx++
+			}
+		}
+		inflight.Wait()
+	}()
+	return out
+}

@@ -1,8 +1,10 @@
-// Package engine runs the SledZig encoder across a pool of workers: batch
-// and streaming front-ends over the shared plan cache, with bounded queues
-// for backpressure and full pipeline instrumentation. It exists so callers
-// that encode many frames (sweeps, simulators, traffic generators) saturate
-// every core without re-deriving plans or re-implementing fan-out.
+// Package engine runs the SledZig encoder and decoder across a shared pool
+// of workers: batch and streaming front-ends over the shared plan cache,
+// with bounded queues for backpressure and full pipeline instrumentation.
+// It exists so callers that process many frames (sweeps, simulators,
+// traffic generators) saturate every core without re-deriving plans or
+// re-implementing fan-out. Each worker owns one encoder and one receiver
+// whose scratch buffers are recycled frame to frame.
 package engine
 
 import (
@@ -17,7 +19,7 @@ import (
 	"sledzig/internal/wifi"
 )
 
-// ErrClosed is returned by EncodeBatch and Stream submissions after Close.
+// ErrClosed is returned by batch and stream submissions after Close.
 var ErrClosed = errors.New("engine closed")
 
 // Config selects the frame parameters (one engine encodes one
@@ -49,13 +51,17 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// job is one payload in flight: deliver is called exactly once with the
-// outcome, then done (when set) is released.
+// job is one unit of work in flight — an encode (payload set) or a decode
+// (waveform set). Exactly one deliver callback is non-nil and is called
+// exactly once with the outcome, then done (when set) is released.
 type job struct {
-	payload []byte
-	idx     int
-	deliver func(idx int, res *core.EncodeResult, err error)
-	done    *sync.WaitGroup
+	payload  []byte
+	waveform []complex128
+	idx      int
+
+	deliver    func(idx int, res *core.EncodeResult, err error)
+	deliverDec func(idx int, res *DecodeResult, err error)
+	done       *sync.WaitGroup
 }
 
 // Engine is a fixed pool of encoder workers sharing one cached plan.
@@ -100,19 +106,37 @@ func (e *Engine) Plan() *core.Plan { return e.plan }
 func (e *Engine) worker(i int) {
 	defer e.wg.Done()
 	m := metrics()
-	stage := m.workerStage(i)
+	encStage := m.workerStage(i, "encode")
+	decStage := m.workerStage(i, "decode")
 	enc := &core.Encoder{Plan: e.plan, Seed: e.cfg.Seed}
+	dec := e.newDecoderState()
 	for j := range e.jobs {
 		m.queueDepth.Add(-1)
-		t0 := stage.Start()
+		if j.deliverDec != nil {
+			t0 := decStage.Start()
+			res, err := dec.decodeOne(j.waveform)
+			if err != nil {
+				decStage.Fail(t0)
+				m.decodeFailures.Inc()
+				j.deliverDec(j.idx, nil, err)
+			} else {
+				decStage.Done(t0, len(res.Payload))
+				j.deliverDec(j.idx, res, nil)
+			}
+			if j.done != nil {
+				j.done.Done()
+			}
+			continue
+		}
+		t0 := encStage.Start()
 		res := new(core.EncodeResult)
 		err := enc.EncodeTo(j.payload, res)
 		if err != nil {
-			stage.Fail(t0)
+			encStage.Fail(t0)
 			m.failures.Inc()
 			j.deliver(j.idx, nil, err)
 		} else {
-			stage.Done(t0, len(j.payload))
+			encStage.Done(t0, len(j.payload))
 			j.deliver(j.idx, res, nil)
 		}
 		if j.done != nil {

@@ -17,8 +17,13 @@ type engineMetrics struct {
 	frames       *obs.Counter
 	failures     *obs.Counter
 
+	decodeBatchLatency *obs.Histogram // DecodeBatch wall time, seconds
+	decodeBatches      *obs.Counter
+	decodeFrames       *obs.Counter
+	decodeFailures     *obs.Counter
+
 	r      *obs.Registry
-	stages sync.Map // worker index -> *obs.Stage
+	stages sync.Map // "<worker index>/<kind>" -> *obs.Stage
 }
 
 var engineLazy obs.Lazy[*engineMetrics]
@@ -36,21 +41,28 @@ func metrics() *engineMetrics {
 			batches:      r.Counter("engine.batches"),
 			frames:       r.Counter("engine.frames"),
 			failures:     r.Counter("engine.failures"),
-			r:            r,
+
+			decodeBatchLatency: r.Histogram("engine.decode.batch.latency_seconds"),
+			decodeBatches:      r.Counter("engine.decode.batches"),
+			decodeFrames:       r.Counter("engine.decode.frames"),
+			decodeFailures:     r.Counter("engine.decode.failures"),
+			r:                  r,
 		}
 	})
 }
 
-// workerStage resolves the per-worker encode stage bundle
-// (engine.worker<i>.encode.{seconds,calls,bytes,errors}), cached per index.
-func (m *engineMetrics) workerStage(i int) *obs.Stage {
+// workerStage resolves a per-worker stage bundle
+// (engine.worker<i>.<kind>.{seconds,calls,bytes,errors}), cached per
+// (index, kind). kind is "encode" or "decode".
+func (m *engineMetrics) workerStage(i int, kind string) *obs.Stage {
 	if m.r == nil {
 		return nil
 	}
-	if s, ok := m.stages.Load(i); ok {
+	key := fmt.Sprintf("%d/%s", i, kind)
+	if s, ok := m.stages.Load(key); ok {
 		return s.(*obs.Stage)
 	}
-	s := m.r.Scope(fmt.Sprintf("engine.worker%d", i)).Stage("encode")
-	actual, _ := m.stages.LoadOrStore(i, s)
+	s := m.r.Scope(fmt.Sprintf("engine.worker%d", i)).Stage(kind)
+	actual, _ := m.stages.LoadOrStore(key, s)
 	return actual.(*obs.Stage)
 }

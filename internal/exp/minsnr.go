@@ -20,20 +20,25 @@ type MinSNRRow struct {
 
 // MinSNRSweep measures each paper mode's required SNR by decoding frames
 // through the full waveform chain under AWGN. frames controls the per-
-// point accuracy (10 gives a coarse but fast estimate).
+// point accuracy (10 gives a coarse but fast estimate). The modes are
+// measured in parallel across GOMAXPROCS workers, each with its own rng
+// derived from seed and the mode index, so results are deterministic for a
+// given seed regardless of the worker count.
 func MinSNRSweep(conv wifi.Convention, seed int64, frames int) ([]MinSNRRow, error) {
 	if frames <= 0 {
 		frames = 10
 	}
-	rng := rand.New(rand.NewSource(seed))
-	rows := make([]MinSNRRow, 0, len(wifi.PaperModes()))
-	for _, mode := range wifi.PaperModes() {
+	modes := wifi.PaperModes()
+	rows := make([]MinSNRRow, len(modes))
+	err := parallelFor(len(modes), func(i int) error {
+		mode := modes[i]
+		rng := rand.New(rand.NewSource(seed + int64(i)*1_000_003))
 		paper := paperMinSNR(mode)
 		row := MinSNRRow{Mode: mode, PaperDB: paper, MeasuredDB: math.NaN(), SoftDB: math.NaN()}
 		for snr := paper - 6; snr <= paper+8; snr += 2 {
 			per, err := measurePER(conv, mode, snr, frames, false, rng)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if per <= 0.1 {
 				row.MeasuredDB = snr
@@ -43,14 +48,18 @@ func MinSNRSweep(conv wifi.Convention, seed int64, frames int) ([]MinSNRRow, err
 		for snr := paper - 8; snr <= paper+8; snr += 2 {
 			per, err := measurePER(conv, mode, snr, frames, true, rng)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if per <= 0.1 {
 				row.SoftDB = snr
 				break
 			}
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

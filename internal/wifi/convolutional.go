@@ -40,30 +40,83 @@ func ConvolutionalEncode(in []bits.Bit) []bits.Bit {
 	return out
 }
 
-// puncturePattern returns the keep-mask over one puncturing period of
-// mother-coded bits for rate r. Rate 1/2 keeps everything.
-func puncturePattern(r CodeRate) ([]bool, error) {
-	switch r {
-	case Rate12:
-		return []bool{true, true}, nil
-	case Rate23:
-		return []bool{true, true, true, false}, nil
-	case Rate34:
-		return []bool{true, true, true, false, false, true}, nil
-	case Rate56:
-		return []bool{true, true, true, false, false, true, true, false, false, true}, nil
-	default:
+// punctureInfo is the cached per-rate puncturing state: the keep-mask over
+// one period plus the derived bookkeeping the depuncturers need to size
+// their outputs without walking the pattern bit by bit.
+type punctureInfo struct {
+	pattern []bool
+	keeps   int // kept bits per period
+	// keepPrefix[j] is how many pattern slots the first j kept bits span
+	// (keepPrefix[0] = 0): the closed form of "walk the pattern until j
+	// bits were kept".
+	keepPrefix []int
+}
+
+// punctureTable holds one immutable entry per CodeRate; entries are read
+// concurrently and must never be mutated.
+var punctureTable = buildPunctureTable()
+
+func buildPunctureTable() [Rate56 + 1]*punctureInfo {
+	var tab [Rate56 + 1]*punctureInfo
+	patterns := map[CodeRate][]bool{
+		Rate12: {true, true},
+		Rate23: {true, true, true, false},
+		Rate34: {true, true, true, false, false, true},
+		Rate56: {true, true, true, false, false, true, true, false, false, true},
+	}
+	for r, pat := range patterns {
+		info := &punctureInfo{pattern: pat}
+		info.keepPrefix = append(info.keepPrefix, 0)
+		for i, keep := range pat {
+			if keep {
+				info.keeps++
+				info.keepPrefix = append(info.keepPrefix, i+1)
+			}
+		}
+		tab[r] = info
+	}
+	return tab
+}
+
+// punctureRate returns the cached puncturing state for r. The result is
+// shared and immutable.
+func punctureRate(r CodeRate) (*punctureInfo, error) {
+	if r < Rate12 || r > Rate56 || punctureTable[r] == nil {
 		return nil, fmt.Errorf("wifi: unsupported code rate %v", r)
 	}
+	return punctureTable[r], nil
+}
+
+// puncturePattern returns the keep-mask over one puncturing period of
+// mother-coded bits for rate r. Rate 1/2 keeps everything. The returned
+// slice is a shared cached instance; callers must not modify it.
+func puncturePattern(r CodeRate) ([]bool, error) {
+	info, err := punctureRate(r)
+	if err != nil {
+		return nil, err
+	}
+	return info.pattern, nil
+}
+
+// motherLen returns how many mother-stream slots a received rate-r stream
+// of n bits spans: the index just past the n-th kept pattern position.
+func (p *punctureInfo) motherLen(n int) int {
+	if n == 0 {
+		return 0
+	}
+	full := (n - 1) / p.keeps
+	rem := (n-1)%p.keeps + 1
+	return full*len(p.pattern) + p.keepPrefix[rem]
 }
 
 // Puncture removes the coded bits a rate-r puncturer drops from the
 // rate-1/2 stream coded.
 func Puncture(coded []bits.Bit, r CodeRate) ([]bits.Bit, error) {
-	pat, err := puncturePattern(r)
+	info, err := punctureRate(r)
 	if err != nil {
 		return nil, err
 	}
+	pat := info.pattern
 	out := make([]bits.Bit, 0, len(coded)*r.Numerator()/r.Denominator()+2)
 	for i, b := range coded {
 		if pat[i%len(pat)] {
@@ -94,38 +147,57 @@ func MotherIndices(n int, r CodeRate) ([]int, error) {
 
 // Depuncture expands a received rate-r stream back to mother-code length,
 // marking punctured positions as erasures. Erasures carry no branch metric
-// in the Viterbi decoder.
+// in the Viterbi decoder. Partial trailing periods are allowed (the encoder
+// may stop mid-pattern when the input length is not a multiple of the
+// period), and a dangling half-step is padded with an erasure so the
+// decoder always consumes whole pairs. The output length is computed from
+// the pattern up front, so both slices are allocated exactly once.
 func Depuncture(rx []bits.Bit, r CodeRate) (data []bits.Bit, erased []bool, err error) {
-	pat, err := puncturePattern(r)
+	info, err := punctureRate(r)
 	if err != nil {
 		return nil, nil, err
 	}
-	// Walk the keep-pattern until every received bit has a mother slot;
-	// partial trailing periods are allowed (the encoder may stop mid-
-	// pattern when the input length is not a multiple of the period).
-	j := 0
-	for i := 0; j < len(rx); i++ {
-		if pat[i%len(pat)] {
-			j++
-		}
-		data = append(data, 0)
-		erased = append(erased, !pat[i%len(pat)])
-	}
-	// Fill the placed bits.
-	j = 0
-	for i := range data {
-		if !erased[i] {
-			data[i] = rx[j]
-			j++
-		}
-	}
-	// The Viterbi decoder consumes pairs; pad a dangling half-step with an
-	// erasure.
-	if len(data)%2 != 0 {
-		data = append(data, 0)
-		erased = append(erased, true)
-	}
+	n := info.motherLen(len(rx))
+	padded := n + n%2
+	data = make([]bits.Bit, padded)
+	erased = make([]bool, padded)
+	fillDepunctured(data, erased, rx, info)
 	return data, erased, nil
+}
+
+// DepunctureInto is Depuncture reusing the capacity of the provided
+// slices; it returns them resized to the mother-code length (padded to
+// whole decoder pairs).
+func DepunctureInto(data []bits.Bit, erased []bool, rx []bits.Bit, r CodeRate) ([]bits.Bit, []bool, error) {
+	info, err := punctureRate(r)
+	if err != nil {
+		return data, erased, err
+	}
+	n := info.motherLen(len(rx))
+	padded := n + n%2
+	data = growBits(data, padded)
+	if cap(erased) >= padded {
+		erased = erased[:padded]
+	} else {
+		erased = make([]bool, padded)
+	}
+	fillDepunctured(data, erased, rx, info)
+	return data, erased, nil
+}
+
+func fillDepunctured(data []bits.Bit, erased []bool, rx []bits.Bit, info *punctureInfo) {
+	pat := info.pattern
+	j := 0
+	for i := range data {
+		if j < len(rx) && pat[i%len(pat)] {
+			data[i] = rx[j]
+			erased[i] = false
+			j++
+		} else {
+			data[i] = 0
+			erased[i] = true
+		}
+	}
 }
 
 // ViterbiDecode performs hard-decision maximum-likelihood decoding of the
@@ -135,94 +207,7 @@ func Depuncture(rx []bits.Bit, r CodeRate) (data []bits.Bit, erased []bool, err 
 // true the decoder also assumes six zero tail bits returned it to the zero
 // state, as the 802.11 DATA field guarantees.
 func ViterbiDecode(coded []bits.Bit, erased []bool, terminated bool) ([]bits.Bit, error) {
-	if len(coded)%2 != 0 {
-		return nil, fmt.Errorf("wifi: coded length %d is odd", len(coded))
-	}
-	if erased != nil && len(erased) != len(coded) {
-		return nil, fmt.Errorf("wifi: erasure mask length %d != coded length %d", len(erased), len(coded))
-	}
-	steps := len(coded) / 2
-	if steps == 0 {
-		return nil, nil
-	}
-
-	const numStates = 64 // 2^(K-1)
-	const inf = int32(1) << 30
-
-	// Branch outputs per (state, input). The state packs the six most
-	// recent input bits with the newest at bit 0.
-	var outBits [numStates][2][2]bits.Bit
-	for s := 0; s < numStates; s++ {
-		for in := 0; in < 2; in++ {
-			window := (uint32(s)<<1 | uint32(in)) & 0x7F
-			y0, y1 := EncodeStep(window)
-			outBits[s][in] = [2]bits.Bit{y0, y1}
-		}
-	}
-
-	metric := make([]int32, numStates)
-	next := make([]int32, numStates)
-	for i := range metric {
-		metric[i] = inf
-	}
-	metric[0] = 0
-
-	type survivor struct {
-		prev uint8
-		in   uint8
-	}
-	surv := make([][numStates]survivor, steps)
-
-	for t := 0; t < steps; t++ {
-		for i := range next {
-			next[i] = inf
-		}
-		r0, r1 := coded[2*t]&1, coded[2*t+1]&1
-		e0, e1 := false, false
-		if erased != nil {
-			e0, e1 = erased[2*t], erased[2*t+1]
-		}
-		for s := 0; s < numStates; s++ {
-			m := metric[s]
-			if m >= inf {
-				continue
-			}
-			for in := 0; in < 2; in++ {
-				var cost int32
-				ob := outBits[s][in]
-				if !e0 && ob[0] != r0 {
-					cost++
-				}
-				if !e1 && ob[1] != r1 {
-					cost++
-				}
-				ns := ((s << 1) | in) & 0x3F
-				if nm := m + cost; nm < next[ns] {
-					next[ns] = nm
-					surv[t][ns] = survivor{prev: uint8(s), in: uint8(in)}
-				}
-			}
-		}
-		metric, next = next, metric
-	}
-
-	best := 0
-	if !terminated {
-		for s := 1; s < numStates; s++ {
-			if metric[s] < metric[best] {
-				best = s
-			}
-		}
-	}
-
-	decoded := make([]bits.Bit, steps)
-	state := uint8(best)
-	for t := steps - 1; t >= 0; t-- {
-		sv := surv[t][state]
-		decoded[t] = bits.Bit(sv.in)
-		state = sv.prev
-	}
-	return decoded, nil
+	return ViterbiDecodeInto(nil, coded, erased, terminated)
 }
 
 // EncodeAndPuncture is the full transmit-side coder: rate-1/2 encode then

@@ -1,0 +1,52 @@
+package wifi
+
+import "math"
+
+// NearestIdealPoint returns the constellation point of m nearest to p.
+// Both conventions share the same square lattice (they differ only in bit
+// labels), so a hard demap followed by a remap reduces to quantizing each
+// axis to the nearest odd level — no table walk, no allocation.
+func NearestIdealPoint(m Modulation, p complex128) complex128 {
+	k := NormFactor(m)
+	if m == BPSK {
+		if real(p) >= 0 {
+			return complex(k, 0)
+		}
+		return complex(-k, 0)
+	}
+	n := axisBits(m)
+	maxLevel := (1 << n) - 1
+	quant := func(v float64) float64 {
+		l := int(math.Round((v/k-1)/2))*2 + 1
+		if l > maxLevel {
+			l = maxLevel
+		}
+		if l < -maxLevel {
+			l = -maxLevel
+		}
+		return float64(l)
+	}
+	return complex(quant(real(p))*k, quant(imag(p))*k)
+}
+
+// SymbolEVM computes the per-symbol RMS error-vector magnitude of equalized
+// constellation points against the nearest ideal points. The constellations
+// are normalized to unit average power, so the figure is directly the
+// relative EVM. The result slice is the only allocation.
+func SymbolEVM(m Modulation, dataPoints [][]complex128) []float64 {
+	out := make([]float64, len(dataPoints))
+	if !m.Valid() {
+		return out
+	}
+	for s, pts := range dataPoints {
+		var sum float64
+		for _, p := range pts {
+			d := p - NearestIdealPoint(m, p)
+			sum += real(d)*real(d) + imag(d)*imag(d)
+		}
+		if len(pts) > 0 {
+			out[s] = math.Sqrt(sum / float64(len(pts)))
+		}
+	}
+	return out
+}

@@ -107,14 +107,26 @@ func SubcarrierMapInto(freq, data []complex128, symbolIndex int) error {
 // 64-bin frequency vector of a received symbol it returns the 48 data
 // points in ascending subcarrier order.
 func ExtractSubcarriers(freq []complex128) ([]complex128, error) {
-	if len(freq) != NumSubcarriers {
-		return nil, fmt.Errorf("wifi: need %d bins, got %d", NumSubcarriers, len(freq))
-	}
-	out := make([]complex128, 0, NumDataSubcarriers)
-	for _, b := range dataBins {
-		out = append(out, freq[b])
+	out := make([]complex128, NumDataSubcarriers)
+	if err := ExtractSubcarriersInto(out, freq); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// ExtractSubcarriersInto is ExtractSubcarriers writing the 48 data points
+// into a caller-provided slice. No allocation.
+func ExtractSubcarriersInto(dst, freq []complex128) error {
+	if len(freq) != NumSubcarriers {
+		return fmt.Errorf("wifi: need %d bins, got %d", NumSubcarriers, len(freq))
+	}
+	if len(dst) != NumDataSubcarriers {
+		return fmt.Errorf("wifi: need %d data points, got %d", NumDataSubcarriers, len(dst))
+	}
+	for i, b := range dataBins {
+		dst[i] = freq[b]
+	}
+	return nil
 }
 
 // bin converts a signed subcarrier index to an FFT bin index.
@@ -135,10 +147,21 @@ func TimeDomain(freq []complex128) []complex128 {
 // FrequencyDomain strips the cyclic prefix from an 80-sample symbol and
 // returns its 64-bin FFT.
 func FrequencyDomain(sym []complex128) ([]complex128, error) {
-	if len(sym) != SymbolLength {
-		return nil, fmt.Errorf("wifi: symbol length %d != %d", len(sym), SymbolLength)
+	out := make([]complex128, NumSubcarriers)
+	if err := FrequencyDomainInto(out, sym); err != nil {
+		return nil, err
 	}
-	return dsp.FFT(sym[CPLength:])
+	return out, nil
+}
+
+// FrequencyDomainInto is FrequencyDomain computing the 64-bin FFT into a
+// caller-provided vector (which must not alias sym). No allocation — the
+// receiver's per-symbol hot loop uses it with pooled buffers.
+func FrequencyDomainInto(dst, sym []complex128) error {
+	if len(sym) != SymbolLength {
+		return fmt.Errorf("wifi: symbol length %d != %d", len(sym), SymbolLength)
+	}
+	return dsp.FFTInto(dst, sym[CPLength:])
 }
 
 // ApplyEdgeWindow smooths the transitions between consecutive OFDM

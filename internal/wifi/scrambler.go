@@ -2,6 +2,7 @@ package wifi
 
 import (
 	"fmt"
+	"sync"
 
 	"sledzig/internal/bits"
 )
@@ -65,20 +66,48 @@ func ScrambleWithSeed(in []bits.Bit, seed uint8) ([]bits.Bit, error) {
 	return s.Scramble(in), nil
 }
 
+// The scrambler polynomial is primitive, so every nonzero seed generates
+// the same maximal-length sequence with period 127 at a different phase.
+// Cache one period per seed and scrambling becomes a periodic XOR instead
+// of 7 LFSR steps per bit.
+const scramblerPeriod = 127
+
+var (
+	scramSeqOnce [128]sync.Once
+	scramSeq     [128][scramblerPeriod]bits.Bit
+)
+
+// scramblerSequence returns the cached 127-bit sequence for a valid seed.
+func scramblerSequence(seed uint8) *[scramblerPeriod]bits.Bit {
+	scramSeqOnce[seed].Do(func() {
+		s := Scrambler{state: seed}
+		for i := range scramSeq[seed] {
+			scramSeq[seed][i] = s.NextBit()
+		}
+	})
+	return &scramSeq[seed]
+}
+
 // ScrambleWithSeedInto scrambles in with a fresh scrambler seeded by seed,
 // writing the result into dst (which must be len(in) elements). dst and in
 // may be the same slice — the scrambler reads each element before writing
-// it. This is the allocation-free variant the pooled encode paths use.
+// it. This is the allocation-free variant the pooled encode and decode
+// paths use.
 func ScrambleWithSeedInto(dst, in []bits.Bit, seed uint8) error {
 	if len(dst) != len(in) {
 		return fmt.Errorf("wifi: scramble destination of %d bits does not match source of %d", len(dst), len(in))
 	}
-	s, err := NewScrambler(seed)
-	if err != nil {
-		return err
+	if seed == 0 || seed > 0x7F {
+		return fmt.Errorf("wifi: scrambler seed %#x out of range [1, 0x7f]", seed)
 	}
+	seq := scramblerSequence(seed)
+	j := 0
 	for i, b := range in {
-		dst[i] = (b ^ s.NextBit()) & 1
+		dst[i] = (b ^ seq[j]) & 1
+		j++
+		if j == scramblerPeriod {
+			j = 0
+		}
 	}
 	return nil
 }

@@ -49,12 +49,24 @@ func rateCode(m Mode) (uint8, error) {
 	return 0, fmt.Errorf("wifi: no RATE code for mode %v", m)
 }
 
+// modeByRateCode inverts rateCode as a lookup table, built once at init —
+// the receiver consults it on every frame's SIGNAL field.
+var modeByRateCode = func() (t [16]struct {
+	mode Mode
+	ok   bool
+}) {
+	for _, m := range allModes() {
+		if c, err := rateCode(m); err == nil && !t[c].ok {
+			t[c].mode, t[c].ok = m, true
+		}
+	}
+	return
+}()
+
 // modeFromRateCode inverts rateCode.
 func modeFromRateCode(code uint8) (Mode, error) {
-	for _, m := range allModes() {
-		if c, err := rateCode(m); err == nil && c == code {
-			return m, nil
-		}
+	if int(code) < len(modeByRateCode) && modeByRateCode[code].ok {
+		return modeByRateCode[code].mode, nil
 	}
 	return Mode{}, fmt.Errorf("wifi: unknown RATE code %#04b", code)
 }

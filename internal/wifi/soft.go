@@ -15,10 +15,13 @@ import (
 // paper's (soft-decision) figures.
 
 // constellationTable caches, per (convention, modulation), every
-// constellation point alongside its bit label.
+// constellation point alongside its bit label, both as bit slices and as
+// packed words (bit b of packed[i] is labels[i][b]) so the demapper's hot
+// loop stays free of slice-of-slice indirection.
 type constellationTable struct {
 	points []complex128
 	labels [][]bits.Bit
+	packed []uint16
 }
 
 var constellationCache sync.Map // map[struct{Convention; Modulation}]*constellationTable
@@ -38,6 +41,7 @@ func constellation(c Convention, m Modulation) (*constellationTable, error) {
 	t := &constellationTable{
 		points: make([]complex128, 0, 1<<n),
 		labels: make([][]bits.Bit, 0, 1<<n),
+		packed: make([]uint16, 0, 1<<n),
 	}
 	for v := 0; v < 1<<n; v++ {
 		label := bits.FromUint(uint64(v), n)
@@ -45,35 +49,48 @@ func constellation(c Convention, m Modulation) (*constellationTable, error) {
 		if err != nil {
 			return nil, err
 		}
+		var pack uint16
+		for b, bit := range label {
+			pack |= uint16(bit&1) << uint(b)
+		}
 		t.points = append(t.points, p)
 		t.labels = append(t.labels, label)
+		t.packed = append(t.packed, pack)
 	}
 	constellationCache.Store(key{c, m}, t)
 	return t, nil
 }
 
-// SoftDemapSymbol returns per-bit log-likelihood ratios (positive = bit 0
-// more likely) for one received point under a max-log approximation. The
-// noise variance only scales the LLRs, which the Viterbi minimization is
-// invariant to, so it is fixed at 1.
-func (c Convention) SoftDemapSymbol(m Modulation, p complex128) ([]float64, error) {
+// maxBitsPerSubcarrier bounds the demapper's fixed-size work arrays
+// (QAM-256 labels 8 bits per subcarrier).
+const maxBitsPerSubcarrier = 8
+
+// SoftDemapSymbolInto writes per-bit log-likelihood ratios (positive =
+// bit 0 more likely) for one received point into llr, which must hold
+// m.BitsPerSubcarrier() values. It allocates nothing.
+func (c Convention) SoftDemapSymbolInto(llr []float64, m Modulation, p complex128) error {
 	tbl, err := constellation(c, m)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	n := m.BitsPerSubcarrier()
-	best0 := make([]float64, n)
-	best1 := make([]float64, n)
-	for i := range best0 {
-		best0[i] = math.Inf(1)
-		best1[i] = math.Inf(1)
+	if len(llr) != n {
+		return fmt.Errorf("wifi: LLR destination length %d != %d bits for %v", len(llr), n, m)
 	}
+	var best0, best1 [maxBitsPerSubcarrier]float64
+	inf := math.Inf(1)
+	for b := 0; b < n; b++ {
+		best0[b] = inf
+		best1[b] = inf
+	}
+	pr, pi := real(p), imag(p)
 	for i, pt := range tbl.points {
-		dre := real(p) - real(pt)
-		dim := imag(p) - imag(pt)
+		dre := pr - real(pt)
+		dim := pi - imag(pt)
 		d := dre*dre + dim*dim
-		for b, bit := range tbl.labels[i] {
-			if bit == 0 {
+		lab := tbl.packed[i]
+		for b := 0; b < n; b++ {
+			if lab>>uint(b)&1 == 0 {
 				if d < best0[b] {
 					best0[b] = d
 				}
@@ -82,148 +99,113 @@ func (c Convention) SoftDemapSymbol(m Modulation, p complex128) ([]float64, erro
 			}
 		}
 	}
-	llr := make([]float64, n)
-	for b := range llr {
+	for b := 0; b < n; b++ {
 		llr[b] = best1[b] - best0[b]
+	}
+	return nil
+}
+
+// SoftDemapSymbol returns per-bit log-likelihood ratios (positive = bit 0
+// more likely) for one received point under a max-log approximation. The
+// noise variance only scales the LLRs, which the Viterbi minimization is
+// invariant to, so it is fixed at 1.
+func (c Convention) SoftDemapSymbol(m Modulation, p complex128) ([]float64, error) {
+	llr := make([]float64, m.BitsPerSubcarrier())
+	if err := c.SoftDemapSymbolInto(llr, m, p); err != nil {
+		return nil, err
 	}
 	return llr, nil
 }
 
+// SoftDemapAllInto demaps a point sequence into dst as a flat LLR stream;
+// dst must hold len(pts)*m.BitsPerSubcarrier() values. No allocation.
+func (c Convention) SoftDemapAllInto(dst []float64, m Modulation, pts []complex128) error {
+	n := m.BitsPerSubcarrier()
+	if len(dst) != len(pts)*n {
+		return fmt.Errorf("wifi: LLR destination length %d != %d points x %d bits", len(dst), len(pts), n)
+	}
+	for i, p := range pts {
+		if err := c.SoftDemapSymbolInto(dst[i*n:(i+1)*n], m, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // SoftDemapAll demaps a point sequence to a flat LLR stream.
 func (c Convention) SoftDemapAll(m Modulation, pts []complex128) ([]float64, error) {
-	out := make([]float64, 0, len(pts)*m.BitsPerSubcarrier())
-	for _, p := range pts {
-		l, err := c.SoftDemapSymbol(m, p)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, l...)
+	out := make([]float64, len(pts)*m.BitsPerSubcarrier())
+	if err := c.SoftDemapAllInto(out, m, pts); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// DeinterleaveFloatsInto inverts the per-symbol interleaver on an LLR
+// block, writing into out (length N_CBPS). in and out must not alias.
+func (c Convention) DeinterleaveFloatsInto(out, in []float64, m Modulation) error {
+	nCBPS := NumDataSubcarriers * m.BitsPerSubcarrier()
+	if len(in) != nCBPS {
+		return fmt.Errorf("wifi: deinterleave input length %d != N_CBPS %d for %v", len(in), nCBPS, m)
+	}
+	if len(out) != nCBPS {
+		return fmt.Errorf("wifi: deinterleave output length %d != N_CBPS %d for %v", len(out), nCBPS, m)
+	}
+	for j, v := range in {
+		out[c.DeinterleaveIndexC(m, j)] = v
+	}
+	return nil
 }
 
 // DeinterleaveFloats inverts the per-symbol interleaver on an LLR block.
 func (c Convention) DeinterleaveFloats(m Modulation, in []float64) ([]float64, error) {
-	nCBPS := NumDataSubcarriers * m.BitsPerSubcarrier()
-	if len(in) != nCBPS {
-		return nil, fmt.Errorf("wifi: deinterleave input length %d != N_CBPS %d for %v", len(in), nCBPS, m)
-	}
-	out := make([]float64, nCBPS)
-	for j, v := range in {
-		out[c.DeinterleaveIndexC(m, j)] = v
+	out := make([]float64, NumDataSubcarriers*m.BitsPerSubcarrier())
+	if err := c.DeinterleaveFloatsInto(out, in, m); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-// DepunctureFloats expands a rate-r LLR stream to mother-code length,
-// inserting zero LLRs (erasures) at punctured positions.
-func DepunctureFloats(rx []float64, r CodeRate) ([]float64, error) {
-	pat, err := puncturePattern(r)
+// DepunctureFloatsInto expands a rate-r LLR stream to mother-code length
+// into dst (reusing its capacity), inserting zero LLRs (erasures) at
+// punctured positions and padding a dangling half-step. It returns the
+// resized slice.
+func DepunctureFloatsInto(dst []float64, rx []float64, r CodeRate) ([]float64, error) {
+	info, err := punctureRate(r)
 	if err != nil {
-		return nil, err
+		return dst, err
 	}
-	out := make([]float64, 0, len(rx)*2)
+	n := info.motherLen(len(rx))
+	padded := n + n%2
+	if cap(dst) >= padded {
+		dst = dst[:padded]
+	} else {
+		dst = make([]float64, padded)
+	}
+	pat := info.pattern
 	j := 0
-	for i := 0; j < len(rx); i++ {
-		if pat[i%len(pat)] {
-			out = append(out, rx[j])
+	for i := range dst {
+		if j < len(rx) && pat[i%len(pat)] {
+			dst[i] = rx[j]
 			j++
 		} else {
-			out = append(out, 0)
+			dst[i] = 0
 		}
 	}
-	if len(out)%2 != 0 {
-		out = append(out, 0)
-	}
-	return out, nil
+	return dst, nil
+}
+
+// DepunctureFloats expands a received rate-r LLR stream back to
+// mother-code length, inserting zero LLRs (erasures) at punctured
+// positions. The output length is computed from the pattern up front, so
+// the slice is allocated exactly once.
+func DepunctureFloats(rx []float64, r CodeRate) ([]float64, error) {
+	return DepunctureFloatsInto(nil, rx, r)
 }
 
 // ViterbiDecodeSoft is the soft-metric counterpart of ViterbiDecode: llrs
 // holds one value per mother-coded bit (positive favours 0), zeros acting
 // as erasures.
 func ViterbiDecodeSoft(llrs []float64, terminated bool) ([]bits.Bit, error) {
-	if len(llrs)%2 != 0 {
-		return nil, fmt.Errorf("wifi: LLR stream length %d is odd", len(llrs))
-	}
-	steps := len(llrs) / 2
-	if steps == 0 {
-		return nil, nil
-	}
-	const numStates = 64
-	inf := math.Inf(1)
-
-	var outBits [numStates][2][2]bits.Bit
-	for s := 0; s < numStates; s++ {
-		for in := 0; in < 2; in++ {
-			w := (uint32(s)<<1 | uint32(in)) & 0x7F
-			y0, y1 := EncodeStep(w)
-			outBits[s][in] = [2]bits.Bit{y0, y1}
-		}
-	}
-
-	metric := make([]float64, numStates)
-	next := make([]float64, numStates)
-	for i := range metric {
-		metric[i] = inf
-	}
-	metric[0] = 0
-
-	type survivor struct {
-		prev uint8
-		in   uint8
-	}
-	surv := make([][numStates]survivor, steps)
-
-	for t := 0; t < steps; t++ {
-		for i := range next {
-			next[i] = inf
-		}
-		l0, l1 := llrs[2*t], llrs[2*t+1]
-		for s := 0; s < numStates; s++ {
-			m := metric[s]
-			if math.IsInf(m, 1) {
-				continue
-			}
-			for in := 0; in < 2; in++ {
-				cost := m
-				ob := outBits[s][in]
-				// Cost of asserting bit value b against LLR l
-				// (l = log P(0)/P(1)): add l when the branch outputs 1,
-				// -l when it outputs 0; constant offsets cancel.
-				if ob[0] == 1 {
-					cost += l0
-				} else {
-					cost -= l0
-				}
-				if ob[1] == 1 {
-					cost += l1
-				} else {
-					cost -= l1
-				}
-				ns := ((s << 1) | in) & 0x3F
-				if cost < next[ns] {
-					next[ns] = cost
-					surv[t][ns] = survivor{prev: uint8(s), in: uint8(in)}
-				}
-			}
-		}
-		metric, next = next, metric
-	}
-
-	best := 0
-	if !terminated {
-		for s := 1; s < numStates; s++ {
-			if metric[s] < metric[best] {
-				best = s
-			}
-		}
-	}
-	decoded := make([]bits.Bit, steps)
-	state := uint8(best)
-	for t := steps - 1; t >= 0; t-- {
-		sv := surv[t][state]
-		decoded[t] = bits.Bit(sv.in)
-		state = sv.prev
-	}
-	return decoded, nil
+	return ViterbiDecodeSoftInto(nil, llrs, terminated)
 }

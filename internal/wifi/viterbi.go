@@ -1,0 +1,252 @@
+package wifi
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"sledzig/internal/bits"
+)
+
+// Table-driven Viterbi decoder for the rate-1/2, constraint-7 mother code.
+//
+// The trellis is precomputed once per process: for destination state ns the
+// two predecessors are fixed (ns>>1 and ns>>1|32, both consuming input bit
+// ns&1), and each transition's coded output pair is a 2-bit index into a
+// per-step table of the four possible branch metrics. Path metrics live in
+// fixed-size arrays pointer-swapped between steps, and survivor decisions
+// are bit-packed
+// — one uint64 word per trellis step (64 states, one decision bit each) —
+// so a 1500-byte frame's survivor memory is ~100 KiB smaller than the
+// struct-matrix representation and is recycled through a sync.Pool.
+
+const (
+	viterbiStates = 64 // 2^(K-1)
+	viterbiInfI32 = int32(1) << 30
+)
+
+// trellis holds the per-destination branch-output indices: for destination
+// state ns, out0[ns]/out1[ns] are y0<<1|y1 of the transition from
+// predecessor ns>>1 resp. ns>>1|32 under input ns&1.
+type trellis struct {
+	out0 [viterbiStates]uint8
+	out1 [viterbiStates]uint8
+}
+
+var (
+	trellisOnce sync.Once
+	trellisTab  trellis
+)
+
+// viterbiTrellis returns the process-wide precomputed trellis tables.
+func viterbiTrellis() *trellis {
+	trellisOnce.Do(func() {
+		pair := func(s, in int) uint8 {
+			window := (uint32(s)<<1 | uint32(in)) & 0x7F
+			y0, y1 := EncodeStep(window)
+			return uint8(y0)<<1 | uint8(y1)
+		}
+		for ns := 0; ns < viterbiStates; ns++ {
+			in := ns & 1
+			trellisTab.out0[ns] = pair(ns>>1, in)
+			trellisTab.out1[ns] = pair(ns>>1|32, in)
+		}
+	})
+	return &trellisTab
+}
+
+// viterbiScratch is the recycled working state of one decode: fixed-size
+// metric arrays (float for soft, int32 for hard — pointer-swapped between
+// steps, and sized by a constant so the hot loop needs no bounds checks)
+// and the bit-packed survivor words, grown to the longest frame seen.
+type viterbiScratch struct {
+	m0, m1    [viterbiStates]float64
+	h0, h1    [viterbiStates]int32
+	decisions []uint64
+}
+
+var viterbiPool = sync.Pool{New: func() any { return new(viterbiScratch) }}
+
+func (s *viterbiScratch) grow(steps int) {
+	if cap(s.decisions) < steps {
+		s.decisions = make([]uint64, steps)
+	}
+	s.decisions = s.decisions[:steps]
+}
+
+// growBits returns dst resized to n elements, reusing its capacity.
+func growBits(dst []bits.Bit, n int) []bits.Bit {
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	return make([]bits.Bit, n)
+}
+
+// ViterbiDecodeSoftInto is ViterbiDecodeSoft decoding into dst (reusing its
+// capacity) and returning the resized slice. llrs holds one value per
+// mother-coded bit (positive favours 0), zeros acting as erasures.
+func ViterbiDecodeSoftInto(dst []bits.Bit, llrs []float64, terminated bool) ([]bits.Bit, error) {
+	if len(llrs)%2 != 0 {
+		return dst, fmt.Errorf("wifi: LLR stream length %d is odd", len(llrs))
+	}
+	steps := len(llrs) / 2
+	if steps == 0 {
+		return dst[:0], nil
+	}
+	tr := viterbiTrellis()
+	s := viterbiPool.Get().(*viterbiScratch)
+	defer viterbiPool.Put(s)
+	s.grow(steps)
+
+	metric, next := &s.m0, &s.m1
+	inf := math.Inf(1)
+	for i := range metric {
+		metric[i] = inf
+	}
+	metric[0] = 0
+
+	var bmv [4]float64
+	for t := 0; t < steps; t++ {
+		// Cost of asserting bit value b against LLR l (l = log P(0)/P(1)):
+		// add l when the branch outputs 1, -l when it outputs 0; constant
+		// offsets cancel. Only four branch metrics exist per step, indexed
+		// by the output pair y0<<1|y1.
+		l0, l1 := llrs[2*t], llrs[2*t+1]
+		bmv[0] = -l0 - l1
+		bmv[1] = -l0 + l1
+		bmv[2] = l0 - l1
+		bmv[3] = l0 + l1
+		var word uint64
+		// Destination states 2p and 2p+1 share the predecessor pair
+		// (p, p+32); walking pairs halves the path-metric loads.
+		for p := 0; p < viterbiStates/2; p++ {
+			m0, m1 := metric[p], metric[p+32]
+			ns := 2 * p
+			c0 := m0 + bmv[tr.out0[ns]&3]
+			c1 := m1 + bmv[tr.out1[ns]&3]
+			if c1 < c0 {
+				next[ns] = c1
+				word |= 1 << uint(ns)
+			} else {
+				next[ns] = c0
+			}
+			ns++
+			c0 = m0 + bmv[tr.out0[ns]&3]
+			c1 = m1 + bmv[tr.out1[ns]&3]
+			if c1 < c0 {
+				next[ns] = c1
+				word |= 1 << uint(ns)
+			} else {
+				next[ns] = c0
+			}
+		}
+		s.decisions[t] = word
+		metric, next = next, metric
+	}
+
+	best := 0
+	if !terminated {
+		for st := 1; st < viterbiStates; st++ {
+			if metric[st] < metric[best] {
+				best = st
+			}
+		}
+	}
+	dst = growBits(dst, steps)
+	traceback(dst, s.decisions, best)
+	return dst, nil
+}
+
+// ViterbiDecodeInto is ViterbiDecode decoding into dst (reusing its
+// capacity) and returning the resized slice.
+func ViterbiDecodeInto(dst []bits.Bit, coded []bits.Bit, erased []bool, terminated bool) ([]bits.Bit, error) {
+	if len(coded)%2 != 0 {
+		return dst, fmt.Errorf("wifi: coded length %d is odd", len(coded))
+	}
+	if erased != nil && len(erased) != len(coded) {
+		return dst, fmt.Errorf("wifi: erasure mask length %d != coded length %d", len(erased), len(coded))
+	}
+	steps := len(coded) / 2
+	if steps == 0 {
+		return dst[:0], nil
+	}
+	tr := viterbiTrellis()
+	s := viterbiPool.Get().(*viterbiScratch)
+	defer viterbiPool.Put(s)
+	s.grow(steps)
+
+	metric, next := &s.h0, &s.h1
+	for i := range metric {
+		metric[i] = viterbiInfI32
+	}
+	metric[0] = 0
+
+	var bmv [4]int32
+	for t := 0; t < steps; t++ {
+		// Hamming branch metrics against the received pair, with erased
+		// positions contributing nothing; four values indexed by y0<<1|y1.
+		r0, r1 := int32(coded[2*t]&1), int32(coded[2*t+1]&1)
+		e0, e1 := int32(1), int32(1)
+		if erased != nil {
+			if erased[2*t] {
+				e0 = 0
+			}
+			if erased[2*t+1] {
+				e1 = 0
+			}
+		}
+		bmv[0] = e0*r0 + e1*r1         // outputs (0,0)
+		bmv[1] = e0*r0 + e1*(1-r1)     // outputs (0,1)
+		bmv[2] = e0*(1-r0) + e1*r1     // outputs (1,0)
+		bmv[3] = e0*(1-r0) + e1*(1-r1) // outputs (1,1)
+		var word uint64
+		for p := 0; p < viterbiStates/2; p++ {
+			m0, m1 := metric[p], metric[p+32]
+			ns := 2 * p
+			c0 := m0 + bmv[tr.out0[ns]&3]
+			c1 := m1 + bmv[tr.out1[ns]&3]
+			if c1 < c0 {
+				next[ns] = c1
+				word |= 1 << uint(ns)
+			} else {
+				next[ns] = c0
+			}
+			ns++
+			c0 = m0 + bmv[tr.out0[ns]&3]
+			c1 = m1 + bmv[tr.out1[ns]&3]
+			if c1 < c0 {
+				next[ns] = c1
+				word |= 1 << uint(ns)
+			} else {
+				next[ns] = c0
+			}
+		}
+		s.decisions[t] = word
+		metric, next = next, metric
+	}
+
+	best := 0
+	if !terminated {
+		for st := 1; st < viterbiStates; st++ {
+			if metric[st] < metric[best] {
+				best = st
+			}
+		}
+	}
+	dst = growBits(dst, steps)
+	traceback(dst, s.decisions, best)
+	return dst, nil
+}
+
+// traceback walks the bit-packed survivor words from the chosen end state,
+// writing the decoded input bits into dst (len(dst) == len(decisions)).
+// Destination state ns encodes its own input bit at bit 0, and the stored
+// decision says whether the winning predecessor was ns>>1 | 32.
+func traceback(dst []bits.Bit, decisions []uint64, best int) {
+	state := best
+	for t := len(decisions) - 1; t >= 0; t-- {
+		dst[t] = bits.Bit(state & 1)
+		d := int(decisions[t]>>uint(state)) & 1
+		state = state>>1 | d<<5
+	}
+}
