@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test race bench bench-json bench-compare bench-baseline experiments selfcheck cover fmt vet
+.PHONY: test race bench bench-json bench-compare bench-baseline experiments selfcheck cover fmt vet fuzz-smoke chaos
 
 # Benchmarks gated by the checked-in allocation baseline (hot encode and
 # decode paths).
@@ -47,3 +47,19 @@ fmt:
 
 vet:
 	go vet ./...
+
+# Short fuzz runs of every target — a smoke pass, not a campaign. Go runs
+# one -fuzz target per package invocation, so each gets its own line.
+FUZZTIME ?= 20s
+fuzz-smoke:
+	go test -run '^$$' -fuzz '^FuzzDecodeWaveform$$' -fuzztime $(FUZZTIME) .
+	go test -run '^$$' -fuzz '^FuzzSignalField$$' -fuzztime $(FUZZTIME) .
+	go test -run '^$$' -fuzz '^FuzzParseMACFrame$$' -fuzztime $(FUZZTIME) ./internal/wifi
+	go test -run '^$$' -fuzz '^FuzzParseSignalField$$' -fuzztime $(FUZZTIME) ./internal/wifi
+	go test -run '^$$' -fuzz '^FuzzViterbiDecode$$' -fuzztime $(FUZZTIME) ./internal/wifi
+
+# Fault-injection soak of the decode pipeline (see docs/robustness.md).
+# Exits non-zero on any untyped error, escaped panic, or goroutine leak.
+CHAOS_DURATION ?= 30s
+chaos:
+	go run -race ./cmd/chaos -duration $(CHAOS_DURATION)

@@ -40,7 +40,7 @@ func (d *Decoder) DecodeDetailed(waveform []complex128) (*DecodeResult, error) {
 	if seed == 0 {
 		seed = wifi.DefaultScramblerSeed
 	}
-	rx, err := wifi.Receiver{Seed: seed, Convention: d.cfg.Convention}.Receive(waveform)
+	rx, err := wifi.Receiver{Seed: seed, Convention: d.cfg.Convention, Resync: d.cfg.Resilient}.Receive(waveform)
 	if err != nil {
 		return nil, wrapDecodeErr(err)
 	}

@@ -3,6 +3,7 @@ package sledzig
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"sledzig/internal/core"
 	"sledzig/internal/engine"
@@ -18,6 +19,11 @@ type EngineConfig struct {
 	// channel; <= 0 selects 2*Workers. Full queues block submitters —
 	// backpressure instead of unbounded buffering.
 	Queue int
+	// FrameTimeout bounds each frame's encode or decode wall time. A
+	// frame past the deadline fails with ErrFrameDeadline while its batch
+	// siblings proceed; the worker abandons the stuck computation and
+	// continues on fresh state. Zero disables the deadline.
+	FrameTimeout time.Duration
 }
 
 // Engine encodes frames across a pool of workers sharing one cached plan —
@@ -38,12 +44,14 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		return nil, fmt.Errorf("%w: config must name a protected channel (CH1..CH4)", ErrInvalidChannel)
 	}
 	e, err := engine.New(engine.Config{
-		Convention: cfg.Convention,
-		Mode:       cfg.mode(),
-		Channel:    cfg.Channel,
-		Seed:       cfg.ScramblerSeed,
-		Workers:    cfg.Workers,
-		Queue:      cfg.Queue,
+		Convention:   cfg.Convention,
+		Mode:         cfg.mode(),
+		Channel:      cfg.Channel,
+		Seed:         cfg.ScramblerSeed,
+		Workers:      cfg.Workers,
+		Queue:        cfg.Queue,
+		FrameTimeout: cfg.FrameTimeout,
+		Resilient:    cfg.Resilient,
 	})
 	if err != nil {
 		return nil, err
@@ -68,6 +76,31 @@ func (e *Engine) EncodeBatch(ctx context.Context, payloads [][]byte) ([]*Frame, 
 		frames[i] = &Frame{res: r}
 	}
 	return frames, nil
+}
+
+// EncodeOutcome is one frame's result in a per-frame batch: exactly one of
+// Frame and Err is set.
+type EncodeOutcome struct {
+	Frame *Frame
+	Err   error
+}
+
+// EncodeEach encodes every payload across the pool and returns one outcome
+// per input, in input order. Unlike EncodeBatch, a failing frame — invalid
+// payload, a contained worker panic (ErrFramePanicked), a missed deadline
+// (ErrFrameDeadline) — fails only its own slot; siblings complete
+// normally. This is the hostile-input front-end: one bad frame never costs
+// its batch.
+func (e *Engine) EncodeEach(ctx context.Context, payloads [][]byte) []EncodeOutcome {
+	results := e.e.EncodeEach(ctx, payloads)
+	out := make([]EncodeOutcome, len(results))
+	for i, r := range results {
+		out[i].Err = wrapEncodeErr(r.Err)
+		if r.Result != nil {
+			out[i].Frame = &Frame{res: r.Result}
+		}
+	}
+	return out
 }
 
 // StreamFrame is one streamed encode outcome; Index is the payload's
@@ -133,6 +166,29 @@ func (e *Engine) DecodeBatch(ctx context.Context, waveforms [][]complex128) ([]*
 		out[i] = decodeResultFrom(r)
 	}
 	return out, nil
+}
+
+// DecodeOutcome is one frame's result in a per-frame batch: exactly one of
+// Result and Err is set.
+type DecodeOutcome struct {
+	Result *DecodeResult
+	Err    error
+}
+
+// DecodeEach decodes every waveform across the pool and returns one
+// outcome per input, in input order. Unlike DecodeBatch, a hostile
+// waveform — truncated, corrupted, one that panics or stalls the decoder —
+// fails only its own slot with a taxonomy error; siblings decode normally.
+func (e *Engine) DecodeEach(ctx context.Context, waveforms [][]complex128) []DecodeOutcome {
+	results := e.e.DecodeEach(ctx, waveforms)
+	out := make([]DecodeOutcome, len(results))
+	for i, r := range results {
+		out[i].Err = wrapDecodeErr(r.Err)
+		if r.Result != nil {
+			out[i].Result = decodeResultFrom(r.Result)
+		}
+	}
+	return out
 }
 
 // DecodeStreamFrame is one streamed decode outcome; Index is the waveform's

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"sledzig/internal/core"
+	"sledzig/internal/engine"
 	"sledzig/internal/wifi"
 )
 
@@ -40,6 +41,18 @@ var (
 	// ErrNoProtectedChannel marks a successfully demodulated frame with no
 	// SledZig-protected channel in its constellation (a standard frame).
 	ErrNoProtectedChannel = errors.New("sledzig: no protected channel detected")
+	// ErrDemodulation marks a frame whose SIGNAL field decoded but whose
+	// DATA-field demodulation chain failed (channel estimate, equalizer,
+	// Viterbi, descrambler or PSDU extraction) — typically severe channel
+	// damage rather than a malformed capture.
+	ErrDemodulation = errors.New("sledzig: demodulation failed")
+	// ErrFramePanicked marks an Engine frame whose worker panicked; the
+	// panic was contained and converted into this per-frame error, and the
+	// engine keeps running.
+	ErrFramePanicked = errors.New("sledzig: frame processing panicked")
+	// ErrFrameDeadline marks an Engine frame that exceeded
+	// EngineConfig.FrameTimeout; siblings in the same batch proceed.
+	ErrFrameDeadline = errors.New("sledzig: frame deadline exceeded")
 )
 
 // wrapEncodeErr maps internal encoder failures onto the public taxonomy,
@@ -50,6 +63,18 @@ func wrapEncodeErr(err error) error {
 	}
 	if errors.Is(err, core.ErrPayloadSize) {
 		return fmt.Errorf("%w: %w", ErrPayloadTooLarge, err)
+	}
+	return wrapEngineErr(err)
+}
+
+// wrapEngineErr maps engine worker failures (shared by the encode and
+// decode paths) onto the public taxonomy.
+func wrapEngineErr(err error) error {
+	switch {
+	case errors.Is(err, engine.ErrFramePanic):
+		return fmt.Errorf("%w: %w", ErrFramePanicked, err)
+	case errors.Is(err, engine.ErrFrameTimeout):
+		return fmt.Errorf("%w: %w", ErrFrameDeadline, err)
 	}
 	return err
 }
@@ -65,10 +90,12 @@ func wrapDecodeErr(err error) error {
 		return fmt.Errorf("%w: %w", ErrNoPreamble, err)
 	case errors.Is(err, wifi.ErrBadSignal):
 		return fmt.Errorf("%w: %w", ErrBadSignalField, err)
+	case errors.Is(err, wifi.ErrDemodFailed):
+		return fmt.Errorf("%w: %w", ErrDemodulation, err)
 	case errors.Is(err, core.ErrNoProtectedChannel):
 		return fmt.Errorf("%w: %w", ErrNoProtectedChannel, err)
 	case errors.Is(err, core.ErrExtraBitLayout), errors.Is(err, core.ErrConstraintUnsatisfied):
 		return fmt.Errorf("%w: %w", ErrExtraBitMismatch, err)
 	}
-	return err
+	return wrapEngineErr(err)
 }

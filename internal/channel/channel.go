@@ -27,10 +27,16 @@ type Link struct {
 	NoiseBandwidthHz float64
 	// SampleRateHz of the waveforms (default 20 MHz).
 	SampleRateHz float64
-	// Rng drives shadowing and noise; nil disables both randomness
-	// sources (noise is still added deterministically scaled? no — nil
-	// disables noise entirely, for noise-free analyses).
+	// Rng drives the shadowing draws and the AWGN samples. Nil disables
+	// shadowing (Apply returns the mean power exactly) and makes AddNoise
+	// an error — a forgotten Rng fails loudly instead of silently
+	// producing a noiseless run. For a deliberate noiseless run, set
+	// NoiseFree.
 	Rng *rand.Rand
+	// NoiseFree makes AddNoise a documented no-op: the waveform is left
+	// untouched and no Rng is required. This is the explicit opt-in for
+	// noise-free analyses (constellation geometry, layout validation).
+	NoiseFree bool
 }
 
 func (l Link) noiseFloor() float64 {
@@ -70,10 +76,14 @@ func (l Link) Apply(wave []complex128) ([]complex128, float64) {
 }
 
 // AddNoise adds complex AWGN to wave in place at the link's noise floor,
-// scaled to the full sample-rate bandwidth. Requires Rng.
+// scaled to the full sample-rate bandwidth. Requires Rng unless NoiseFree
+// is set, in which case the waveform is returned untouched.
 func (l Link) AddNoise(wave []complex128) error {
+	if l.NoiseFree {
+		return nil
+	}
 	if l.Rng == nil {
-		return fmt.Errorf("channel: AddNoise requires an Rng")
+		return fmt.Errorf("channel: AddNoise requires an Rng (or NoiseFree)")
 	}
 	total := dsp.FromDB(l.noiseFloor()) * l.sampleRate() / l.noiseBandwidth()
 	sigma := math.Sqrt(total / 2)

@@ -156,6 +156,33 @@ func TestAddNoiseLevel(t *testing.T) {
 	}
 }
 
+func TestAddNoiseNoiseFree(t *testing.T) {
+	wave := make([]complex128, 256)
+	for i := range wave {
+		wave[i] = complex(float64(i), -float64(i))
+	}
+	before := append([]complex128(nil), wave...)
+	// Explicit noise-free mode needs no Rng and must not touch the wave.
+	if err := (Link{NoiseFree: true}).AddNoise(wave); err != nil {
+		t.Fatal(err)
+	}
+	for i := range wave {
+		if wave[i] != before[i] {
+			t.Fatalf("sample %d modified in noise-free mode", i)
+		}
+	}
+	// NoiseFree wins even when an Rng is present.
+	link := Link{NoiseFree: true, Rng: rand.New(rand.NewSource(5))}
+	if err := link.AddNoise(wave); err != nil {
+		t.Fatal(err)
+	}
+	for i := range wave {
+		if wave[i] != before[i] {
+			t.Fatalf("sample %d modified in noise-free mode with Rng", i)
+		}
+	}
+}
+
 func TestNoisePowerBandwidthScaling(t *testing.T) {
 	if math.Abs(NoisePowerDBm(2e6)-NoiseFloorDBm) > 1e-9 {
 		t.Fatal("2 MHz noise power must equal the floor")

@@ -129,6 +129,12 @@ func (d Decoder) DetectChannel(m wifi.Modulation, dataPoints [][]complex128) (Zi
 	if len(dataPoints) == 0 {
 		return 0, false
 	}
+	// Phase-only modulations have a single amplitude ring: every point is
+	// trivially "lowest ring", which would make detection fire on any BPSK
+	// or QPSK frame. Those modes cannot carry SledZig pinning at all.
+	if offsets, _ := d.Convention.SignificantOffsetsC(m); len(offsets) == 0 {
+		return 0, false
+	}
 	dataIndex := make(map[int]int, wifi.NumDataSubcarriers)
 	for i, k := range wifi.DataSubcarriers() {
 		dataIndex[k] = i

@@ -47,7 +47,7 @@ func (e *Engine) newDecoderState() *decoderState {
 		seed = wifi.DefaultScramblerSeed
 	}
 	return &decoderState{
-		rxr: wifi.Receiver{Seed: seed, Convention: e.cfg.Convention},
+		rxr: wifi.Receiver{Seed: seed, Convention: e.cfg.Convention, Resync: e.cfg.Resilient},
 		dec: core.Decoder{Convention: e.cfg.Convention},
 	}
 }
@@ -80,43 +80,65 @@ func (d *decoderState) decodeOne(waveform []complex128) (*DecodeResult, error) {
 	return res, nil
 }
 
-// DecodeBatch decodes every waveform across the pool and returns the
-// results in input order — byte-identical to a sequential receiver with the
-// same configuration. The first error (by input order) is returned after
-// all submitted work has drained; a cancelled context abandons the
-// unsubmitted remainder but still waits for in-flight frames.
-func (e *Engine) DecodeBatch(ctx context.Context, waveforms [][]complex128) ([]*DecodeResult, error) {
+// DecodeOutcome is one frame's result in a per-frame batch: exactly one of
+// Result and Err is set.
+type DecodeOutcome struct {
+	Result *DecodeResult
+	Err    error
+}
+
+// DecodeEach decodes every waveform across the pool and returns one
+// outcome per input, in input order. A hostile waveform — truncated, bit
+// garbage, one that panics or stalls the decoder — fails only its own
+// slot; siblings decode normally. A cancelled context fails the remainder
+// with the context error but still waits for frames already on a worker.
+func (e *Engine) DecodeEach(ctx context.Context, waveforms [][]complex128) []DecodeOutcome {
 	m := metrics()
 	start := time.Now()
-	results := make([]*DecodeResult, len(waveforms))
-	errs := make([]error, len(waveforms))
+	outcomes := make([]DecodeOutcome, len(waveforms))
 	var done sync.WaitGroup
 	deliver := func(idx int, res *DecodeResult, err error) {
-		results[idx] = res
-		errs[idx] = err
+		outcomes[idx] = DecodeOutcome{Result: res, Err: err}
 	}
-	var submitErr error
 	for i, w := range waveforms {
 		done.Add(1)
-		j := &job{waveform: w, idx: i, deliverDec: deliver, done: &done}
+		j := &job{waveform: w, idx: i, ctx: ctx, deliverDec: deliver, done: &done}
 		if err := e.submit(ctx, j); err != nil {
 			done.Done()
-			submitErr = err
+			for k := i; k < len(waveforms); k++ {
+				outcomes[k] = DecodeOutcome{Err: err}
+			}
 			break
 		}
 	}
 	done.Wait()
 	m.decodeBatchLatency.ObserveDuration(time.Since(start))
 	m.decodeBatches.Inc()
-	if submitErr != nil {
-		return nil, submitErr
-	}
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("engine: waveform %d: %w", i, err)
+	ok := 0
+	for _, o := range outcomes {
+		if o.Err == nil {
+			ok++
 		}
 	}
-	m.decodeFrames.Add(uint64(len(waveforms)))
+	m.decodeFrames.Add(uint64(ok))
+	return outcomes
+}
+
+// DecodeBatch decodes every waveform across the pool and returns the
+// results in input order — byte-identical to a sequential receiver with the
+// same configuration. The first error (by input order) is returned after
+// all submitted work has drained; a cancelled context abandons the
+// unsubmitted remainder but still waits for in-flight frames. Callers that
+// need sibling results to survive one bad frame use DecodeEach.
+func (e *Engine) DecodeBatch(ctx context.Context, waveforms [][]complex128) ([]*DecodeResult, error) {
+	outcomes := e.DecodeEach(ctx, waveforms)
+	results := make([]*DecodeResult, len(outcomes))
+	for i, o := range outcomes {
+		if o.Err != nil {
+			return nil, fmt.Errorf("engine: waveform %d: %w", i, o.Err)
+		}
+		results[i] = o.Result
+	}
 	return results, nil
 }
 
@@ -157,7 +179,7 @@ func (e *Engine) DecodeStream(ctx context.Context, in <-chan []complex128) <-cha
 					break feed
 				}
 				inflight.Add(1)
-				j := &job{waveform: w, idx: idx, deliverDec: deliver}
+				j := &job{waveform: w, idx: idx, ctx: ctx, deliverDec: deliver}
 				if err := e.submit(ctx, j); err != nil {
 					inflight.Done()
 					select {

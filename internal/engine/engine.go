@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -21,6 +22,16 @@ import (
 
 // ErrClosed is returned by batch and stream submissions after Close.
 var ErrClosed = errors.New("engine closed")
+
+// ErrFramePanic marks a frame whose encode or decode panicked inside a
+// worker. The panic is converted into this per-frame error — the worker,
+// its pool, and every sibling frame in the batch keep running.
+var ErrFramePanic = errors.New("engine: frame worker panicked")
+
+// ErrFrameTimeout marks a frame that exceeded Config.FrameTimeout. The
+// worker abandons the stuck computation (it finishes in the background on
+// private state) and continues with fresh encoder/decoder state.
+var ErrFrameTimeout = errors.New("engine: frame deadline exceeded")
 
 // Config selects the frame parameters (one engine encodes one
 // plan — convention, mode, channel, seed) and the pool geometry.
@@ -38,6 +49,15 @@ type Config struct {
 	// <= 0 selects 2*Workers. A full queue blocks submitters — that is
 	// the backpressure contract.
 	Queue int
+
+	// FrameTimeout bounds each frame's encode or decode wall time; a frame
+	// past the deadline fails with ErrFrameTimeout while its batch
+	// siblings proceed. Zero disables the deadline (and its small
+	// per-frame goroutine cost).
+	FrameTimeout time.Duration
+	// Resilient enables the receivers' graceful-degradation ladder
+	// (preamble resync after a failed decode at sample 0).
+	Resilient bool
 }
 
 // withDefaults resolves the pool geometry.
@@ -58,6 +78,10 @@ type job struct {
 	payload  []byte
 	waveform []complex128
 	idx      int
+	// ctx is the submitting call's context; a worker dequeuing a job whose
+	// context already expired fails it immediately without touching the
+	// PHY — cancellation drains a full queue at channel speed.
+	ctx context.Context
 
 	deliver    func(idx int, res *core.EncodeResult, err error)
 	deliverDec func(idx int, res *DecodeResult, err error)
@@ -103,18 +127,129 @@ func (e *Engine) Workers() int { return e.cfg.Workers }
 // Plan exposes the engine's shared, read-only plan.
 func (e *Engine) Plan() *core.Plan { return e.plan }
 
+// workerState is one worker's mutable PHY state. It is rebuilt whenever a
+// frame is abandoned to a deadline: the timed-out goroutine still owns the
+// old encoder/decoder buffers, so the worker must never touch them again.
+type workerState struct {
+	e   *Engine
+	enc *core.Encoder
+	dec *decoderState
+}
+
+func (w *workerState) reset() {
+	w.enc = &core.Encoder{Plan: w.e.plan, Seed: w.e.cfg.Seed}
+	w.dec = w.e.newDecoderState()
+}
+
+// testFrameHook, when non-nil, runs inside the guarded section before each
+// frame — the seam the robustness tests use to inject panics and stalls.
+var testFrameHook func(j *job)
+
+// runProtected executes fn, converting a panic into a typed per-frame
+// error carrying the stack. This is the boundary that keeps one hostile
+// frame from taking down the worker pool.
+func runProtected(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			metrics().panics.Inc()
+			err = fmt.Errorf("%w: %v\n%s", ErrFramePanic, r, debug.Stack())
+		}
+	}()
+	return fn()
+}
+
+// guarded runs fn under panic recovery and, when configured, the per-frame
+// deadline. On deadline or context expiry the computation is abandoned to
+// finish on its own (it holds only w's old state, which reset replaces)
+// and a typed error is returned promptly.
+func (w *workerState) guarded(ctx context.Context, fn func() error) error {
+	timeout := w.e.cfg.FrameTimeout
+	if timeout <= 0 {
+		return runProtected(fn)
+	}
+	done := make(chan error, 1)
+	go func() { done <- runProtected(fn) }()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	var cancel <-chan struct{}
+	if ctx != nil {
+		cancel = ctx.Done()
+	}
+	select {
+	case err := <-done:
+		return err
+	case <-timer.C:
+		metrics().timeouts.Inc()
+		w.reset()
+		return fmt.Errorf("%w (%v)", ErrFrameTimeout, timeout)
+	case <-cancel:
+		w.reset()
+		return ctx.Err()
+	}
+}
+
+func (w *workerState) decodeFrame(j *job) (*DecodeResult, error) {
+	var res *DecodeResult
+	dec := w.dec
+	err := w.guarded(j.ctx, func() error {
+		if h := testFrameHook; h != nil {
+			h(j)
+		}
+		r, derr := dec.decodeOne(j.waveform)
+		if derr != nil {
+			return derr
+		}
+		res = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func (w *workerState) encodeFrame(j *job) (*core.EncodeResult, error) {
+	res := new(core.EncodeResult)
+	enc := w.enc
+	err := w.guarded(j.ctx, func() error {
+		if h := testFrameHook; h != nil {
+			h(j)
+		}
+		return enc.EncodeTo(j.payload, res)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
 func (e *Engine) worker(i int) {
 	defer e.wg.Done()
 	m := metrics()
 	encStage := m.workerStage(i, "encode")
 	decStage := m.workerStage(i, "decode")
-	enc := &core.Encoder{Plan: e.plan, Seed: e.cfg.Seed}
-	dec := e.newDecoderState()
+	w := &workerState{e: e}
+	w.reset()
 	for j := range e.jobs {
 		m.queueDepth.Add(-1)
+		// A dead context fails the frame before any PHY work: cancellation
+		// drains the queue promptly instead of decoding doomed frames.
+		if j.ctx != nil {
+			if err := j.ctx.Err(); err != nil {
+				if j.deliverDec != nil {
+					j.deliverDec(j.idx, nil, err)
+				} else {
+					j.deliver(j.idx, nil, err)
+				}
+				if j.done != nil {
+					j.done.Done()
+				}
+				continue
+			}
+		}
 		if j.deliverDec != nil {
 			t0 := decStage.Start()
-			res, err := dec.decodeOne(j.waveform)
+			res, err := w.decodeFrame(j)
 			if err != nil {
 				decStage.Fail(t0)
 				m.decodeFailures.Inc()
@@ -129,8 +264,7 @@ func (e *Engine) worker(i int) {
 			continue
 		}
 		t0 := encStage.Start()
-		res := new(core.EncodeResult)
-		err := enc.EncodeTo(j.payload, res)
+		res, err := w.encodeFrame(j)
 		if err != nil {
 			encStage.Fail(t0)
 			m.failures.Inc()
@@ -161,42 +295,65 @@ func (e *Engine) submit(ctx context.Context, j *job) error {
 	}
 }
 
-// EncodeBatch encodes every payload across the pool and returns the
-// results in input order. The first error (by input order) is returned
-// after all submitted work has drained; a cancelled context abandons the
-// unsubmitted remainder but still waits for in-flight frames.
-func (e *Engine) EncodeBatch(ctx context.Context, payloads [][]byte) ([]*core.EncodeResult, error) {
+// EncodeOutcome is one frame's result in a per-frame batch: exactly one of
+// Result and Err is set.
+type EncodeOutcome struct {
+	Result *core.EncodeResult
+	Err    error
+}
+
+// EncodeEach encodes every payload across the pool and returns one outcome
+// per input, in input order. A failing frame — invalid payload, panic
+// converted by the worker, deadline — fails only its own slot; siblings
+// complete normally. A cancelled context fails the unsubmitted and
+// undecoded remainder with the context error but still waits for frames
+// already on a worker.
+func (e *Engine) EncodeEach(ctx context.Context, payloads [][]byte) []EncodeOutcome {
 	m := metrics()
 	start := time.Now()
-	results := make([]*core.EncodeResult, len(payloads))
-	errs := make([]error, len(payloads))
+	outcomes := make([]EncodeOutcome, len(payloads))
 	var done sync.WaitGroup
 	deliver := func(idx int, res *core.EncodeResult, err error) {
-		results[idx] = res
-		errs[idx] = err
+		outcomes[idx] = EncodeOutcome{Result: res, Err: err}
 	}
-	var submitErr error
 	for i, p := range payloads {
 		done.Add(1)
-		j := &job{payload: p, idx: i, deliver: deliver, done: &done}
+		j := &job{payload: p, idx: i, ctx: ctx, deliver: deliver, done: &done}
 		if err := e.submit(ctx, j); err != nil {
 			done.Done()
-			submitErr = err
+			for k := i; k < len(payloads); k++ {
+				outcomes[k] = EncodeOutcome{Err: err}
+			}
 			break
 		}
 	}
 	done.Wait()
 	m.batchLatency.ObserveDuration(time.Since(start))
 	m.batches.Inc()
-	if submitErr != nil {
-		return nil, submitErr
-	}
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("engine: payload %d: %w", i, err)
+	ok := 0
+	for _, o := range outcomes {
+		if o.Err == nil {
+			ok++
 		}
 	}
-	m.frames.Add(uint64(len(payloads)))
+	m.frames.Add(uint64(ok))
+	return outcomes
+}
+
+// EncodeBatch encodes every payload across the pool and returns the
+// results in input order. The first error (by input order) is returned
+// after all submitted work has drained; a cancelled context abandons the
+// unsubmitted remainder but still waits for in-flight frames. Callers that
+// need sibling results to survive one bad frame use EncodeEach.
+func (e *Engine) EncodeBatch(ctx context.Context, payloads [][]byte) ([]*core.EncodeResult, error) {
+	outcomes := e.EncodeEach(ctx, payloads)
+	results := make([]*core.EncodeResult, len(outcomes))
+	for i, o := range outcomes {
+		if o.Err != nil {
+			return nil, fmt.Errorf("engine: payload %d: %w", i, o.Err)
+		}
+		results[i] = o.Result
+	}
 	return results, nil
 }
 

@@ -22,6 +22,9 @@ type engineMetrics struct {
 	decodeFrames       *obs.Counter
 	decodeFailures     *obs.Counter
 
+	panics   *obs.Counter // frames whose worker panicked (recovered)
+	timeouts *obs.Counter // frames abandoned to FrameTimeout
+
 	r      *obs.Registry
 	stages sync.Map // "<worker index>/<kind>" -> *obs.Stage
 }
@@ -46,7 +49,10 @@ func metrics() *engineMetrics {
 			decodeBatches:      r.Counter("engine.decode.batches"),
 			decodeFrames:       r.Counter("engine.decode.frames"),
 			decodeFailures:     r.Counter("engine.decode.failures"),
-			r:                  r,
+
+			panics:   r.Counter("engine.frame_panics"),
+			timeouts: r.Counter("engine.frame_timeouts"),
+			r:        r,
 		}
 	})
 }

@@ -46,7 +46,7 @@ func (e *Engine) Stream(ctx context.Context, in <-chan []byte) <-chan StreamResu
 					break feed
 				}
 				inflight.Add(1)
-				j := &job{payload: p, idx: idx, deliver: deliver}
+				j := &job{payload: p, idx: idx, ctx: ctx, deliver: deliver}
 				if err := e.submit(ctx, j); err != nil {
 					inflight.Done()
 					select {

@@ -1,0 +1,76 @@
+package fault
+
+import (
+	"math/rand"
+
+	"sledzig/internal/wifi"
+)
+
+// Bit-level faults damage the frame's control structure rather than its
+// bulk samples: the SIGNAL symbol that declares mode and length, and the
+// DATA symbols whose constellation points carry the extra-bit layout. Both
+// operate at known sample offsets of the 802.11 PPDU, so they compose with
+// the sample-level injectors in either order (apply them before Truncate
+// or SFO shift the symbol grid).
+
+// SignalCorruption negates Samples random samples inside the SIGNAL OFDM
+// symbol — enough to flip coded bits past the rate-1/2 code and fail the
+// parity check or declare a phantom mode/length.
+type SignalCorruption struct {
+	Samples int // default 8
+}
+
+func (SignalCorruption) Name() string { return "signal_corruption" }
+
+func (sc SignalCorruption) Apply(rng *rand.Rand, wave []complex128) []complex128 {
+	n := sc.Samples
+	if n <= 0 {
+		n = 8
+	}
+	lo, hi := wifi.PreambleLength, wifi.PreambleLength+wifi.SymbolLength
+	if len(wave) < hi {
+		hi = len(wave)
+	}
+	if hi <= lo {
+		return wave
+	}
+	for k := 0; k < n; k++ {
+		i := lo + rng.Intn(hi-lo)
+		wave[i] = -wave[i]
+	}
+	return wave
+}
+
+// DataCorruption negates Samples random samples in each of Symbols
+// randomly chosen DATA symbols, knocking constellation points off their
+// rings — the extra-bit positions stop matching the detected plan, or the
+// protected channel disappears from the constellation.
+type DataCorruption struct {
+	Symbols int // default 2
+	Samples int // default 16
+}
+
+func (DataCorruption) Name() string { return "data_corruption" }
+
+func (dc DataCorruption) Apply(rng *rand.Rand, wave []complex128) []complex128 {
+	symbols, samples := dc.Symbols, dc.Samples
+	if symbols <= 0 {
+		symbols = 2
+	}
+	if samples <= 0 {
+		samples = 16
+	}
+	dataStart := wifi.PreambleLength + wifi.SymbolLength // skip SIGNAL
+	nSym := (len(wave) - dataStart) / wifi.SymbolLength
+	if nSym <= 0 {
+		return wave
+	}
+	for s := 0; s < symbols; s++ {
+		symStart := dataStart + rng.Intn(nSym)*wifi.SymbolLength
+		for k := 0; k < samples; k++ {
+			i := symStart + rng.Intn(wifi.SymbolLength)
+			wave[i] = -wave[i]
+		}
+	}
+	return wave
+}

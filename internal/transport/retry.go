@@ -1,0 +1,133 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// RetryPolicy runs an operation with jittered exponential backoff. The
+// zero value is usable: three attempts, 10ms base delay doubling to a 1s
+// cap, half the delay randomized. It is the send-side companion to the
+// Reassembler's loss tolerance — a fragment whose frame failed to decode
+// is retransmitted a bounded number of times before the message is given
+// up on.
+type RetryPolicy struct {
+	// Attempts is the total number of tries (first call included).
+	// Zero selects 3; values below 1 are clamped to 1.
+	Attempts int
+	// BaseDelay is the wait before the second attempt; it doubles each
+	// retry. Zero selects 10ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the un-jittered backoff. Zero selects 1s.
+	MaxDelay time.Duration
+	// Jitter is the fraction of each delay that is randomized: the actual
+	// wait is delay*(1-Jitter) + rand*delay*Jitter. Zero selects 0.5;
+	// negative disables jitter. Values above 1 are clamped to 1.
+	Jitter float64
+	// Rng drives the jitter. Nil uses the shared math/rand source; supply
+	// a seeded one for reproducible schedules.
+	Rng *rand.Rand
+	// Retryable classifies errors; returning false stops immediately with
+	// that error. Nil retries every non-nil error except context
+	// cancellation (which always stops).
+	Retryable func(error) bool
+	// Sleep overrides the backoff wait (for tests). Nil waits on a timer,
+	// returning early with ctx.Err() on cancellation.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.Attempts == 0 {
+		return 3
+	}
+	if p.Attempts < 1 {
+		return 1
+	}
+	return p.Attempts
+}
+
+func (p RetryPolicy) delay(attempt int) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	ceil := p.MaxDelay
+	if ceil <= 0 {
+		ceil = time.Second
+	}
+	d := base << uint(attempt)
+	if d > ceil || d <= 0 { // d <= 0 guards shift overflow
+		d = ceil
+	}
+	j := p.Jitter
+	switch {
+	case j == 0:
+		j = 0.5
+	case j < 0:
+		j = 0
+	case j > 1:
+		j = 1
+	}
+	if j == 0 {
+		return d
+	}
+	var u float64
+	if p.Rng != nil {
+		u = p.Rng.Float64()
+	} else {
+		u = rand.Float64()
+	}
+	return time.Duration(float64(d)*(1-j) + u*float64(d)*j)
+}
+
+func (p RetryPolicy) sleep(ctx context.Context, d time.Duration) error {
+	if p.Sleep != nil {
+		return p.Sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Do runs op until it succeeds, exhausts the attempt budget, hits a
+// non-retryable error, or ctx is cancelled. The returned error is the last
+// op error (wrapped with the attempt count when the budget ran out), so
+// errors.Is classification against the underlying failure keeps working.
+func (p RetryPolicy) Do(ctx context.Context, op func() error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	m := metrics()
+	n := p.attempts()
+	var err error
+	for attempt := 0; attempt < n; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		if err = op(); err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+		if p.Retryable != nil && !p.Retryable(err) {
+			return err
+		}
+		if attempt == n-1 {
+			break
+		}
+		m.retries.Inc()
+		if serr := p.sleep(ctx, p.delay(attempt)); serr != nil {
+			return err
+		}
+	}
+	m.retryGiveups.Inc()
+	return fmt.Errorf("transport: %d attempts exhausted: %w", n, err)
+}

@@ -8,11 +8,22 @@ package transport
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
+	"time"
 
 	"sledzig/internal/obs"
 )
+
+// ErrMalformed marks fragments that violate the header contract (too
+// short, index out of range, fragment count changing mid-message) and
+// reassembled bodies too short to carry a checksum.
+var ErrMalformed = errors.New("transport: malformed fragment")
+
+// ErrChecksum marks a fully reassembled message whose CRC-32 does not
+// match its trailer.
+var ErrChecksum = errors.New("transport: message checksum mismatch")
 
 // transportMetrics holds the fragment/reassembly counters, resolved
 // lazily against the process-wide registry.
@@ -24,6 +35,10 @@ type transportMetrics struct {
 	messagesDone      *obs.Counter
 	failMalformed     *obs.Counter
 	failChecksum      *obs.Counter
+	evictedAge        *obs.Counter
+	evictedOverflow   *obs.Counter
+	retries           *obs.Counter
+	retryGiveups      *obs.Counter
 }
 
 var transportLazy obs.Lazy[*transportMetrics]
@@ -44,6 +59,10 @@ func metrics() *transportMetrics {
 			messagesDone:      s.Counter("messages_reassembled"),
 			failMalformed:     s.Counter("fail.malformed"),
 			failChecksum:      s.Counter("fail.checksum"),
+			evictedAge:        s.Counter("evicted.age"),
+			evictedOverflow:   s.Counter("evicted.overflow"),
+			retries:           s.Counter("retry.attempts"),
+			retryGiveups:      s.Counter("retry.giveups"),
 		}
 	})
 }
@@ -118,16 +137,77 @@ func (f *Fragmenter) Split(message []byte) ([][]byte, error) {
 	return out, nil
 }
 
+// DefaultMaxPending is the partial-message bound a zero-value Reassembler
+// enforces. The id space is 8-bit, so 256 is the natural ceiling; the
+// default stays well under it so a lossy link cannot pin 256 maximal
+// messages worth of fragments.
+const DefaultMaxPending = 64
+
 // Reassembler collects fragments (possibly out of order, possibly from
-// interleaved messages) and emits completed messages.
+// interleaved messages) and emits completed messages. Its pending state is
+// bounded: when a new message would exceed MaxPending the oldest partial
+// message is evicted, and partial messages older than MaxAge are dropped
+// on every Feed. Lost fragments therefore cost bounded memory instead of
+// accumulating forever.
 type Reassembler struct {
+	// MaxPending bounds concurrently held partial messages. Zero selects
+	// DefaultMaxPending; negative disables the count bound.
+	MaxPending int
+	// MaxAge evicts partial messages whose first fragment arrived more
+	// than this long ago. Zero disables age eviction.
+	MaxAge time.Duration
+	// Clock overrides the time source (for tests). Nil selects time.Now.
+	Clock func() time.Time
+
 	pending map[uint8]*pendingMessage
+	seq     uint64 // arrival order, for oldest-first eviction
 }
 
 type pendingMessage struct {
-	count    int
-	received int
-	parts    [][]byte
+	count     int
+	received  int
+	parts     [][]byte
+	firstSeen time.Time
+	seq       uint64
+}
+
+func (r *Reassembler) now() time.Time {
+	if r.Clock != nil {
+		return r.Clock()
+	}
+	return time.Now()
+}
+
+// evict applies the age and count bounds. Called with the new fragment's
+// id already inserted, so the newest message is never the eviction victim
+// unless it is also the only one.
+func (r *Reassembler) evict(now time.Time) {
+	m := metrics()
+	if r.MaxAge > 0 {
+		for id, pm := range r.pending {
+			if now.Sub(pm.firstSeen) > r.MaxAge {
+				delete(r.pending, id)
+				m.evictedAge.Inc()
+			}
+		}
+	}
+	limit := r.MaxPending
+	if limit == 0 {
+		limit = DefaultMaxPending
+	}
+	if limit < 0 {
+		return
+	}
+	for len(r.pending) > limit {
+		oldestID, oldestSeq := uint8(0), ^uint64(0)
+		for id, pm := range r.pending {
+			if pm.seq < oldestSeq {
+				oldestID, oldestSeq = id, pm.seq
+			}
+		}
+		delete(r.pending, oldestID)
+		m.evictedOverflow.Inc()
+	}
 }
 
 // Feed ingests one fragment. When it completes a message, the message is
@@ -136,24 +216,35 @@ func (r *Reassembler) Feed(frag []byte) ([]byte, error) {
 	m := metrics()
 	if len(frag) < headerLen+1 {
 		m.failMalformed.Inc()
-		return nil, fmt.Errorf("transport: fragment of %d octets too short", len(frag))
+		return nil, fmt.Errorf("%w: fragment of %d octets too short", ErrMalformed, len(frag))
 	}
 	id, index, count := frag[0], int(frag[1]), int(frag[2])
 	if count == 0 || index >= count {
 		m.failMalformed.Inc()
-		return nil, fmt.Errorf("transport: fragment %d/%d malformed", index, count)
+		return nil, fmt.Errorf("%w: fragment %d/%d", ErrMalformed, index, count)
 	}
 	if r.pending == nil {
 		r.pending = make(map[uint8]*pendingMessage)
 	}
+	now := r.now()
 	pm := r.pending[id]
 	if pm == nil {
-		pm = &pendingMessage{count: count, parts: make([][]byte, count)}
+		r.seq++
+		pm = &pendingMessage{count: count, parts: make([][]byte, count), firstSeen: now, seq: r.seq}
 		r.pending[id] = pm
+		r.evict(now)
+	} else {
+		r.evict(now)
+		if r.pending[id] == nil {
+			// The fragment's own message just aged out; restart it.
+			r.seq++
+			pm = &pendingMessage{count: count, parts: make([][]byte, count), firstSeen: now, seq: r.seq}
+			r.pending[id] = pm
+		}
 	}
 	if pm.count != count {
 		m.failMalformed.Inc()
-		return nil, fmt.Errorf("transport: fragment count changed mid-message (%d vs %d)", count, pm.count)
+		return nil, fmt.Errorf("%w: fragment count changed mid-message (%d vs %d)", ErrMalformed, count, pm.count)
 	}
 	if pm.parts[index] == nil {
 		pm.parts[index] = append([]byte(nil), frag[headerLen:]...)
@@ -172,13 +263,13 @@ func (r *Reassembler) Feed(frag []byte) ([]byte, error) {
 	}
 	if len(body) < crcLen+1 {
 		m.failMalformed.Inc()
-		return nil, fmt.Errorf("transport: reassembled body too short")
+		return nil, fmt.Errorf("%w: reassembled body too short", ErrMalformed)
 	}
 	message := body[:len(body)-crcLen]
 	want := binary.LittleEndian.Uint32(body[len(body)-crcLen:])
 	if crc32.ChecksumIEEE(message) != want {
 		m.failChecksum.Inc()
-		return nil, fmt.Errorf("transport: message checksum mismatch")
+		return nil, ErrChecksum
 	}
 	m.messagesDone.Inc()
 	return message, nil

@@ -11,4 +11,10 @@ var (
 	// ErrBadSignal marks an undecodable or inconsistent SIGNAL field
 	// (parity failure, reserved bit set, unknown RATE, zero length).
 	ErrBadSignal = errors.New("SIGNAL field invalid")
+	// ErrDemodFailed marks a failure inside the demodulation chain after a
+	// plausible SIGNAL field: unusable channel estimate, equalizer or
+	// demapper failure, Viterbi/descrambler length mismatch, non-finite
+	// soft metrics. It is the catch-all that keeps every receive failure
+	// errors.Is-classifiable.
+	ErrDemodFailed = errors.New("demodulation failed")
 )

@@ -30,6 +30,12 @@ type phyMetrics struct {
 	rxFailTrunc   *obs.Counter // PPDU truncated mid-DATA
 	rxFailDecode  *obs.Counter // Viterbi/descramble output unusable
 
+	// Degradation-ladder accounting: attempts and recoveries per rung.
+	rxFallbacks  *obs.Counter // soft→hard retries attempted
+	rxFallbackOK *obs.Counter // ... that recovered the frame
+	rxResyncs    *obs.Counter // preamble-scan retries attempted
+	rxResyncOK   *obs.Counter // ... that recovered the frame
+
 	bus *obs.Bus
 }
 
@@ -66,6 +72,11 @@ func phy() *phyMetrics {
 			rxFailSignal:  rx.Counter("fail.signal"),
 			rxFailTrunc:   rx.Counter("fail.truncated"),
 			rxFailDecode:  rx.Counter("fail.decode"),
+
+			rxFallbacks:  rx.Counter("degrade.fallback"),
+			rxFallbackOK: rx.Counter("degrade.fallback_recovered"),
+			rxResyncs:    rx.Counter("degrade.resync"),
+			rxResyncOK:   rx.Counter("degrade.resync_recovered"),
 
 			bus: r.Bus(),
 		}

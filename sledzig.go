@@ -97,6 +97,12 @@ type Config struct {
 	Convention Convention
 	// ScramblerSeed (1..127); 0 selects the 802.11 Annex G example seed.
 	ScramblerSeed uint8
+	// Resilient enables the receiver's graceful-degradation ladder when
+	// decoding: a capture that fails at sample 0 is rescanned for the
+	// preamble and retried from the detected PPDU start (recovering
+	// captures with leading garbage), at the cost of one extra decode
+	// attempt on genuinely undecodable input. See docs/robustness.md.
+	Resilient bool
 }
 
 // WithDefaults returns a copy of the config with every zero field resolved
@@ -258,7 +264,7 @@ func (d *Decoder) Decode(waveform []complex128) ([]byte, Channel, error) {
 // its PSDU — useful for baseline comparisons. Like Decode it is a thin
 // compatibility wrapper; the SledZig-specific stages are skipped.
 func (d *Decoder) DecodeNormal(waveform []complex128) ([]byte, error) {
-	rx, err := wifi.Receiver{Seed: d.cfg.ScramblerSeed, Convention: d.cfg.Convention}.Receive(waveform)
+	rx, err := wifi.Receiver{Seed: d.cfg.ScramblerSeed, Convention: d.cfg.Convention, Resync: d.cfg.Resilient}.Receive(waveform)
 	if err != nil {
 		return nil, wrapDecodeErr(err)
 	}
