@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test race bench bench-json bench-compare bench-baseline experiments selfcheck cover fmt vet fuzz-smoke chaos
+.PHONY: test race bench bench-json bench-compare bench-baseline experiments selfcheck cover fmt fmt-check vet sledvet lint fuzz-smoke chaos
 
 # Benchmarks gated by the checked-in allocation baseline (hot encode and
 # decode paths).
@@ -45,8 +45,27 @@ cover:
 fmt:
 	gofmt -w .
 
+# Fail (listing the offenders) if any file is not gofmt-clean.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needs to be run on:"; echo "$$out"; exit 1; fi
+
 vet:
 	go vet ./...
+
+# The project's own analyzers (see docs/static-analysis.md). Standalone
+# mode; `go vet -vettool=$$(go env GOPATH)/bin/sledvet ./...` works too.
+sledvet:
+	go run ./cmd/sledvet ./...
+
+# The single lint entry point CI runs: formatting, go vet, staticcheck
+# (when installed — CI pins a version; locally it is optional), and the
+# project analyzers.
+lint: fmt-check vet sledvet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it pinned)"; fi
 
 # Short fuzz runs of every target — a smoke pass, not a campaign. Go runs
 # one -fuzz target per package invocation, so each gets its own line.

@@ -1,0 +1,157 @@
+// Command sledvet is the project's static-analysis suite: five custom
+// analyzers that turn SledZig's pipeline conventions (typed facade errors,
+// pooled-scratch hygiene, literal metric names, seeded randomness, no
+// float equality in DSP code) into compile-loop checks.
+//
+// Standalone:
+//
+//	go run ./cmd/sledvet ./...              # analyze package patterns
+//	go run ./cmd/sledvet -floateq.allowzero=false ./internal/dsp
+//
+// As a go vet tool (single-unit protocol, incremental and build-cached):
+//
+//	go build -o /tmp/sledvet ./cmd/sledvet
+//	go vet -vettool=/tmp/sledvet ./...
+//
+// Diagnostics can be silenced per line with an audited directive:
+//
+//	//sledvet:ignore <analyzer>[,<analyzer>] <reason>
+//
+// See docs/static-analysis.md for each analyzer's invariant.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"sledzig/internal/analysis"
+	"sledzig/internal/analysis/driver"
+	"sledzig/internal/analysis/floateq"
+	"sledzig/internal/analysis/metriclit"
+	"sledzig/internal/analysis/poolescape"
+	"sledzig/internal/analysis/seededrand"
+	"sledzig/internal/analysis/typederr"
+)
+
+func analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		typederr.Analyzer,
+		poolescape.Analyzer,
+		metriclit.Analyzer,
+		seededrand.Analyzer,
+		floateq.Analyzer,
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sledvet: ")
+
+	all := analyzers()
+	for _, a := range all {
+		prefix := a.Name + "."
+		a.Flags.VisitAll(func(f *flag.Flag) {
+			flag.Var(f.Value, prefix+f.Name, f.Usage)
+		})
+	}
+	printflags := flag.Bool("flags", false, "print analyzer flags in JSON (go vet protocol)")
+	flag.Var(versionFlag{}, "V", "print version and exit (go vet protocol)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: sledvet [flags] [package pattern ...]\n")
+		fmt.Fprintf(os.Stderr, "       sledvet unit.cfg   (go vet -vettool protocol)\n\nAnalyzers:\n")
+		for _, a := range all {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+		fmt.Fprintf(os.Stderr, "\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *printflags {
+		printFlags()
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		driver.RunUnit(args[0], all) // exits
+		return
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+
+	pkgs, err := driver.Load("", args)
+	if err != nil {
+		log.Fatal(err)
+	}
+	diags, err := driver.Run(pkgs, all)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if wd, err := os.Getwd(); err == nil {
+		driver.Relativize(diags, wd)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s\n", d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// printFlags emits the flag-description JSON the go command requests with
+// -flags before passing analyzer flags through.
+func printFlags() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	flag.VisitAll(func(f *flag.Flag) {
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		flags = append(flags, jsonFlag{f.Name, ok && b.IsBoolFlag(), f.Usage})
+	})
+	data, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+}
+
+// versionFlag implements the -V=full handshake go vet uses to fingerprint
+// the tool for build caching: the output must change when the binary does,
+// so it embeds the executable's content hash.
+type versionFlag struct{}
+
+func (versionFlag) IsBoolFlag() bool { return true }
+func (versionFlag) Get() any         { return nil }
+func (versionFlag) String() string   { return "" }
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		log.Fatalf("unsupported flag value: -V=%s (use -V=full)", s)
+	}
+	progname, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(progname)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, string(h.Sum(nil)))
+	os.Exit(0)
+	return nil
+}

@@ -25,6 +25,11 @@ var (
 	// ErrInvalidChannel marks a Config whose Channel is not CH1..CH4 where
 	// one is required (encoding).
 	ErrInvalidChannel = errors.New("sledzig: invalid protected channel")
+	// ErrInvalidConfig marks a Config field outside its supported range
+	// (modulation, code rate, convention or scrambler seed); the wrapped
+	// detail names the offending field. Channel problems have their own
+	// sentinel, ErrInvalidChannel.
+	ErrInvalidConfig = errors.New("sledzig: invalid config")
 	// ErrPayloadTooLarge marks a payload outside the encodable range
 	// (empty, or beyond the 16-bit length header / PSDU limit).
 	ErrPayloadTooLarge = errors.New("sledzig: payload size out of range")

@@ -2,8 +2,11 @@ package sledzig
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 
+	"sledzig/internal/core"
+	"sledzig/internal/engine"
 	"sledzig/internal/wifi"
 )
 
@@ -147,6 +150,138 @@ func encodeTestWaveform(t *testing.T, cfg Config, payloadLen int) []complex128 {
 		t.Fatalf("Waveform: %v", err)
 	}
 	return wave
+}
+
+// chainDetail is a typed error planted at the bottom of each wrap chain so
+// errors.As must traverse every layer — internal sentinel wrap, facade
+// taxonomy wrap, transport wrap — to recover it.
+type chainDetail struct{ site string }
+
+func (d *chainDetail) Error() string { return "detail at " + d.site }
+
+// publicSentinels is the complete exported taxonomy; the exclusivity leg
+// below asserts each wrapped chain matches exactly one of them.
+var publicSentinels = map[string]error{
+	"ErrInvalidChannel":     ErrInvalidChannel,
+	"ErrInvalidConfig":      ErrInvalidConfig,
+	"ErrPayloadTooLarge":    ErrPayloadTooLarge,
+	"ErrNoPreamble":         ErrNoPreamble,
+	"ErrBadSignalField":     ErrBadSignalField,
+	"ErrExtraBitMismatch":   ErrExtraBitMismatch,
+	"ErrNoProtectedChannel": ErrNoProtectedChannel,
+	"ErrDemodulation":       ErrDemodulation,
+	"ErrFramePanicked":      ErrFramePanicked,
+	"ErrFrameDeadline":      ErrFrameDeadline,
+}
+
+// TestSentinelUnwrapChains drives every internal sentinel through the
+// facade wrap layer it crosses in production and asserts three properties
+// of the resulting chain: errors.Is sees the public sentinel, errors.Is
+// still sees the internal sentinel (the chain is not severed), and
+// errors.As recovers a typed error planted at the very bottom.
+func TestSentinelUnwrapChains(t *testing.T) {
+	cases := []struct {
+		name     string
+		wrap     func(error) error
+		internal error
+		public   error
+	}{
+		{"encode/payload-size", wrapEncodeErr, core.ErrPayloadSize, ErrPayloadTooLarge},
+		{"encode/frame-panic", wrapEncodeErr, engine.ErrFramePanic, ErrFramePanicked},
+		{"encode/frame-timeout", wrapEncodeErr, engine.ErrFrameTimeout, ErrFrameDeadline},
+		{"decode/short-waveform", wrapDecodeErr, wifi.ErrShortWaveform, ErrNoPreamble},
+		{"decode/bad-signal", wrapDecodeErr, wifi.ErrBadSignal, ErrBadSignalField},
+		{"decode/demod-failed", wrapDecodeErr, wifi.ErrDemodFailed, ErrDemodulation},
+		{"decode/no-protected-channel", wrapDecodeErr, core.ErrNoProtectedChannel, ErrNoProtectedChannel},
+		{"decode/extra-bit-layout", wrapDecodeErr, core.ErrExtraBitLayout, ErrExtraBitMismatch},
+		{"decode/constraint-unsatisfied", wrapDecodeErr, core.ErrConstraintUnsatisfied, ErrExtraBitMismatch},
+		{"decode/frame-panic", wrapDecodeErr, engine.ErrFramePanic, ErrFramePanicked},
+		{"decode/frame-timeout", wrapDecodeErr, engine.ErrFrameTimeout, ErrFrameDeadline},
+		{"engine/frame-panic", wrapEngineErr, engine.ErrFramePanic, ErrFramePanicked},
+		{"engine/frame-timeout", wrapEngineErr, engine.ErrFrameTimeout, ErrFrameDeadline},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			detail := &chainDetail{site: tc.name}
+			inner := fmt.Errorf("%w: %w", tc.internal, detail)
+			wrapped := tc.wrap(inner)
+			if !errors.Is(wrapped, tc.public) {
+				t.Errorf("errors.Is(%v, public sentinel) = false", wrapped)
+			}
+			if !errors.Is(wrapped, tc.internal) {
+				t.Errorf("wrap severed the internal chain: errors.Is(%v, internal) = false", wrapped)
+			}
+			var got *chainDetail
+			if !errors.As(wrapped, &got) {
+				t.Fatalf("errors.As failed to recover the planted detail from %v", wrapped)
+			}
+			if got.site != tc.name {
+				t.Errorf("errors.As recovered detail from %q, want %q", got.site, tc.name)
+			}
+			for name, other := range publicSentinels {
+				if other != tc.public && errors.Is(wrapped, other) {
+					t.Errorf("chain also matches unrelated sentinel %s", name)
+				}
+			}
+		})
+	}
+}
+
+// TestConfigSentinelExclusive covers the two sentinels produced directly by
+// Validate rather than a wrap layer, including that channel and non-channel
+// config failures stay distinguishable.
+func TestConfigSentinelExclusive(t *testing.T) {
+	cases := []struct {
+		name   string
+		cfg    Config
+		public error
+	}{
+		{"missing channel", Config{Channel: 9}, ErrInvalidChannel},
+		{"bad modulation", Config{Modulation: 99, Channel: CH1}, ErrInvalidConfig},
+		{"bad code rate", Config{CodeRate: 99, Channel: CH1}, ErrInvalidConfig},
+		{"bad convention", Config{Convention: 7, Channel: CH1}, ErrInvalidConfig},
+		{"bad scrambler seed", Config{ScramblerSeed: 200, Channel: CH1}, ErrInvalidConfig},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if !errors.Is(err, tc.public) {
+				t.Fatalf("Validate() = %v, want %v", err, tc.public)
+			}
+			for name, other := range publicSentinels {
+				if other != tc.public && errors.Is(err, other) {
+					t.Errorf("config error also matches %s", name)
+				}
+			}
+		})
+	}
+}
+
+// TestWrapLayersPassThrough pins the contract that the wrap helpers leave
+// nil and out-of-taxonomy errors untouched.
+func TestWrapLayersPassThrough(t *testing.T) {
+	for _, wrap := range []func(error) error{wrapEncodeErr, wrapDecodeErr, wrapEngineErr} {
+		if got := wrap(nil); got != nil {
+			t.Errorf("wrap(nil) = %v, want nil", got)
+		}
+		plain := errors.New("outside the taxonomy")
+		if got := wrap(plain); got != plain {
+			t.Errorf("wrap(plain) = %v, want identical error back", got)
+		}
+	}
+}
+
+// TestTransportWrapPreservesTaxonomy feeds an undecodable waveform through
+// the message layer and asserts its extra wrap (MessageReceiver.Feed's
+// "fragment decode" prefix) still exposes the public sentinel.
+func TestTransportWrapPreservesTaxonomy(t *testing.T) {
+	mr, err := NewMessageReceiver(Config{})
+	if err != nil {
+		t.Fatalf("NewMessageReceiver: %v", err)
+	}
+	if _, err := mr.Feed(make([]complex128, 50)); !errors.Is(err, ErrNoPreamble) {
+		t.Fatalf("Feed(short waveform) = %v, want ErrNoPreamble through the transport wrap", err)
+	}
 }
 
 func TestConfigWithDefaults(t *testing.T) {

@@ -1,0 +1,101 @@
+// Package analysis is a minimal, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis API surface that sledvet's analyzers use.
+//
+// The real x/tools module cannot be vendored into this repository (the build
+// environment is offline and the module has no other dependencies), but the
+// Go distribution itself proves the API shape is stable: cmd/vet ships a
+// vendored copy of the same interfaces. Analyzers written against this
+// package use the identical {Analyzer, Pass, Diagnostic} vocabulary, so they
+// can be ported to the upstream framework by changing one import path if the
+// dependency ever becomes available.
+//
+// Two drivers execute analyzers:
+//
+//   - internal/analysis/driver loads whole package patterns via
+//     `go list -deps -export -json` (standalone `sledvet ./...` mode) and
+//     also speaks the `go vet -vettool` single-unit JSON protocol.
+//   - internal/analysis/analysistest type-checks small fixture packages under
+//     testdata/src and diffs diagnostics against `// want "regexp"` comments.
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one static check. The fields mirror
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, command-line flags
+	// (-<name>.<flag>) and //sledvet:ignore directives. It must be a valid
+	// Go identifier.
+	Name string
+
+	// Doc is the help text: first line is a one-sentence summary.
+	Doc string
+
+	// Flags holds analyzer-specific flags. Drivers expose them prefixed
+	// with the analyzer name.
+	Flags flag.FlagSet
+
+	// Run applies the analyzer to a single package and reports diagnostics
+	// through pass.Report. The result value is unused by sledvet's drivers
+	// but kept for API compatibility.
+	Run func(*Pass) (any, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass provides one analyzer with the type-checked syntax of a single
+// package, mirroring golang.org/x/tools/go/analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos with a Sprintf-formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf returns the type of expression e, or nil if not found.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if t, ok := p.TypesInfo.Types[e]; ok {
+		return t.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.TypesInfo.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// A Diagnostic is a message associated with a source location.
+type Diagnostic struct {
+	Pos      token.Pos
+	End      token.Pos // optional
+	Category string    // optional
+	Message  string
+}
+
+// NewInfo returns a types.Info with every map populated, as both drivers
+// and analysistest need full use/def/selection resolution.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}

@@ -1,0 +1,321 @@
+// Package analysistest runs a sledvet analyzer over fixture packages and
+// checks its diagnostics against expectations written in the fixtures,
+// mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live under <testdata>/src/<importpath>/*.go. A line that should
+// be flagged carries a trailing comment of the form
+//
+//	x := rand.Int() // want `math/rand global`
+//
+// with one Go-quoted regular expression per expected diagnostic on that
+// line. Lines without a want comment must produce no diagnostics. Fixture
+// packages may import each other (resolved under testdata/src) and the
+// standard library (resolved from compiler export data via `go list`).
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/scanner"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"sledzig/internal/analysis"
+)
+
+// TestData returns the testdata directory of the caller's package.
+func TestData() string {
+	_, file, _, ok := runtime.Caller(1)
+	if !ok {
+		panic("analysistest: cannot locate caller")
+	}
+	return filepath.Join(filepath.Dir(file), "testdata")
+}
+
+// Run loads each fixture package, applies the analyzer, filters
+// //sledvet:ignore suppressions, and reports any mismatch between the
+// diagnostics and the // want expectations as test errors.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	l := newLoader(testdata)
+	for _, path := range paths {
+		pkg, err := l.load(path)
+		if err != nil {
+			t.Errorf("loading fixture %q: %v", path, err)
+			continue
+		}
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      l.fset,
+			Files:     pkg.files,
+			Pkg:       pkg.types,
+			TypesInfo: pkg.info,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if _, err := a.Run(pass); err != nil {
+			t.Errorf("analyzer %s on %q: %v", a.Name, path, err)
+			continue
+		}
+		directives, malformed := analysis.Directives(l.fset, pkg.files)
+		for _, d := range malformed {
+			diags = append(diags, d)
+		}
+		diags = analysis.Suppress(l.fset, a.Name, directives, diags)
+		checkWants(t, l.fset, pkg.files, diags)
+	}
+}
+
+// checkWants matches diagnostics against // want comments by file:line.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+		posn    token.Position
+	}
+	wants := make(map[string][]*want) // "file:line" -> expectations
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				res, err := parseWant(strings.TrimPrefix(text, "want "))
+				if err != nil {
+					t.Errorf("%s: bad want comment: %v", posn, err)
+					continue
+				}
+				key := fmt.Sprintf("%s:%d", posn.Filename, posn.Line)
+				for _, re := range res {
+					wants[key] = append(wants[key], &want{re: re, posn: posn})
+				}
+			}
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", posn.Filename, posn.Line)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", posn, d.Message)
+		}
+	}
+	for _, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic matched pattern %q", w.posn, w.re)
+			}
+		}
+	}
+}
+
+// parseWant tokenizes the payload of a want comment into compiled regexps.
+// Both interpreted and raw Go string literals are accepted.
+func parseWant(s string) ([]*regexp.Regexp, error) {
+	var (
+		sc   scanner.Scanner
+		fset = token.NewFileSet()
+		file = fset.AddFile("want", -1, len(s))
+		res  []*regexp.Regexp
+	)
+	var scanErr error
+	sc.Init(file, []byte(s), func(_ token.Position, msg string) { scanErr = fmt.Errorf("%s", msg) }, 0)
+	for {
+		_, tok, lit := sc.Scan()
+		if scanErr != nil {
+			return nil, scanErr
+		}
+		if tok == token.EOF || tok == token.SEMICOLON {
+			break
+		}
+		if tok != token.STRING {
+			return nil, fmt.Errorf("expected string literal, got %s", tok)
+		}
+		unq, err := strconv.Unquote(lit)
+		if err != nil {
+			return nil, err
+		}
+		re, err := regexp.Compile(unq)
+		if err != nil {
+			return nil, err
+		}
+		res = append(res, re)
+	}
+	if len(res) == 0 {
+		return nil, fmt.Errorf("no patterns in want comment")
+	}
+	return res, nil
+}
+
+// ---- fixture loading ----
+
+type fixturePkg struct {
+	files []*ast.File
+	types *types.Package
+	info  *types.Info
+}
+
+type loader struct {
+	testdata string
+	fset     *token.FileSet
+	fixtures map[string]*fixturePkg
+	loading  map[string]bool
+	stdFiles map[string]string // package path -> export data file
+	stdImp   types.Importer
+}
+
+func newLoader(testdata string) *loader {
+	l := &loader{
+		testdata: testdata,
+		fset:     token.NewFileSet(),
+		fixtures: make(map[string]*fixturePkg),
+		loading:  make(map[string]bool),
+		stdFiles: make(map[string]string),
+	}
+	l.stdImp = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := l.stdFiles[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return l
+}
+
+func (l *loader) fixtureDir(path string) string {
+	return filepath.Join(l.testdata, "src", filepath.FromSlash(path))
+}
+
+func (l *loader) load(path string) (*fixturePkg, error) {
+	if p, ok := l.fixtures[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through fixture %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.fixtureDir(path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var stdImports []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, spec := range f.Imports {
+			ipath, _ := strconv.Unquote(spec.Path.Value)
+			if _, err := os.Stat(l.fixtureDir(ipath)); err == nil {
+				if _, err := l.load(ipath); err != nil {
+					return nil, err
+				}
+			} else if ipath != "unsafe" {
+				stdImports = append(stdImports, ipath)
+			}
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	if err := l.resolveStd(stdImports); err != nil {
+		return nil, err
+	}
+
+	conf := &types.Config{
+		Importer: importerFunc(l.importPkg),
+		Sizes:    types.SizesFor("gc", build.Default.GOARCH),
+	}
+	info := analysis.NewInfo()
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck fixture %s: %v", path, err)
+	}
+	p := &fixturePkg{files: files, types: tpkg, info: info}
+	l.fixtures[path] = p
+	return p, nil
+}
+
+func (l *loader) importPkg(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := l.fixtures[path]; ok {
+		return p.types, nil
+	}
+	return l.stdImp.Import(path)
+}
+
+// resolveStd locates export data for the given standard-library packages
+// (and, via -deps, their transitive dependencies) with one go list call.
+func (l *loader) resolveStd(paths []string) error {
+	var missing []string
+	for _, p := range paths {
+		if _, ok := l.stdFiles[p]; !ok {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Export"}, missing...)
+	cmd := exec.Command("go", args...)
+	out, err := cmd.Output()
+	if err != nil {
+		msg := ""
+		if ee, ok := err.(*exec.ExitError); ok {
+			msg = string(ee.Stderr)
+		}
+		return fmt.Errorf("go list %s: %v\n%s", strings.Join(missing, " "), err, msg)
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err != nil {
+			return fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.Export != "" {
+			l.stdFiles[p.ImportPath] = p.Export
+		}
+	}
+	return nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,236 @@
+// Package driver executes sledvet analyzers over Go packages.
+//
+// Two modes share the same execution core:
+//
+//   - Load/Run: standalone mode. Packages are enumerated with
+//     `go list -deps -export -json`, dependencies are imported from compiler
+//     export data (so only the target packages are type-checked from source),
+//     and every analyzer runs over every target package.
+//   - RunUnit (unit.go): the `go vet -vettool` protocol, one compilation
+//     unit per invocation, configured by the JSON .cfg file the go command
+//     writes.
+//
+// Neither mode needs the network or anything beyond the Go toolchain that
+// built the tree.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"sledzig/internal/analysis"
+)
+
+// A Package is one type-checked target package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the driver consumes.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	GoFiles    []string
+	Module     *struct {
+		Path      string
+		GoVersion string
+	}
+	Error *struct {
+		Err string
+	}
+}
+
+// Load enumerates patterns with the go tool and type-checks every matched
+// (non-dependency) package from source, importing dependencies from export
+// data. dir is the working directory for the go invocation ("" = cwd).
+func Load(dir string, patterns []string) ([]*Package, error) {
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	byPath := make(map[string]*listPkg)
+	var order []*listPkg
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		p := new(listPkg)
+		if err := dec.Decode(p); err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		byPath[p.ImportPath] = p
+		order = append(order, p)
+	}
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, func(path string) (string, bool) {
+		p, ok := byPath[path]
+		if !ok || p.Export == "" {
+			return "", false
+		}
+		return p.Export, true
+	})
+
+	var pkgs []*Package
+	for _, p := range order {
+		if p.DepOnly || p.Name == "" || len(p.GoFiles) == 0 {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkg, err := check(fset, imp, p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// exportImporter returns a types.Importer that reads compiler export data,
+// locating the file for each package path through lookup.
+func exportImporter(fset *token.FileSet, lookup func(string) (string, bool)) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := lookup(path)
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// check parses and type-checks one listed package from source.
+func check(fset *token.FileSet, imp types.Importer, p *listPkg) (*Package, error) {
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(p.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	conf := &types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", build.Default.GOARCH),
+	}
+	if p.Module != nil && p.Module.GoVersion != "" {
+		conf.GoVersion = "go" + p.Module.GoVersion
+	}
+	info := analysis.NewInfo()
+	tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", p.ImportPath, err)
+	}
+	return &Package{
+		Path:  p.ImportPath,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// A Diag is one positioned diagnostic produced by Run.
+type Diag struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diag) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Run executes every analyzer over every package, applies //sledvet:ignore
+// suppression, and returns the surviving diagnostics in stable order.
+// Analyzer runtime errors are returned, not panicked.
+func Run(pkgs []*Package, analyzers []*analysis.Analyzer) ([]Diag, error) {
+	var out []Diag
+	for _, pkg := range pkgs {
+		directives, malformed := analysis.Directives(pkg.Fset, pkg.Files)
+		for _, d := range malformed {
+			out = append(out, Diag{Analyzer: "sledvet", Pos: pkg.Fset.Position(d.Pos), Message: d.Message})
+		}
+		for _, a := range analyzers {
+			var diags []analysis.Diagnostic
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.Path, err)
+			}
+			diags = analysis.Suppress(pkg.Fset, a.Name, directives, diags)
+			for _, d := range diags {
+				posn := pkg.Fset.Position(d.Pos)
+				// The invariants bind production code: tests may compare
+				// floats exactly, read the wall clock for deadlines, and
+				// improvise metric names. (Standalone mode never parses
+				// test files; the go vet protocol hands them to us.)
+				if strings.HasSuffix(posn.Filename, "_test.go") {
+					continue
+				}
+				out = append(out, Diag{Analyzer: a.Name, Pos: posn, Message: d.Message})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// Relativize rewrites absolute diagnostic paths below base into relative
+// ones for stable, readable output.
+func Relativize(diags []Diag, base string) {
+	for i := range diags {
+		if rel, err := filepath.Rel(base, diags[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].Pos.Filename = rel
+		}
+	}
+}

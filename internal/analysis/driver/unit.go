@@ -1,0 +1,136 @@
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"log"
+	"os"
+
+	"sledzig/internal/analysis"
+)
+
+// UnitConfig is the JSON compilation-unit description the go command hands
+// to a -vettool per analyzed package. The field set mirrors the
+// x/tools/go/analysis/unitchecker.Config wire format (the contract of
+// `go vet -vettool`); fields sledvet does not need are still decoded so the
+// schema stays documented in one place.
+type UnitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string // import path -> canonical package path
+	PackageFile               map[string]string // package path -> export data file
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnit analyzes the single compilation unit described by cfgFile and
+// exits the process with the protocol's status code: 0 for success, 1 when
+// diagnostics were reported, a fatal log otherwise. It is the counterpart
+// of unitchecker.Run for the sledvet analyzer set (sledvet keeps no
+// cross-package facts, so the .vetx output is always empty).
+func RunUnit(cfgFile string, analyzers []*analysis.Analyzer) {
+	cfg, err := readUnitConfig(cfgFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	diags, err := runUnit(cfg, analyzers)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			os.Exit(0)
+		}
+		log.Fatal(err)
+	}
+	// The go command requires the facts file to exist after every run,
+	// even for fact-free tools.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			log.Fatalf("failed to write facts: %v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		os.Exit(0)
+	}
+	exit := 0
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", d.Pos, d.Message)
+		exit = 1
+	}
+	os.Exit(exit)
+}
+
+func readUnitConfig(cfgFile string) (*UnitConfig, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(UnitConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("cannot decode JSON config file %s: %v", cfgFile, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		return nil, fmt.Errorf("package has no files: %s", cfg.ImportPath)
+	}
+	return cfg, nil
+}
+
+func runUnit(cfg *UnitConfig, analyzers []*analysis.Analyzer) ([]Diag, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compiled := exportImporter(fset, func(path string) (string, bool) {
+		file, ok := cfg.PackageFile[path]
+		return file, ok
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath] // resolve vendoring, etc
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		return compiled.Import(path)
+	})
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	conf := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor(compiler, build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := analysis.NewInfo()
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+
+	pkg := &Package{Path: cfg.ImportPath, Fset: fset, Files: files, Types: tpkg, Info: info}
+	return Run([]*Package{pkg}, analyzers)
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,142 @@
+// Package floateq forbids float/complex equality comparison in the DSP
+// packages, where rounding makes == and != silently unreliable.
+//
+// SledZig's correctness story is bit-exact determinism of the *bit*
+// pipeline; the sample pipeline, by contrast, is floating point end to
+// end, and exact comparison of two computed floats is almost always a
+// latent bug (FFT round-trips, EVM scores and LLRs are never exactly
+// equal). Within the configured packages the analyzer flags == and !=
+// where either operand is a float or complex type, with two escapes:
+//
+//   - comparison against an exact-zero constant is allowed by default
+//     (-floateq.allowzero=false to forbid): zero is a common explicit
+//     "unset/disabled" sentinel (e.g. SNRdB == 0, gain != 0) and is
+//     representable exactly;
+//   - functions named in -floateq.funcs (comma-separated) are exempt
+//     wholesale — the allowlist of approved exact-comparison helpers
+//     (bit-pattern tests, interpolation-table guards).
+package floateq
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"sledzig/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "floateq",
+	Doc:  "no ==/!= on float or complex operands in DSP packages outside approved helpers",
+	Run:  run,
+}
+
+var (
+	packages   string
+	allowZero  bool
+	allowFuncs string
+)
+
+func init() {
+	Analyzer.Flags.StringVar(&packages, "packages",
+		`^sledzig/internal/(dsp|wifi|core)$`,
+		"regexp of package paths the invariant applies to")
+	Analyzer.Flags.BoolVar(&allowZero, "allowzero", true,
+		"permit comparison against an exact-zero constant")
+	Analyzer.Flags.StringVar(&allowFuncs, "funcs", "",
+		"comma-separated names of approved exact-comparison helper functions")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	re, err := regexp.Compile(packages)
+	if err != nil {
+		return nil, err
+	}
+	if !re.MatchString(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	approved := map[string]bool{}
+	for _, name := range strings.Split(allowFuncs, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			approved[name] = true
+		}
+	}
+
+	for _, file := range pass.Files {
+		// funcStack tracks the named function enclosing each node so the
+		// helper allowlist can exempt whole functions.
+		var funcStack []string
+		var visit func(n ast.Node) bool
+		visit = func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.FuncDecl:
+				funcStack = append(funcStack, s.Name.Name)
+				if s.Body != nil {
+					ast.Inspect(s.Body, visit)
+				}
+				funcStack = funcStack[:len(funcStack)-1]
+				return false
+			case *ast.BinaryExpr:
+				if s.Op != token.EQL && s.Op != token.NEQ {
+					return true
+				}
+				if len(funcStack) > 0 && approved[funcStack[len(funcStack)-1]] {
+					return true
+				}
+				if !floatOperand(pass, s.X) && !floatOperand(pass, s.Y) {
+					return true
+				}
+				if bothConstant(pass, s.X, s.Y) {
+					return true // compile-time comparison, exact by definition
+				}
+				if allowZero && (isZeroConst(pass, s.X) || isZeroConst(pass, s.Y)) {
+					return true
+				}
+				pass.Reportf(s.OpPos,
+					"floating-point %s is brittle under rounding; compare with a tolerance, or add the helper to -floateq.funcs if exact comparison is intended",
+					s.Op)
+			}
+			return true
+		}
+		ast.Inspect(file, visit)
+	}
+	return nil, nil
+}
+
+func floatOperand(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+func bothConstant(pass *analysis.Pass, x, y ast.Expr) bool {
+	tx, okx := pass.TypesInfo.Types[x]
+	ty, oky := pass.TypesInfo.Types[y]
+	return okx && oky && tx.Value != nil && ty.Value != nil
+}
+
+func isZeroConst(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		v, _ := constant.Float64Val(constant.ToFloat(tv.Value))
+		return v == 0
+	case constant.Complex:
+		re, _ := constant.Float64Val(constant.Real(tv.Value))
+		im, _ := constant.Float64Val(constant.Imag(tv.Value))
+		return re == 0 && im == 0
+	}
+	return false
+}

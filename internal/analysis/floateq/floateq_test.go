@@ -1,0 +1,24 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"sledzig/internal/analysis/analysistest"
+	"sledzig/internal/analysis/floateq"
+)
+
+func TestFloateq(t *testing.T) {
+	for flag, val := range map[string]string{
+		"packages": "^a$",
+		"funcs":    "sameBits",
+	} {
+		if err := floateq.Analyzer.Flags.Set(flag, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer func() {
+		floateq.Analyzer.Flags.Set("packages", `^sledzig/internal/(dsp|wifi|core)$`)
+		floateq.Analyzer.Flags.Set("funcs", "")
+	}()
+	analysistest.Run(t, analysistest.TestData(), floateq.Analyzer, "a")
+}

@@ -1,0 +1,55 @@
+// Fixture for the floateq analyzer: no exact float comparison in DSP code.
+package a
+
+type sample struct{ v float64 }
+
+// Compare flags equality on computed floats.
+func Compare(a, b float64, c, d complex128, f32 float32) bool {
+	if a == b { // want `floating-point == is brittle`
+		return true
+	}
+	if a != b { // want `floating-point != is brittle`
+		return true
+	}
+	if c == d { // want `floating-point == is brittle`
+		return true
+	}
+	if f32 != 1.5 { // want `floating-point != is brittle`
+		return true
+	}
+	return false
+}
+
+// Fields and named types are seen through to the underlying float.
+type dB float64
+
+func Named(x, y dB, s sample) bool {
+	return x == y || s.v == 2.0 // want `floating-point == is brittle` `floating-point == is brittle`
+}
+
+// ZeroSentinel is the allowed unset/disabled idiom.
+func ZeroSentinel(snr float64, gain complex128) bool {
+	return snr == 0 || gain != 0 // allowed: exact-zero sentinel
+}
+
+// Ints are not the analyzer's business.
+func Ints(a, b int) bool {
+	return a == b
+}
+
+// Constants fold at compile time — exact by definition.
+func Constants() bool {
+	const eps = 1e-9
+	return eps == 1e-9
+}
+
+// sameBits is on the approved helper allowlist (-floateq.funcs=sameBits).
+func sameBits(a, b float64) bool {
+	return a == b // allowed: approved exact-comparison helper
+}
+
+// Suppressed documents the inline escape hatch.
+func Suppressed(a, b float64) bool {
+	//sledvet:ignore floateq quantizer outputs are exact table entries
+	return a == b
+}

@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A Directive is a parsed //sledvet:ignore suppression comment.
+//
+// Grammar:
+//
+//	//sledvet:ignore <name>[,<name>...] <reason>
+//
+// The directive silences diagnostics from the named analyzers on the same
+// source line as the comment, or — when the comment stands on a line of its
+// own — on the line immediately below it. The reason is mandatory: a
+// suppression without a recorded justification is itself reported.
+type Directive struct {
+	File   string
+	Line   int
+	Names  []string // analyzer names this directive silences
+	Reason string
+	Pos    token.Pos
+}
+
+const ignorePrefix = "//sledvet:ignore"
+
+// Directives extracts every //sledvet:ignore comment from files. Malformed
+// directives (missing analyzer list or missing reason) are returned as
+// diagnostics so drivers surface them instead of silently ignoring them.
+func Directives(fset *token.FileSet, files []*ast.File) (ds []Directive, malformed []Diagnostic) {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //sledvet:ignoreXXX — not ours
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					malformed = append(malformed, Diagnostic{
+						Pos:     c.Pos(),
+						Message: "malformed //sledvet:ignore: need analyzer name(s) and a reason, e.g. //sledvet:ignore metriclit per-injector counters are validated at registration",
+					})
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				ds = append(ds, Directive{
+					File:   posn.Filename,
+					Line:   posn.Line,
+					Names:  strings.Split(fields[0], ","),
+					Reason: strings.Join(fields[1:], " "),
+					Pos:    c.Pos(),
+				})
+			}
+		}
+	}
+	return ds, malformed
+}
+
+// covers reports whether d silences analyzer name at file:line.
+func (d Directive) covers(name, file string, line int) bool {
+	if d.File != file || (line != d.Line && line != d.Line+1) {
+		return false
+	}
+	for _, n := range d.Names {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Suppress drops diagnostics of the named analyzer that are covered by a
+// directive, returning the survivors.
+func Suppress(fset *token.FileSet, name string, ds []Directive, diags []Diagnostic) []Diagnostic {
+	if len(ds) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, diag := range diags {
+		posn := fset.Position(diag.Pos)
+		covered := false
+		for _, d := range ds {
+			if d.covers(name, posn.Filename, posn.Line) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			kept = append(kept, diag)
+		}
+	}
+	return kept
+}

@@ -1,0 +1,141 @@
+// Package metriclit enforces the PR 1 metric-naming convention: names
+// passed to obs registration methods must be compile-time constants in
+// lowercase dotted form.
+//
+// Every call to the Counter, Gauge, Histogram, Stage or Scope methods of
+// the obs registry (matched by the receiver's defining package being named
+// "obs") is checked:
+//
+//   - the name argument must have a constant string value (literal, const,
+//     or concatenation of those) — dynamic names defeat grep, dashboards
+//     and the exposition sort order, and can explode cardinality;
+//   - the value must match ^[a-z0-9_]+(\.[a-z0-9_]+)*$ — the convention
+//     every existing metric follows ("engine.batch.latency_seconds");
+//   - a name must not be registered as two different instrument kinds in
+//     the same package (Counter("x") and Gauge("x") cannot coexist in one
+//     registry). Re-registering the same kind is fine: the registry is
+//     get-or-create by design, and hot paths re-fetch counters.
+//
+// The obs package itself is exempt — its Scope methods assemble prefixed
+// names dynamically by construction.
+package metriclit
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+
+	"sledzig/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "metriclit",
+	Doc:  "obs metric names must be lowercase-dotted compile-time constants, one kind per name",
+	Run:  run,
+}
+
+var nameRE = regexp.MustCompile(`^[a-z0-9_]+(\.[a-z0-9_]+)*$`)
+
+// registration methods and whether they create an instrument whose kind
+// must be unique per name (Scope and Stage only derive names).
+var methods = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+	"Stage":     false,
+	"Scope":     false,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Name() == "obs" {
+		return nil, nil // the registry implementation composes names
+	}
+	type reg struct {
+		kind string
+		pos  ast.Node
+	}
+	seen := map[string]reg{} // full-name registrations on the Registry
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			kindUnique, isReg := methods[sel.Sel.Name]
+			if !isReg {
+				return true
+			}
+			recv, onRegistry := obsReceiver(pass, sel)
+			if !onRegistry && recv == "" {
+				return true
+			}
+
+			arg := call.Args[0]
+			tv, ok := pass.TypesInfo.Types[arg]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				pass.Reportf(arg.Pos(),
+					"obs %s name must be a compile-time constant string (dynamic names defeat dashboards and can explode cardinality)",
+					sel.Sel.Name)
+				return true
+			}
+			name := constant.StringVal(tv.Value)
+			if !nameRE.MatchString(name) {
+				pass.Reportf(arg.Pos(),
+					"obs %s name %q must be lowercase dotted ([a-z0-9_] segments separated by '.')",
+					sel.Sel.Name, name)
+				return true
+			}
+			// Kind conflicts are only decidable for Registry-level
+			// registrations, where the literal is the full metric name
+			// (Scope methods prepend a prefix unknown here).
+			if kindUnique && onRegistry {
+				if prev, dup := seen[name]; dup && prev.kind != sel.Sel.Name {
+					pass.Reportf(arg.Pos(),
+						"metric %q already registered as %s at %s; one instrument kind per name",
+						name, prev.kind, pass.Fset.Position(prev.pos.Pos()))
+				} else if !dup {
+					seen[name] = reg{kind: sel.Sel.Name, pos: arg}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// obsReceiver resolves whether sel's receiver is a type defined in a
+// package named "obs". It returns the receiver type name and whether it is
+// the Registry itself (as opposed to a Scope).
+func obsReceiver(pass *analysis.Pass, sel *ast.SelectorExpr) (string, bool) {
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok {
+		return "", false
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok {
+		return "", false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Name() != "obs" {
+		return "", false
+	}
+	return obj.Name(), obj.Name() == "Registry"
+}

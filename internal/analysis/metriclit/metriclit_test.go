@@ -1,0 +1,12 @@
+package metriclit_test
+
+import (
+	"testing"
+
+	"sledzig/internal/analysis/analysistest"
+	"sledzig/internal/analysis/metriclit"
+)
+
+func TestMetriclit(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), metriclit.Analyzer, "a")
+}

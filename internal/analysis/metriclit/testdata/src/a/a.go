@@ -1,0 +1,50 @@
+// Fixture for the metriclit analyzer: metric naming discipline.
+package a
+
+import "obs"
+
+const good = "pipeline.frames"
+const prefix = "pipeline"
+
+func Literals(r *obs.Registry, name string) {
+	r.Counter("decode.frames").Inc()            // allowed: literal, lowercase dotted
+	r.Gauge("engine.queue_depth")               // allowed
+	r.Histogram("engine.batch.latency_seconds") // allowed
+	r.Counter(good).Inc()                       // allowed: constant
+	r.Counter(prefix + ".drops").Inc()          // allowed: constant concatenation
+
+	r.Counter(name).Inc()            // want `compile-time constant`
+	r.Counter("Decode.Frames").Inc() // want `lowercase dotted`
+	r.Gauge("queue depth")           // want `lowercase dotted`
+	r.Histogram("latency-seconds")   // want `lowercase dotted`
+	r.Counter("trailing.").Inc()     // want `lowercase dotted`
+	r.Counter(".leading").Inc()      // want `lowercase dotted`
+}
+
+func Scoped(r *obs.Registry, suffix string) {
+	s := r.Scope("wifi.tx")
+	s.Counter("frames").Inc() // allowed
+	s.Stage("encode")         // allowed
+	s.Counter("a" + suffix)   // want `compile-time constant`
+	r.Scope("Wifi")           // want `lowercase dotted`
+}
+
+func KindConflict(r *obs.Registry) {
+	r.Counter("fault.chains").Inc()
+	r.Counter("fault.chains").Inc() // allowed: get-or-create re-fetch
+	r.Gauge("fault.chains")         // want `already registered as Counter`
+}
+
+func Suppressed(r *obs.Registry, injector string) {
+	//sledvet:ignore metriclit per-injector counters, names validated by the injector catalog
+	r.Counter("fault.injected." + injector).Inc()
+}
+
+// NotObs proves unrelated Counter methods are left alone.
+type other struct{}
+
+func (other) Counter(name string) int { return 0 }
+
+func Unrelated(o other, dyn string) {
+	o.Counter(dyn) // allowed: not the obs registry
+}

@@ -1,0 +1,29 @@
+// Package obs is a slim stand-in for sledzig/internal/obs: the analyzer
+// matches registration methods by the receiver's package name, so the
+// fixture only needs the same shape.
+package obs
+
+type Counter struct{ v uint64 }
+
+func (c *Counter) Inc() { c.v++ }
+
+type Gauge struct{ v float64 }
+
+type Histogram struct{ n uint64 }
+
+type Registry struct{}
+
+func (r *Registry) Counter(name string) *Counter     { return &Counter{} }
+func (r *Registry) Gauge(name string) *Gauge         { return &Gauge{} }
+func (r *Registry) Histogram(name string) *Histogram { return &Histogram{} }
+func (r *Registry) Scope(prefix string) *Scope       { return &Scope{} }
+
+type Scope struct{}
+
+func (s *Scope) Counter(name string) *Counter { return &Counter{} }
+func (s *Scope) Gauge(name string) *Gauge     { return &Gauge{} }
+func (s *Scope) Stage(name string) *Stage     { return &Stage{} }
+
+type Stage struct{}
+
+func Default() *Registry { return &Registry{} }

@@ -1,0 +1,404 @@
+// Package poolescape enforces the PR 3 scratch-pooling contract: a value
+// obtained from a sync.Pool must stay inside the function frame that
+// borrowed it and must be handed back.
+//
+// For every `x := pool.Get()` (with or without a type assertion) the
+// analyzer checks, within the enclosing function:
+//
+//   - a matching `pool.Put(x)` exists — ideally `defer pool.Put(x)`;
+//     without a deferred Put, every return statement after the Get must be
+//     preceded by a Put (a position-based approximation of "Put on every
+//     path");
+//   - x is not returned;
+//   - x is not stored into a struct field, map/slice element, package-level
+//     variable, or sent on a channel;
+//   - x is not captured by a function literal other than one invoked
+//     immediately or via defer (an escaping closure or `go` statement may
+//     outlive the frame).
+//
+// Aliases created with `y := x` inherit x's obligations. The analysis is
+// intentionally function-local: a pool whose value legitimately crosses a
+// function boundary needs a //sledvet:ignore with a reason.
+package poolescape
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sledzig/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "poolescape",
+	Doc:  "sync.Pool values must be Put back in the borrowing function and must not escape it",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			// Analyze the declared function and every nested literal as
+			// independent frames: each owns the Gets it performs.
+			for _, frame := range frames(fn.Body) {
+				analyzeFrame(pass, frame)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// frames returns body plus the bodies of all function literals within it.
+func frames(body *ast.BlockStmt) []*ast.BlockStmt {
+	out := []*ast.BlockStmt{body}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != nil {
+			out = append(out, lit.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// isPoolMethod reports whether call invokes method name on a sync.Pool
+// (or a type embedding one), resolved through the type checker.
+func isPoolMethod(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok {
+		return false
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "Pool"
+}
+
+type getSite struct {
+	pos  ast.Node
+	expr string // pool expression, for messages
+}
+
+type putSite struct {
+	pos      ast.Node
+	deferred bool
+}
+
+// analyzeFrame runs the whole check for one function body, not descending
+// into nested literals except to classify captures and find deferred Puts.
+func analyzeFrame(pass *analysis.Pass, body *ast.BlockStmt) {
+	derived := map[types.Object]*getSite{} // borrowed values and their aliases
+	puts := map[types.Object][]putSite{}
+	var returns []*ast.ReturnStmt
+	var escapes []func() // reported after collection, in source order
+
+	// getCall returns the *ast.CallExpr of a pool Get, unwrapping a
+	// surrounding type assertion, or nil.
+	getCall := func(e ast.Expr) *ast.CallExpr {
+		e = ast.Unparen(e)
+		if ta, ok := e.(*ast.TypeAssertExpr); ok {
+			e = ast.Unparen(ta.X)
+		}
+		call, ok := e.(*ast.CallExpr)
+		if !ok || !isPoolMethod(pass, call, "Get") {
+			return nil
+		}
+		return call
+	}
+
+	isDerived := func(e ast.Expr) types.Object {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return nil
+		}
+		if _, ok := derived[obj]; ok {
+			return obj
+		}
+		return nil
+	}
+
+	// recordPut registers pool.Put(x) calls found in call, optionally
+	// inside a deferred closure.
+	recordPut := func(call *ast.CallExpr, deferred bool) bool {
+		if !isPoolMethod(pass, call, "Put") || len(call.Args) != 1 {
+			return false
+		}
+		if obj := isDerived(call.Args[0]); obj != nil {
+			puts[obj] = append(puts[obj], putSite{pos: call, deferred: deferred})
+			return true
+		}
+		return false
+	}
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			// A literal is its own frame for Gets; here we only decide
+			// whether it captures a borrowed value.
+			for obj := range derived {
+				obj := obj
+				if usesObject(pass, s.Body, obj) {
+					lit := s
+					escapes = append(escapes, func() {
+						pass.Reportf(lit.Pos(),
+							"pooled %s.Get value %q is captured by a function literal that may outlive the frame; Put it here and let the closure borrow its own",
+							derived[obj].expr, obj.Name())
+					})
+				}
+			}
+			return false
+
+		case *ast.DeferStmt:
+			// defer pool.Put(x)
+			if recordPut(s.Call, true) {
+				return false
+			}
+			// defer func() { ...; pool.Put(x); ... }()
+			if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if c, ok := m.(*ast.CallExpr); ok {
+						recordPut(c, true)
+					}
+					return true
+				})
+				return false
+			}
+			return false
+
+		case *ast.GoStmt:
+			for _, arg := range s.Call.Args {
+				if obj := isDerived(arg); obj != nil {
+					pass.Reportf(s.Pos(),
+						"pooled %s.Get value %q passed to a goroutine escapes the borrowing frame",
+						derived[obj].expr, obj.Name())
+				}
+			}
+			if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+				for obj := range derived {
+					if usesObject(pass, lit.Body, obj) {
+						pass.Reportf(s.Pos(),
+							"pooled %s.Get value %q is captured by a goroutine and escapes the borrowing frame",
+							derived[obj].expr, obj.Name())
+					}
+				}
+			}
+			return false
+
+		case *ast.AssignStmt:
+			for i, rhs := range s.Rhs {
+				if i >= len(s.Lhs) {
+					break
+				}
+				lhs := s.Lhs[i]
+				if call := getCall(rhs); call != nil {
+					if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+						if obj := pass.TypesInfo.Defs[id]; obj != nil {
+							derived[obj] = &getSite{pos: call, expr: exprString(pass, call)}
+						} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+							derived[obj] = &getSite{pos: call, expr: exprString(pass, call)}
+						}
+					} else {
+						pass.Reportf(call.Pos(),
+							"sync.Pool Get result must be bound to a local variable so its Put can be verified")
+					}
+					continue
+				}
+				if obj := isDerived(rhs); obj != nil {
+					switch l := lhs.(type) {
+					case *ast.Ident:
+						if l.Name == "_" {
+							continue
+						}
+						if def := pass.TypesInfo.Defs[l]; def != nil {
+							derived[def] = derived[obj] // alias
+						} else if use := pass.TypesInfo.Uses[l]; use != nil {
+							if use.Parent() == pass.Pkg.Scope() {
+								pass.Reportf(s.Pos(),
+									"pooled %s.Get value %q stored in package-level variable %s escapes the borrowing frame",
+									derived[obj].expr, obj.Name(), l.Name)
+							} else {
+								derived[use] = derived[obj]
+							}
+						}
+					case *ast.SelectorExpr:
+						pass.Reportf(s.Pos(),
+							"pooled %s.Get value %q stored in field %s outlives the borrowing frame",
+							derived[obj].expr, obj.Name(), exprString(pass, l))
+					case *ast.IndexExpr:
+						pass.Reportf(s.Pos(),
+							"pooled %s.Get value %q stored in a container element outlives the borrowing frame",
+							derived[obj].expr, obj.Name())
+					}
+				}
+			}
+			return true
+
+		case *ast.SendStmt:
+			if obj := isDerived(s.Value); obj != nil {
+				pass.Reportf(s.Pos(),
+					"pooled %s.Get value %q sent on a channel escapes the borrowing frame",
+					derived[obj].expr, obj.Name())
+			}
+			return true
+
+		case *ast.ReturnStmt:
+			returns = append(returns, s)
+			for _, res := range s.Results {
+				if obj := isDerived(res); obj != nil {
+					pass.Reportf(s.Pos(),
+						"pooled %s.Get value %q is returned and escapes the borrowing frame",
+						derived[obj].expr, obj.Name())
+				}
+			}
+			return true
+
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if recordPut(call, false) {
+					return false
+				}
+				if c := getCall(s.X); c != nil {
+					pass.Reportf(c.Pos(),
+						"sync.Pool Get result must be bound to a local variable so its Put can be verified")
+					return false
+				}
+			}
+			return true
+
+		case *ast.CallExpr:
+			// An immediately-invoked literal runs synchronously inside the
+			// frame — using a borrowed value there is not a capture.
+			if _, ok := ast.Unparen(s.Fun).(*ast.FuncLit); ok {
+				for _, arg := range s.Args {
+					ast.Inspect(arg, walk)
+				}
+				return false
+			}
+			return true
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+
+	for _, report := range escapes {
+		report()
+	}
+
+	// Put coverage per borrowed value (aliases share a getSite and any of
+	// them satisfies the obligation).
+	type obligation struct {
+		site    *getSite
+		objs    []types.Object
+		puts    []putSite
+		someput bool
+	}
+	bySite := map[*getSite]*obligation{}
+	var order []*obligation
+	for obj, site := range derived {
+		ob := bySite[site]
+		if ob == nil {
+			ob = &obligation{site: site}
+			bySite[site] = ob
+			order = append(order, ob)
+		}
+		ob.objs = append(ob.objs, obj)
+		if ps, ok := puts[obj]; ok {
+			ob.puts = append(ob.puts, ps...)
+			ob.someput = true
+		}
+	}
+	for _, ob := range order {
+		if !ob.someput {
+			pass.Reportf(ob.site.pos.Pos(),
+				"result of %s is never Put back in this function; defer the Put right after Get (or //sledvet:ignore with the cross-function ownership story)",
+				ob.site.expr)
+			continue
+		}
+		deferred := false
+		for _, p := range ob.puts {
+			if p.deferred {
+				deferred = true
+			}
+		}
+		if deferred {
+			continue
+		}
+		// No deferred Put: every return after the Get needs a Put
+		// positioned between them.
+		getPos := ob.site.pos.Pos()
+		for _, ret := range returns {
+			if ret.Pos() <= getPos {
+				continue
+			}
+			covered := false
+			for _, p := range ob.puts {
+				if p.pos.Pos() > getPos && p.pos.End() <= ret.Pos() {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				pass.Reportf(ret.Pos(),
+					"return may leak the value borrowed from %s at line %d; use `defer Put` or Put before every return",
+					ob.site.expr, pass.Fset.Position(getPos).Line)
+			}
+		}
+	}
+}
+
+// usesObject reports whether any identifier under n resolves to obj.
+func usesObject(pass *analysis.Pass, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// exprString renders the receiver of a Get/Put call for diagnostics.
+func exprString(pass *analysis.Pass, e ast.Expr) string {
+	if call, ok := e.(*ast.CallExpr); ok {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			return exprString(pass, sel.X)
+		}
+	}
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(pass, v.X) + "." + v.Sel.Name
+	default:
+		return "pool"
+	}
+}

@@ -1,0 +1,12 @@
+package poolescape_test
+
+import (
+	"testing"
+
+	"sledzig/internal/analysis/analysistest"
+	"sledzig/internal/analysis/poolescape"
+)
+
+func TestPoolescape(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), poolescape.Analyzer, "a")
+}

@@ -1,0 +1,132 @@
+// Fixture for the poolescape analyzer: the scratch-pooling contract.
+package a
+
+import "sync"
+
+type scratch struct{ buf []byte }
+
+var pool = sync.Pool{New: func() any { return new(scratch) }}
+
+var global *scratch
+
+// DeferPut is the canonical pattern used across the codebase — allowed.
+func DeferPut() int {
+	s := pool.Get().(*scratch)
+	defer pool.Put(s)
+	return len(s.buf)
+}
+
+// DeferClosurePut releases through a deferred closure — allowed.
+func DeferClosurePut() int {
+	s := pool.Get().(*scratch)
+	defer func() { pool.Put(s) }()
+	return len(s.buf)
+}
+
+// PutEveryPath puts before each return without defer — allowed.
+func PutEveryPath(n int) int {
+	s := pool.Get().(*scratch)
+	if n < 0 {
+		pool.Put(s)
+		return 0
+	}
+	pool.Put(s)
+	return len(s.buf)
+}
+
+// NeverPut borrows and forgets.
+func NeverPut() int {
+	s := pool.Get().(*scratch) // want `never Put back`
+	return len(s.buf)
+}
+
+// EarlyReturnLeak puts on the happy path only.
+func EarlyReturnLeak(n int) int {
+	s := pool.Get().(*scratch)
+	if n < 0 {
+		return 0 // want `may leak the value borrowed`
+	}
+	pool.Put(s)
+	return 1
+}
+
+// Returned hands the borrowed value to the caller.
+func Returned() *scratch {
+	s := pool.Get().(*scratch)
+	defer pool.Put(s)
+	return s // want `is returned and escapes`
+}
+
+// StoredInGlobal parks the value beyond the frame.
+func StoredInGlobal() {
+	s := pool.Get().(*scratch)
+	defer pool.Put(s)
+	global = s // want `stored in package-level variable`
+}
+
+type holder struct{ s *scratch }
+
+// StoredInField outlives the frame through a struct.
+func StoredInField(h *holder) {
+	s := pool.Get().(*scratch)
+	defer pool.Put(s)
+	h.s = s // want `stored in field`
+}
+
+// SentOnChannel escapes to another goroutine.
+func SentOnChannel(ch chan *scratch) {
+	s := pool.Get().(*scratch)
+	defer pool.Put(s)
+	ch <- s // want `sent on a channel`
+}
+
+// Captured leaks through a closure that outlives the frame.
+func Captured() func() int {
+	s := pool.Get().(*scratch)
+	defer pool.Put(s)
+	return func() int { return len(s.buf) } // want `captured by a function literal`
+}
+
+// GoCaptured leaks into a goroutine.
+func GoCaptured() {
+	s := pool.Get().(*scratch)
+	defer pool.Put(s)
+	go func() { _ = len(s.buf) }() // want `captured by a goroutine`
+}
+
+// Unbound cannot be verified at all.
+func Unbound() {
+	pool.Get() // want `must be bound to a local variable`
+}
+
+// AliasPut releases through an alias — allowed.
+func AliasPut() {
+	s := pool.Get().(*scratch)
+	alias := s
+	defer pool.Put(alias)
+	_ = s.buf
+}
+
+// AliasLeak returns through an alias.
+func AliasLeak() *scratch {
+	s := pool.Get().(*scratch)
+	defer pool.Put(s)
+	alias := s
+	return alias // want `is returned and escapes`
+}
+
+// IIFE uses the value in an immediately-invoked literal — allowed.
+func IIFE() int {
+	s := pool.Get().(*scratch)
+	defer pool.Put(s)
+	n := 0
+	func() { n = len(s.buf) }()
+	return n
+}
+
+// CrossFunction documents the audited escape hatch for ownership transfer.
+func CrossFunction() *scratch {
+	//sledvet:ignore poolescape ownership transfers to the caller, released in Close
+	s := pool.Get().(*scratch)
+	return s // want `is returned and escapes`
+}

@@ -1,0 +1,16 @@
+package seededrand_test
+
+import (
+	"testing"
+
+	"sledzig/internal/analysis/analysistest"
+	"sledzig/internal/analysis/seededrand"
+)
+
+func TestSeededrand(t *testing.T) {
+	if err := seededrand.Analyzer.Flags.Set("packages", "^a$"); err != nil {
+		t.Fatal(err)
+	}
+	defer seededrand.Analyzer.Flags.Set("packages", `^sledzig/internal/(fault|channel|engine)$`)
+	analysistest.Run(t, analysistest.TestData(), seededrand.Analyzer, "a")
+}

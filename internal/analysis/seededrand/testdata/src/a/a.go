@@ -1,0 +1,56 @@
+// Fixture for the seededrand analyzer: the determinism seam.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+type thing struct {
+	rng *rand.Rand
+	now func() time.Time
+}
+
+// Seeded builds its own source from an explicit seed — allowed.
+func Seeded(seed int64) *thing {
+	return &thing{
+		rng: rand.New(rand.NewSource(seed)), // allowed: explicit seed
+		now: time.Now,                       // allowed: value, not a call — the seam default
+	}
+}
+
+// Injected draws from the injected source — allowed.
+func (t *thing) Injected() float64 {
+	return t.rng.Float64()
+}
+
+// Clocked reads time through the seam — allowed.
+func (t *thing) Clocked() time.Time {
+	return t.now()
+}
+
+// Globals draw from the ambient source.
+func Globals() (int, float64) {
+	a := rand.Int()                    // want `ambient source`
+	b := rand.Float64()                // want `ambient source`
+	rand.Shuffle(1, func(i, j int) {}) // want `ambient source`
+	return a, b
+}
+
+// WallClock reads the real clock directly.
+func WallClock() int64 {
+	start := time.Now()   // want `time.Now is nondeterministic`
+	_ = time.Since(start) // want `time.Since is nondeterministic`
+	return start.UnixNano()
+}
+
+// SeedFromClock is the classic replay-breaking pattern: both halves flag.
+func SeedFromClock() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `time.Now is nondeterministic`
+}
+
+// Suppressed documents the audited escape hatch.
+func Suppressed() time.Time {
+	//sledvet:ignore seededrand startup banner timestamp, not part of replay
+	return time.Now()
+}

@@ -1,0 +1,90 @@
+// Fixture for the typederr analyzer: facade-package error discipline.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBad is the package's declared sentinel.
+var ErrBad = errors.New("a: bad")
+
+// Inline constructs a fresh untyped error at the return site.
+func Inline() error {
+	return errors.New("boom") // want `ad-hoc errors.New`
+}
+
+// InlineErrorf drops the chain: no %w verb.
+func InlineErrorf(n int) error {
+	return fmt.Errorf("bad value %d", n) // want `fmt.Errorf without %w`
+}
+
+// DynamicFormat cannot be proven to wrap.
+func DynamicFormat(format string) error {
+	return fmt.Errorf(format, 1) // want `non-constant format`
+}
+
+// MultiResult flags the error position of a multi-valued return.
+func MultiResult() (int, error) {
+	return 0, errors.New("boom") // want `ad-hoc errors.New`
+}
+
+// Wrapped keeps the sentinel chain intact — allowed.
+func Wrapped(n int) error {
+	return fmt.Errorf("%w: value %d", ErrBad, n)
+}
+
+// Sentinel returns the declared sentinel directly — allowed.
+func Sentinel() error {
+	return ErrBad
+}
+
+// Propagated returns an error variable — allowed (construction site is
+// elsewhere).
+func Propagated() error {
+	err := helper()
+	return err
+}
+
+// ViaHelper propagates a helper call — allowed.
+func ViaHelper() (int, error) {
+	return 0, helper()
+}
+
+// Nil returns no error — allowed.
+func Nil() error {
+	return nil
+}
+
+// helper is unexported: the invariant binds the exported API only.
+func helper() error {
+	return errors.New("internal detail")
+}
+
+// Closure returns inside a function literal do not belong to the exported
+// function — allowed.
+func Closure() error {
+	f := func() error { return errors.New("local") }
+	return f()
+}
+
+// T is an exported type with an exported method.
+type T struct{}
+
+// Check is an exported method: same rule applies.
+func (T) Check() error {
+	return errors.New("boom") // want `ad-hoc errors.New`
+}
+
+// hidden is unexported, so its exported-looking method is out of scope.
+type hidden struct{}
+
+func (hidden) Check() error {
+	return errors.New("fine")
+}
+
+// Ignored demonstrates an audited suppression.
+func Ignored() error {
+	//sledvet:ignore typederr fixture demonstrates an audited escape hatch
+	return errors.New("audited")
+}

@@ -1,0 +1,9 @@
+// Fixture b: identical violations to package a, but loaded with a package
+// filter that does not match — nothing may be reported.
+package b
+
+import "errors"
+
+func Inline() error {
+	return errors.New("boom") // no want: the package filter excludes b
+}

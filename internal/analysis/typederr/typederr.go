@@ -1,0 +1,178 @@
+// Package typederr enforces the facade error taxonomy: exported functions
+// of the public packages must not return ad-hoc errors.
+//
+// PR 2 introduced typed sentinels (sledzig.ErrInvalidChannel, …) so callers
+// classify failures with errors.Is, and PR 4's chaos soak fails on any
+// untyped error escaping the facade. This analyzer moves that invariant
+// into the compiler loop: inside the configured packages, a `return` in an
+// exported function (or exported method on an exported type) must not
+// construct an anonymous error on the spot:
+//
+//   - `return errors.New("...")` is always flagged — declare a sentinel.
+//   - `return fmt.Errorf("...")` is flagged unless the constant format
+//     string contains %w, i.e. the error wraps (and thus preserves) a
+//     sentinel chain.
+//
+// Propagated error variables, sentinel identifiers, named error types and
+// helper calls are accepted: the analyzer polices construction sites, not
+// the full data flow (the chaos soak still covers the dynamic remainder).
+package typederr
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"sledzig/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "typederr",
+	Doc:  "exported functions of facade packages must return declared sentinels, not ad-hoc errors",
+	Run:  run,
+}
+
+var packages string
+
+func init() {
+	Analyzer.Flags.StringVar(&packages, "packages", `^sledzig$|^sledzig/internal/engine$`,
+		"regexp of package paths the invariant applies to")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	re, err := regexp.Compile(packages)
+	if err != nil {
+		return nil, err
+	}
+	if !re.MatchString(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	errType := types.Universe.Lookup("error").Type()
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !exportedFunc(fn) {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig := obj.Type().(*types.Signature)
+			errIdx := errorResultIndexes(sig, errType)
+			if len(errIdx) == 0 {
+				continue
+			}
+			checkBody(pass, fn.Body, sig, errIdx)
+		}
+	}
+	return nil, nil
+}
+
+// exportedFunc reports whether fn is part of the package's exported API:
+// an exported top-level function, or an exported method whose receiver's
+// base type is exported.
+func exportedFunc(fn *ast.FuncDecl) bool {
+	if !fn.Name.IsExported() {
+		return false
+	}
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return true
+	}
+	t := fn.Recv.List[0].Type
+	for {
+		switch u := t.(type) {
+		case *ast.StarExpr:
+			t = u.X
+		case *ast.IndexExpr: // generic receiver
+			t = u.X
+		case *ast.Ident:
+			return u.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+func errorResultIndexes(sig *types.Signature, errType types.Type) []int {
+	var idx []int
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if types.Identical(res.At(i).Type(), errType) {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// checkBody inspects the return statements that belong to this function
+// (not to nested function literals).
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt, sig *types.Signature, errIdx []int) {
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false // its returns are not ours
+		case *ast.ReturnStmt:
+			if len(s.Results) != sig.Results().Len() {
+				// Naked return or a propagated multi-value call —
+				// nothing constructed here.
+				return true
+			}
+			for _, i := range errIdx {
+				checkReturnedError(pass, s.Results[i])
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+func checkReturnedError(pass *analysis.Pass, expr ast.Expr) {
+	expr = ast.Unparen(expr)
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return // nil, sentinel identifier, propagated variable, named type…
+	}
+	fn := calledFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch {
+	case fn.Pkg().Path() == "errors" && fn.Name() == "New":
+		pass.Reportf(call.Pos(),
+			"exported function returns an ad-hoc errors.New error; declare a package sentinel (var Err… = errors.New) and return or wrap it")
+	case fn.Pkg().Path() == "fmt" && fn.Name() == "Errorf":
+		if len(call.Args) == 0 {
+			return
+		}
+		tv, ok := pass.TypesInfo.Types[call.Args[0]]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			pass.Reportf(call.Pos(),
+				"exported function returns fmt.Errorf with a non-constant format; use a constant format that wraps a sentinel with %%w")
+			return
+		}
+		if !strings.Contains(constant.StringVal(tv.Value), "%w") {
+			pass.Reportf(call.Pos(),
+				"exported function returns fmt.Errorf without %%w; wrap a declared Err… sentinel so errors.Is keeps working")
+		}
+	}
+}
+
+// calledFunc resolves the called function object, if statically known.
+func calledFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}

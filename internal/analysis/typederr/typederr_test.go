@@ -1,0 +1,27 @@
+package typederr_test
+
+import (
+	"testing"
+
+	"sledzig/internal/analysis/analysistest"
+	"sledzig/internal/analysis/typederr"
+)
+
+func TestTypederr(t *testing.T) {
+	if err := typederr.Analyzer.Flags.Set("packages", "^a$"); err != nil {
+		t.Fatal(err)
+	}
+	defer typederr.Analyzer.Flags.Set("packages", `^sledzig$|^sledzig/internal/engine$`)
+	analysistest.Run(t, analysistest.TestData(), typederr.Analyzer, "a")
+}
+
+// TestSkipsUnmatchedPackages ensures the package filter really gates the
+// analyzer: the same fixture must produce no findings when the filter
+// excludes it (the driver runs every analyzer over every package).
+func TestSkipsUnmatchedPackages(t *testing.T) {
+	if err := typederr.Analyzer.Flags.Set("packages", "^never-matches$"); err != nil {
+		t.Fatal(err)
+	}
+	defer typederr.Analyzer.Flags.Set("packages", `^sledzig$|^sledzig/internal/engine$`)
+	analysistest.Run(t, analysistest.TestData(), typederr.Analyzer, "b")
+}

@@ -129,6 +129,7 @@ func (c ZigBeeChannel) DataSubcarrierSubset(n int) ([]int, error) {
 	sort.Slice(sorted, func(i, j int) bool {
 		di := math.Abs(float64(sorted[i]) - center)
 		dj := math.Abs(float64(sorted[j]) - center)
+		//sledvet:ignore floateq tie-break between symmetric subcarriers whose distances are bit-identical by construction
 		if di != dj {
 			return di < dj
 		}

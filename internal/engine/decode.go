@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"sync"
-	"time"
 
 	"sledzig/internal/core"
 	"sledzig/internal/wifi"
@@ -94,7 +93,7 @@ type DecodeOutcome struct {
 // with the context error but still waits for frames already on a worker.
 func (e *Engine) DecodeEach(ctx context.Context, waveforms [][]complex128) []DecodeOutcome {
 	m := metrics()
-	start := time.Now()
+	start := e.now()
 	outcomes := make([]DecodeOutcome, len(waveforms))
 	var done sync.WaitGroup
 	deliver := func(idx int, res *DecodeResult, err error) {
@@ -112,7 +111,7 @@ func (e *Engine) DecodeEach(ctx context.Context, waveforms [][]complex128) []Dec
 		}
 	}
 	done.Wait()
-	m.decodeBatchLatency.ObserveDuration(time.Since(start))
+	m.decodeBatchLatency.ObserveDuration(e.now().Sub(start))
 	m.decodeBatches.Inc()
 	ok := 0
 	for _, o := range outcomes {

@@ -94,6 +94,11 @@ type Engine struct {
 	cfg  Config
 	plan *core.Plan
 
+	// now is the engine's clock seam: batch latency metrics read time
+	// through it so tests (and deterministic replay harnesses) can inject
+	// a fake clock. New wires it to time.Now.
+	now func() time.Time
+
 	mu     sync.RWMutex // guards closed vs. sends on jobs
 	closed bool
 	jobs   chan *job
@@ -112,6 +117,7 @@ func New(cfg Config) (*Engine, error) {
 	e := &Engine{
 		cfg:  cfg,
 		plan: plan,
+		now:  time.Now,
 		jobs: make(chan *job, cfg.Queue),
 	}
 	for i := 0; i < cfg.Workers; i++ {
@@ -310,7 +316,7 @@ type EncodeOutcome struct {
 // already on a worker.
 func (e *Engine) EncodeEach(ctx context.Context, payloads [][]byte) []EncodeOutcome {
 	m := metrics()
-	start := time.Now()
+	start := e.now()
 	outcomes := make([]EncodeOutcome, len(payloads))
 	var done sync.WaitGroup
 	deliver := func(idx int, res *core.EncodeResult, err error) {
@@ -328,7 +334,7 @@ func (e *Engine) EncodeEach(ctx context.Context, payloads [][]byte) []EncodeOutc
 		}
 	}
 	done.Wait()
-	m.batchLatency.ObserveDuration(time.Since(start))
+	m.batchLatency.ObserveDuration(e.now().Sub(start))
 	m.batches.Inc()
 	ok := 0
 	for _, o := range outcomes {

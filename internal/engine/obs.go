@@ -68,6 +68,7 @@ func (m *engineMetrics) workerStage(i int, kind string) *obs.Stage {
 	if s, ok := m.stages.Load(key); ok {
 		return s.(*obs.Stage)
 	}
+	//sledvet:ignore metriclit per-worker scope names are bounded by Config.Workers and kind is one of two literals
 	s := m.r.Scope(fmt.Sprintf("engine.worker%d", i)).Stage(kind)
 	actual, _ := m.stages.LoadOrStore(key, s)
 	return actual.(*obs.Stage)

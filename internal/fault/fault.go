@@ -63,6 +63,7 @@ func (c Chain) Apply(wave []complex128) []complex128 {
 	for _, inj := range c.Injectors {
 		out = inj.Apply(rng, out)
 		if r := obs.Default(); r != nil {
+			//sledvet:ignore metriclit per-injector counters; names come from the fixed catalog and follow the convention
 			r.Counter("fault.injected." + inj.Name()).Inc()
 		}
 	}

@@ -92,6 +92,7 @@ func simMetrics() *macMetrics {
 		}
 		m := &macMetrics{counters: make(map[TraceKind]*obs.Counter, len(kinds)), bus: r.Bus()}
 		for _, k := range kinds {
+			//sledvet:ignore metriclit event kinds are a closed lowercase set defined next to EventKind
 			m.counters[k] = r.Counter("mac.events." + string(k))
 		}
 		return m

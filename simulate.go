@@ -77,7 +77,7 @@ type CoexistenceResult struct {
 // a WiFi in-band profile derived from real PHY waveforms.
 func SimulateCoexistence(cfg CoexistenceConfig) (*CoexistenceResult, error) {
 	if !cfg.Channel.Valid() {
-		return nil, fmt.Errorf("sledzig: coexistence config must name a channel")
+		return nil, fmt.Errorf("%w: coexistence config must name a channel", ErrInvalidChannel)
 	}
 	mode := Config{Modulation: cfg.Modulation, CodeRate: cfg.CodeRate}.mode()
 	variant := exp.Variant{Name: "custom", Mode: mode, SledZig: cfg.UseSledZig}
@@ -136,7 +136,7 @@ func SimulateCoexistence(cfg CoexistenceConfig) (*CoexistenceResult, error) {
 // from the generated waveforms (the quantity behind Figs. 5b, 11 and 12).
 func MeasureBandReduction(cfg Config, payload []byte) (float64, error) {
 	if !cfg.Channel.Valid() {
-		return 0, fmt.Errorf("sledzig: config must name a protected channel")
+		return 0, fmt.Errorf("%w: config must name a protected channel", ErrInvalidChannel)
 	}
 	mode := cfg.mode()
 	normal, err := wifi.Transmitter{Mode: mode, Convention: cfg.Convention, Seed: cfg.ScramblerSeed}.Frame(payload)

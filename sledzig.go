@@ -126,22 +126,23 @@ func (c Config) WithDefaults() Config {
 // Validate reports whether every set field is a supported value. Zero
 // fields are accepted (they have defaults — see WithDefaults) except that
 // encoding additionally requires a valid Channel, which NewEncoder checks
-// and reports as ErrInvalidChannel.
+// and reports as ErrInvalidChannel. Any other out-of-range field wraps
+// ErrInvalidConfig.
 func (c Config) Validate() error {
 	if c.Modulation != 0 && !c.Modulation.Valid() {
-		return fmt.Errorf("sledzig: invalid modulation %d", int(c.Modulation))
+		return fmt.Errorf("%w: invalid modulation %d", ErrInvalidConfig, int(c.Modulation))
 	}
 	if c.CodeRate != 0 && !c.CodeRate.Valid() {
-		return fmt.Errorf("sledzig: invalid code rate %d", int(c.CodeRate))
+		return fmt.Errorf("%w: invalid code rate %d", ErrInvalidConfig, int(c.CodeRate))
 	}
 	if c.Channel != 0 && !c.Channel.Valid() {
 		return fmt.Errorf("%w: %d is not CH1..CH4", ErrInvalidChannel, int(c.Channel))
 	}
 	if c.Convention != ConventionIEEE && c.Convention != ConventionPaper {
-		return fmt.Errorf("sledzig: invalid convention %d", int(c.Convention))
+		return fmt.Errorf("%w: invalid convention %d", ErrInvalidConfig, int(c.Convention))
 	}
 	if c.ScramblerSeed > 127 {
-		return fmt.Errorf("sledzig: scrambler seed %d outside [0, 127]", c.ScramblerSeed)
+		return fmt.Errorf("%w: scrambler seed %d outside [0, 127]", ErrInvalidConfig, c.ScramblerSeed)
 	}
 	return nil
 }
