@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test race bench bench-json bench-compare bench-baseline experiments selfcheck cover fmt fmt-check vet sledvet lint fuzz-smoke chaos
+.PHONY: test race bench bench-json bench-compare bench-baseline experiments selfcheck cover fmt fmt-check vet sledvet lint fuzz-smoke chaos trace-smoke
 
 # Benchmarks gated by the checked-in allocation baseline (hot encode and
 # decode paths).
@@ -82,3 +82,12 @@ fuzz-smoke:
 CHAOS_DURATION ?= 30s
 chaos:
 	go run -race ./cmd/chaos -duration $(CHAOS_DURATION)
+
+# End-to-end exercise of the per-frame tracing path (see
+# docs/observability.md): a short traced chaos soak must produce a
+# flight-recorder dump and a Perfetto-loadable Chrome trace, and both
+# artifacts must parse and carry frames with stage spans.
+TRACE_DIR ?= .
+trace-smoke:
+	go run ./cmd/chaos -duration 3s -trace-dump $(TRACE_DIR)/flight.json -trace-chrome $(TRACE_DIR)/trace.json
+	go run ./cmd/tracecheck -dump $(TRACE_DIR)/flight.json -chrome $(TRACE_DIR)/trace.json

@@ -11,6 +11,14 @@
 // executable form:
 //
 //	go run ./cmd/chaos -duration 30s
+//
+// With -trace-dump the soak runs under the per-frame tracer: every frame
+// panic or timeout dumps the flight recorder (the last N frame traces,
+// with per-stage spans and queue-wait vs. service attribution) to the
+// given path, a soak failure dumps it too, and -trace-chrome additionally
+// exports the retained traces in Chrome trace-event format for Perfetto:
+//
+//	go run ./cmd/chaos -duration 30s -trace-dump flight.json -trace-chrome trace.json
 package main
 
 import (
@@ -119,7 +127,21 @@ func main() {
 	seed := flag.Int64("seed", 1, "root RNG seed (every run with one seed is identical)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "engine workers")
 	batch := flag.Int("batch", 16, "waveforms per DecodeEach batch")
+	traceDump := flag.String("trace-dump", "", "enable tracing and write a flight-recorder dump (JSON) here on any fault or soak failure")
+	traceChrome := flag.String("trace-chrome", "", "enable tracing and write retained frame traces here in Chrome trace-event format at exit")
+	traceSample := flag.Int("trace-sample", 64, "with tracing on, head-sample every Nth frame (failed frames are always retained; 0 disables head sampling)")
 	flag.Parse()
+
+	var tracer *sledzig.Tracer
+	if *traceDump != "" || *traceChrome != "" {
+		tracer = sledzig.NewTracer(sledzig.TraceConfig{
+			SampleEvery:   *traceSample,
+			FlightSize:    512,
+			RetainedSize:  256,
+			FaultDumpPath: *traceDump,
+		})
+		sledzig.SetDefaultTracer(tracer)
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	baseline := runtime.NumGoroutine()
@@ -206,6 +228,38 @@ func main() {
 	if n := runtime.NumGoroutine(); n > baseline {
 		fmt.Fprintf(os.Stderr, "\nFAIL: goroutine leak (%d now vs %d at start)\n", n, baseline)
 		failed = true
+	}
+	if tracer != nil {
+		retained := tracer.Retained()
+		fmt.Printf("\ntracing: %d frames retained (of %d in flight ring)\n", len(retained), len(tracer.Flight()))
+		if *traceDump != "" {
+			// A mid-soak fault (frame panic/timeout) has already dumped;
+			// this final dump captures the full ring either way, labelled
+			// with the soak verdict.
+			reason := "soak_complete"
+			if failed {
+				reason = "soak_failure"
+			}
+			if err := tracer.DumpToFile(*traceDump, reason); err != nil {
+				fmt.Fprintf(os.Stderr, "trace dump failed: %v\n", err)
+			} else {
+				fmt.Printf("flight recorder dumped to %s\n", *traceDump)
+			}
+		}
+		if *traceChrome != "" {
+			f, err := os.Create(*traceChrome)
+			if err == nil {
+				err = sledzig.WriteChromeTrace(f, retained)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "chrome trace export failed: %v\n", err)
+			} else {
+				fmt.Printf("chrome trace written to %s (load at ui.perfetto.dev)\n", *traceChrome)
+			}
+		}
 	}
 	if failed {
 		os.Exit(1)

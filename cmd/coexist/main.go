@@ -28,6 +28,7 @@ func main() {
 	acks := flag.Bool("acks", false, "use 802.15.4 acknowledgments with retries")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (keeps the process alive after the run)")
+	traceSample := flag.Int("trace-sample", 0, "enable per-frame tracing, head-sampling every Nth frame; retained traces appear on /debug/traces")
 	workers := flag.Int("workers", 1, "scenario variants simulated concurrently (the normal and SledZig runs are independent; >1 runs them in parallel)")
 	flag.Parse()
 
@@ -35,11 +36,17 @@ func main() {
 	if *metricsAddr != "" {
 		metrics = sledzig.NewMetrics()
 		sledzig.SetDefaultMetrics(metrics)
+		if *traceSample > 0 {
+			sledzig.SetDefaultTracer(sledzig.NewTracer(sledzig.TraceConfig{SampleEvery: *traceSample}))
+		}
 		bound, err := metrics.Serve(*metricsAddr)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (expvar /debug/vars, pprof /debug/pprof/)\n", bound)
+		if *traceSample > 0 {
+			fmt.Fprintf(os.Stderr, "tracing: http://%s/debug/traces (add ?format=chrome for Perfetto)\n", bound)
+		}
 	}
 
 	m, ok := map[string]sledzig.Modulation{

@@ -46,6 +46,8 @@ func main() {
 	only := flag.String("only", "", "run a single experiment (theory, table2, table34, minsnr, fig5b, fig11..fig17, baselines, fleet, ht40, ccamode, percurve, phylevel, engine)")
 	manifestPath := flag.String("manifest", "", "write a JSON run manifest (config, seed, go version, wall time, metrics snapshot) to this file")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while the experiments run")
+	traceJSONL := flag.String("trace-jsonl", "", "enable per-frame tracing and stream retained frame traces here as JSON lines")
+	traceSample := flag.Int("trace-sample", 256, "with tracing on, head-sample every Nth frame (failed frames are always retained)")
 	workers := flag.Int("workers", 0, "goroutines for parallel sweeps and the engine experiment (0 = all cores)")
 	flag.Parse()
 
@@ -57,6 +59,19 @@ func main() {
 
 	metrics := sledzig.NewMetrics()
 	sledzig.SetDefaultMetrics(metrics)
+	var traceOut *os.File
+	var traceExp *sledzig.TraceJSONL
+	if *traceJSONL != "" {
+		f, err := os.Create(*traceJSONL)
+		if err != nil {
+			log.Fatal(err)
+		}
+		traceOut = f
+		traceExp = sledzig.NewTraceJSONL(f)
+		tracer := sledzig.NewTracer(sledzig.TraceConfig{SampleEvery: *traceSample})
+		tracer.AddExporter(traceExp)
+		sledzig.SetDefaultTracer(tracer)
+	}
 	if *metricsAddr != "" {
 		bound, err := metrics.Serve(*metricsAddr)
 		if err != nil {
@@ -434,6 +449,17 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "manifest written to %s\n", *manifestPath)
+	}
+	if traceOut != nil {
+		err := traceExp.Flush()
+		if cerr := traceOut.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace export: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "frame traces written to %s\n", *traceJSONL)
 	}
 	if len(failed) > 0 {
 		os.Exit(1)

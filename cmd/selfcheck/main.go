@@ -4,6 +4,8 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -23,6 +25,10 @@ func main() {
 	// which check.
 	metrics := sledzig.NewMetrics()
 	sledzig.SetDefaultMetrics(metrics)
+	// Trace every frame too: the counters at the end prove the tracing
+	// path itself works (frames started == finished, retention firing).
+	tracer := sledzig.NewTracer(sledzig.TraceConfig{SampleEvery: 1})
+	sledzig.SetDefaultTracer(tracer)
 
 	failures := 0
 	check := func(name string, fn func() error) {
@@ -135,6 +141,51 @@ func main() {
 		return nil
 	})
 
+	check("engine pool round trip (traced)", func() error {
+		eng, err := sledzig.NewEngine(sledzig.EngineConfig{
+			Config: sledzig.Config{
+				Modulation: sledzig.QAM64, CodeRate: sledzig.Rate34, Channel: sledzig.CH1,
+			},
+			Workers: 2,
+		})
+		if err != nil {
+			return err
+		}
+		defer eng.Close()
+		payloads := [][]byte{[]byte("engine frame one"), []byte("engine frame two"), []byte("engine frame three")}
+		frames, err := eng.EncodeBatch(context.Background(), payloads)
+		if err != nil {
+			return err
+		}
+		waves := make([][]complex128, len(frames))
+		for i, f := range frames {
+			if waves[i], err = f.Waveform(); err != nil {
+				return err
+			}
+		}
+		results, err := eng.DecodeBatch(context.Background(), waves)
+		if err != nil {
+			return err
+		}
+		for i, r := range results {
+			if !bytes.Equal(r.Payload, payloads[i]) {
+				return fmt.Errorf("frame %d round trip mismatch", i)
+			}
+		}
+		// Every pool frame must have left a retained trace with pipeline
+		// spans and worker attribution.
+		traced := 0
+		for _, s := range tracer.Retained() {
+			if s.Worker >= 0 && len(s.Spans) > 0 {
+				traced++
+			}
+		}
+		if traced < 2*len(payloads) {
+			return fmt.Errorf("only %d pool frames traced, want >= %d", traced, 2*len(payloads))
+		}
+		return nil
+	})
+
 	check("channel sensing", func() error {
 		rng := rand.New(rand.NewSource(2))
 		capture := make([]complex128, 1<<14)
@@ -185,6 +236,19 @@ func printSnapshot(metrics *sledzig.Metrics) {
 		for _, f := range fails {
 			fmt.Println(f)
 		}
+	}
+	// Reliability and tracing counters always print (including zeros):
+	// frame_panics/frame_timeouts at zero is itself the health signal, and
+	// the trace counters prove the tracing path exercised every frame.
+	fmt.Println("reliability and trace counters:")
+	reliability := []string{
+		"engine.frame_panics", "engine.frame_timeouts",
+		"trace.frames.started", "trace.frames.finished",
+		"trace.retained.head", "trace.retained.error", "trace.retained.slow",
+		"trace.flight.dumps", "trace.export.errors",
+	}
+	for _, name := range reliability {
+		fmt.Printf("  %-40s %d\n", name, snap.Counters[name])
 	}
 }
 

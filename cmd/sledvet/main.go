@@ -1,7 +1,8 @@
-// Command sledvet is the project's static-analysis suite: five custom
+// Command sledvet is the project's static-analysis suite: six custom
 // analyzers that turn SledZig's pipeline conventions (typed facade errors,
-// pooled-scratch hygiene, literal metric names, seeded randomness, no
-// float equality in DSP code) into compile-loop checks.
+// pooled-scratch hygiene, literal metric names, literal trace span names,
+// seeded randomness, no float equality in DSP code) into compile-loop
+// checks.
 //
 // Standalone:
 //
@@ -36,6 +37,7 @@ import (
 	"sledzig/internal/analysis/metriclit"
 	"sledzig/internal/analysis/poolescape"
 	"sledzig/internal/analysis/seededrand"
+	"sledzig/internal/analysis/spanlit"
 	"sledzig/internal/analysis/typederr"
 )
 
@@ -44,6 +46,7 @@ func analyzers() []*analysis.Analyzer {
 		typederr.Analyzer,
 		poolescape.Analyzer,
 		metriclit.Analyzer,
+		spanlit.Analyzer,
 		seededrand.Analyzer,
 		floateq.Analyzer,
 	}

@@ -1,0 +1,124 @@
+// Command tracecheck validates the artifacts the tracing pipeline
+// produces — a flight-recorder dump (-dump) and/or a Chrome trace-event
+// export (-chrome) — and exits non-zero when either is missing,
+// malformed, or carries no usable frame traces. It is the assertion half
+// of `make trace-smoke`: cmd/chaos produces the artifacts, tracecheck
+// proves they are what docs/observability.md promises.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"sledzig/internal/obs/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracecheck: ")
+	dumpPath := flag.String("dump", "", "flight-recorder dump (JSON) to validate")
+	chromePath := flag.String("chrome", "", "Chrome trace-event export to validate")
+	flag.Parse()
+	if *dumpPath == "" && *chromePath == "" {
+		log.Fatal("nothing to check: pass -dump and/or -chrome")
+	}
+	if *dumpPath != "" {
+		checkDump(*dumpPath)
+	}
+	if *chromePath != "" {
+		checkChrome(*chromePath)
+	}
+	fmt.Println("tracecheck: all artifacts valid")
+}
+
+// checkDump validates a flight-recorder dump: a reason, at least one
+// frame, and every frame carrying a trace ID, a kind, queue-wait/service
+// attribution and at least one pipeline stage span.
+func checkDump(path string) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatalf("dump: %v", err)
+	}
+	var d trace.Dump
+	if err := json.Unmarshal(raw, &d); err != nil {
+		log.Fatalf("dump %s is not valid JSON: %v", path, err)
+	}
+	if d.Reason == "" {
+		log.Fatalf("dump %s has no reason", path)
+	}
+	if len(d.Frames) == 0 {
+		log.Fatalf("dump %s carries no frames", path)
+	}
+	withSpans := 0
+	for _, f := range d.Frames {
+		if f.TraceID == "" || f.Kind == "" {
+			log.Fatalf("dump %s: frame missing trace_id/kind: %+v", path, f)
+		}
+		if f.ServiceNS <= 0 || f.TotalNS < f.ServiceNS || f.QueueWaitNS < 0 {
+			log.Fatalf("dump %s: frame %s has inconsistent timing (queue_wait %d, service %d, total %d)",
+				path, f.TraceID, f.QueueWaitNS, f.ServiceNS, f.TotalNS)
+		}
+		if len(f.Spans) > 0 {
+			withSpans++
+		}
+	}
+	if withSpans == 0 {
+		log.Fatalf("dump %s: no frame carries stage spans", path)
+	}
+	fmt.Printf("dump %s: reason %q, %d frames (%d with stage spans)\n", path, d.Reason, len(d.Frames), withSpans)
+}
+
+// chromeFile mirrors the JSON object WriteChromeTrace emits.
+type chromeFile struct {
+	TraceEvents []struct {
+		Name string  `json:"name"`
+		Ph   string  `json:"ph"`
+		TS   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+		PID  int     `json:"pid"`
+		TID  int     `json:"tid"`
+	} `json:"traceEvents"`
+}
+
+// checkChrome validates a Chrome trace-event export: parseable, complete
+// ("X") events only, and at least one frame slice with nested spans —
+// the shape Perfetto and chrome://tracing load.
+func checkChrome(path string) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatalf("chrome trace: %v", err)
+	}
+	var c chromeFile
+	if err := json.Unmarshal(raw, &c); err != nil {
+		log.Fatalf("chrome trace %s is not valid JSON: %v", path, err)
+	}
+	if len(c.TraceEvents) == 0 {
+		log.Fatalf("chrome trace %s carries no events", path)
+	}
+	frames, spans := 0, 0
+	for _, ev := range c.TraceEvents {
+		if ev.Ph != "X" {
+			log.Fatalf("chrome trace %s: event %q has phase %q, want complete events (X)", path, ev.Name, ev.Ph)
+		}
+		if ev.Dur < 0 || ev.TS < 0 {
+			log.Fatalf("chrome trace %s: event %q has negative timestamp/duration", path, ev.Name)
+		}
+		switch ev.Name {
+		case "encode", "decode", "waveform":
+			frames++
+		case "queue_wait":
+		default:
+			spans++
+		}
+	}
+	if frames == 0 {
+		log.Fatalf("chrome trace %s: no frame slices", path)
+	}
+	if spans == 0 {
+		log.Fatalf("chrome trace %s: no stage spans", path)
+	}
+	fmt.Printf("chrome trace %s: %d events (%d frames, %d stage spans)\n", path, len(c.TraceEvents), frames, spans)
+}

@@ -2,6 +2,7 @@ package sledzig
 
 import (
 	"sledzig/internal/core"
+	"sledzig/internal/obs/trace"
 	"sledzig/internal/wifi"
 )
 
@@ -40,11 +41,16 @@ func (d *Decoder) DecodeDetailed(waveform []complex128) (*DecodeResult, error) {
 	if seed == 0 {
 		seed = wifi.DefaultScramblerSeed
 	}
-	rx, err := wifi.Receiver{Seed: seed, Convention: d.cfg.Convention, Resync: d.cfg.Resilient}.Receive(waveform)
+	// Root frame trace (nil, and free, when no tracer is installed): the
+	// receive pipeline and the SledZig stripper land their stage spans here.
+	tf := trace.Start("decode")
+	rx, err := wifi.Receiver{Seed: seed, Convention: d.cfg.Convention, Resync: d.cfg.Resilient, Trace: tf}.Receive(waveform)
 	if err != nil {
+		tf.Finish(err)
 		return nil, wrapDecodeErr(err)
 	}
-	payload, ch, err := core.Decoder{Convention: d.cfg.Convention}.DecodeAuto(rx)
+	payload, ch, err := core.Decoder{Convention: d.cfg.Convention, Trace: tf}.DecodeAuto(rx)
+	tf.Finish(err)
 	if err != nil {
 		return nil, wrapDecodeErr(err)
 	}

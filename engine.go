@@ -29,6 +29,11 @@ type EngineConfig struct {
 // Engine encodes frames across a pool of workers sharing one cached plan —
 // the high-throughput front-end for sweeps, simulators and traffic
 // generators. All methods are safe for concurrent use; Close it when done.
+//
+// With a tracer installed (SetDefaultTracer) every frame submitted through
+// any Engine method carries a trace: queue-wait vs. service time across
+// the pool, per-stage pipeline spans, and tail capture of failed, slow,
+// panicked or timed-out frames in the flight recorder.
 type Engine struct {
 	e *engine.Engine
 }

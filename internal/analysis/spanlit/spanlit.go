@@ -1,0 +1,116 @@
+// Package spanlit enforces the trace span-naming convention, the sibling
+// of metriclit for the per-frame tracing layer: names passed to trace
+// registration points must be compile-time constants in lowercase dotted
+// form.
+//
+// Every call to Frame.Begin (a pipeline stage span), Tracer.Start and the
+// package-level trace.Start (a frame root kind) — matched by the callee's
+// defining package being named "trace" — is checked:
+//
+//   - the name argument must have a constant string value (literal, const,
+//     or concatenation of those) — dynamic span names defeat the Chrome
+//     trace timeline grouping, the flight-recorder diffing workflow, and
+//     can grow a frame past its fixed span table;
+//   - the value must match ^[a-z0-9_]+(\.[a-z0-9_]+)*$ — the convention
+//     every existing span follows ("rx.viterbi", "core.solve", "encode").
+//
+// The trace package itself is exempt — its tests exercise the span-table
+// overflow path with generated names by design.
+package spanlit
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+
+	"sledzig/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "spanlit",
+	Doc:  "trace span and frame-kind names must be lowercase-dotted compile-time constants",
+	Run:  run,
+}
+
+var nameRE = regexp.MustCompile(`^[a-z0-9_]+(\.[a-z0-9_]+)*$`)
+
+// methods are the name-taking entry points on trace types: Frame.Begin
+// opens a stage span, Tracer.Start roots a frame trace.
+var methods = map[string]bool{
+	"Begin": true,
+	"Start": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Name() == "trace" {
+		return nil, nil // the tracer's own tests generate overflow names
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if !methods[sel.Sel.Name] || !traceCallee(pass, sel) {
+				return true
+			}
+
+			arg := call.Args[0]
+			tv, ok := pass.TypesInfo.Types[arg]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				pass.Reportf(arg.Pos(),
+					"trace %s name must be a compile-time constant string (dynamic span names defeat timeline grouping and can overflow the frame span table)",
+					sel.Sel.Name)
+				return true
+			}
+			name := constant.StringVal(tv.Value)
+			if !nameRE.MatchString(name) {
+				pass.Reportf(arg.Pos(),
+					"trace %s name %q must be lowercase dotted ([a-z0-9_] segments separated by '.')",
+					sel.Sel.Name, name)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// traceCallee resolves whether sel names a function or method defined in a
+// package named "trace": Frame.Begin / Tracer.Start (method selections) or
+// the package-level trace.Start.
+func traceCallee(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	if selection, ok := pass.TypesInfo.Selections[sel]; ok {
+		fn, ok := selection.Obj().(*types.Func)
+		if !ok {
+			return false
+		}
+		recv := fn.Type().(*types.Signature).Recv()
+		if recv == nil {
+			return false
+		}
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return false
+		}
+		obj := named.Obj()
+		return obj.Pkg() != nil && obj.Pkg().Name() == "trace"
+	}
+	// Not a method selection: a qualified identifier like trace.Start.
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg() != nil && fn.Pkg().Name() == "trace"
+}

@@ -1,0 +1,12 @@
+package spanlit_test
+
+import (
+	"testing"
+
+	"sledzig/internal/analysis/analysistest"
+	"sledzig/internal/analysis/spanlit"
+)
+
+func TestSpanlit(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), spanlit.Analyzer, "a")
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"sledzig/internal/bits"
+	"sledzig/internal/obs/trace"
 	"sledzig/internal/wifi"
 )
 
@@ -15,6 +16,10 @@ import (
 // constellation points themselves (paper section IV-G).
 type Decoder struct {
 	Convention wifi.Convention
+	// Trace, when non-nil, receives one child span per SledZig decode
+	// stage (core.detect, core.strip). A nil Trace costs one nil check
+	// per stage.
+	Trace *trace.Frame
 }
 
 // Decode recovers the payload from a received frame, given the protected
@@ -33,7 +38,9 @@ func (d Decoder) Decode(rx *wifi.RxResult, ch ZigBeeChannel) ([]byte, error) {
 func (d Decoder) DecodeAuto(rx *wifi.RxResult) ([]byte, ZigBeeChannel, error) {
 	m := metrics()
 	t0 := m.decDetect.Start()
+	mk := d.Trace.Begin("core.detect")
 	ch, ok := d.DetectChannel(rx.Mode.Modulation, rx.DataPoints)
+	mk.End()
 	if !ok {
 		m.decDetect.Fail(t0)
 		err := fmt.Errorf("core: no SledZig-protected channel detected: %w", ErrNoProtectedChannel)
@@ -51,6 +58,8 @@ func (d Decoder) DecodeAuto(rx *wifi.RxResult) ([]byte, ZigBeeChannel, error) {
 func (d Decoder) decodeWithPlan(rx *wifi.RxResult, plan *Plan) ([]byte, error) {
 	m := metrics()
 	t0 := m.decStrip.Start()
+	mk := d.Trace.Begin("core.strip")
+	defer mk.End()
 	nDBPS := plan.Mode.DataBitsPerSymbol()
 	if len(rx.DataBits)%nDBPS != 0 {
 		err := fmt.Errorf("core: DATA field of %d bits is not whole symbols of %d: %w", len(rx.DataBits), nDBPS, ErrExtraBitLayout)

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"sledzig/internal/bits"
+	"sledzig/internal/obs/trace"
 	"sledzig/internal/wifi"
 )
 
@@ -24,6 +25,11 @@ type Encoder struct {
 	Plan *Plan
 	// Seed is the scrambler seed (0 selects wifi.DefaultScramblerSeed).
 	Seed uint8
+	// Trace, when non-nil, receives one child span per encode stage
+	// (core.layout → core.scramble → core.solve → core.verify) and is
+	// propagated to the produced wifi.Frame so waveform synthesis lands in
+	// the same trace. A nil Trace costs one nil check per stage.
+	Trace *trace.Frame
 }
 
 // EncodeResult carries the assembled frame plus the artifacts a caller may
@@ -101,7 +107,9 @@ func (e *Encoder) EncodeTo(payload []byte, res *EncodeResult) error {
 	}
 	nSym := e.NumSymbols(len(payload))
 	t0 := m.encLayout.Start()
+	mk := e.Trace.Begin("core.layout")
 	layout, err := e.Plan.FrameLayout(nSym)
+	mk.End()
 	if err != nil {
 		m.encLayout.Fail(t0)
 		m.fail(m.failEncoder, "core.encode", "encode_fail.layout", err)
@@ -170,10 +178,13 @@ func (e *Encoder) EncodeTo(payload []byte, res *EncodeResult) error {
 	}
 	x = bits.Grow(x, total)
 	t0 = m.encScramble.Start()
+	mk = e.Trace.Begin("core.scramble")
 	if err := wifi.ScrambleWithSeedInto(x, u, seed); err != nil {
+		mk.End()
 		m.encScramble.Fail(t0)
 		return err
 	}
+	mk.End()
 	m.encScramble.Done(t0, len(payload))
 	// Zero the placeholders: scrambling flipped some of them to the
 	// scrambler sequence; the solver assumes unknowns start at zero.
@@ -181,18 +192,24 @@ func (e *Encoder) EncodeTo(payload []byte, res *EncodeResult) error {
 		x[p] = 0
 	}
 	t0 = m.encSolve.Start()
+	mk = e.Trace.Begin("core.solve")
 	if err := solveClusters(x, layout.Clusters); err != nil {
+		mk.End()
 		m.encSolve.Fail(t0)
 		m.fail(m.failEncoder, "core.encode", "encode_fail.solve", err)
 		return err
 	}
+	mk.End()
 	m.encSolve.Done(t0, 0)
 	t0 = m.encVerify.Start()
+	mk = e.Trace.Begin("core.verify")
 	if err := verifyConstraints(x, layout.Clusters); err != nil {
+		mk.End()
 		m.encVerify.Fail(t0)
 		m.fail(m.failEncoder, "core.encode", "encode_fail.verify", err)
 		return err
 	}
+	mk.End()
 	m.encVerify.Done(t0, 0)
 
 	// The standard-compatible "transmit bits" are the descrambled stream.
@@ -220,6 +237,7 @@ func (e *Encoder) EncodeTo(payload []byte, res *EncodeResult) error {
 		Terminated:    false,
 		ScrambledBits: x,
 		NumSymbols:    nSym,
+		Trace:         e.Trace,
 	}
 	res.Layout = layout
 	res.PayloadLength = len(payload)

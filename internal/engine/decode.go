@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"sledzig/internal/core"
+	"sledzig/internal/obs/trace"
 	"sledzig/internal/wifi"
 )
 
@@ -101,8 +102,10 @@ func (e *Engine) DecodeEach(ctx context.Context, waveforms [][]complex128) []Dec
 	}
 	for i, w := range waveforms {
 		done.Add(1)
-		j := &job{waveform: w, idx: i, ctx: ctx, deliverDec: deliver, done: &done}
+		j := &job{waveform: w, idx: i, ctx: ctx, deliverDec: deliver, done: &done, tr: trace.Start("decode")}
+		j.tr.Enqueued()
 		if err := e.submit(ctx, j); err != nil {
+			j.tr.Finish(err)
 			done.Done()
 			for k := i; k < len(waveforms); k++ {
 				outcomes[k] = DecodeOutcome{Err: err}
@@ -178,8 +181,10 @@ func (e *Engine) DecodeStream(ctx context.Context, in <-chan []complex128) <-cha
 					break feed
 				}
 				inflight.Add(1)
-				j := &job{waveform: w, idx: idx, ctx: ctx, deliverDec: deliver}
+				j := &job{waveform: w, idx: idx, ctx: ctx, deliverDec: deliver, tr: trace.Start("decode")}
+				j.tr.Enqueued()
 				if err := e.submit(ctx, j); err != nil {
+					j.tr.Finish(err)
 					inflight.Done()
 					select {
 					case out <- DecodeStreamResult{Index: idx, Err: err}:

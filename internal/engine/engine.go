@@ -17,6 +17,8 @@ import (
 	"time"
 
 	"sledzig/internal/core"
+	"sledzig/internal/obs"
+	"sledzig/internal/obs/trace"
 	"sledzig/internal/wifi"
 )
 
@@ -86,6 +88,11 @@ type job struct {
 	deliver    func(idx int, res *core.EncodeResult, err error)
 	deliverDec func(idx int, res *DecodeResult, err error)
 	done       *sync.WaitGroup
+
+	// tr is the frame's trace (nil when tracing is off): started at
+	// submission, marked Enqueued/Dequeued around the queue hop, threaded
+	// into the PHY pipelines for stage spans, and finished by the worker.
+	tr *trace.Frame
 }
 
 // Engine is a fixed pool of encoder workers sharing one cached plan.
@@ -197,6 +204,11 @@ func (w *workerState) guarded(ctx context.Context, fn func() error) error {
 func (w *workerState) decodeFrame(j *job) (*DecodeResult, error) {
 	var res *DecodeResult
 	dec := w.dec
+	// Thread the frame trace into the receive pipeline. On a timeout the
+	// abandoned goroutine keeps this dec (reset replaces it), and the
+	// finished frame drops its late span writes.
+	dec.rxr.Trace = j.tr
+	dec.dec.Trace = j.tr
 	err := w.guarded(j.ctx, func() error {
 		if h := testFrameHook; h != nil {
 			h(j)
@@ -217,6 +229,7 @@ func (w *workerState) decodeFrame(j *job) (*DecodeResult, error) {
 func (w *workerState) encodeFrame(j *job) (*core.EncodeResult, error) {
 	res := new(core.EncodeResult)
 	enc := w.enc
+	enc.Trace = j.tr
 	err := w.guarded(j.ctx, func() error {
 		if h := testFrameHook; h != nil {
 			h(j)
@@ -238,10 +251,12 @@ func (e *Engine) worker(i int) {
 	w.reset()
 	for j := range e.jobs {
 		m.queueDepth.Add(-1)
+		j.tr.Dequeued(i)
 		// A dead context fails the frame before any PHY work: cancellation
 		// drains the queue promptly instead of decoding doomed frames.
 		if j.ctx != nil {
 			if err := j.ctx.Err(); err != nil {
+				j.tr.Finish(err)
 				if j.deliverDec != nil {
 					j.deliverDec(j.idx, nil, err)
 				} else {
@@ -256,6 +271,7 @@ func (e *Engine) worker(i int) {
 		if j.deliverDec != nil {
 			t0 := decStage.Start()
 			res, err := w.decodeFrame(j)
+			e.finishFrame(m.decodeFrameLatency, j, err)
 			if err != nil {
 				decStage.Fail(t0)
 				m.decodeFailures.Inc()
@@ -271,6 +287,7 @@ func (e *Engine) worker(i int) {
 		}
 		t0 := encStage.Start()
 		res, err := w.encodeFrame(j)
+		e.finishFrame(m.encodeFrameLatency, j, err)
 		if err != nil {
 			encStage.Fail(t0)
 			m.failures.Inc()
@@ -281,6 +298,24 @@ func (e *Engine) worker(i int) {
 		}
 		if j.done != nil {
 			j.done.Done()
+		}
+	}
+}
+
+// finishFrame closes the frame's trace with its outcome, observes the
+// per-frame latency histogram (with an exemplar naming the trace when the
+// frame was traced), and triggers a flight-recorder fault dump for
+// contained panics and deadline abandonments. With tracing off the only
+// cost beyond the existing histogram observation is two nil checks.
+func (e *Engine) finishFrame(h *obs.Histogram, j *job, err error) {
+	if j.tr != nil {
+		j.tr.Finish(err)
+		secs := float64(j.tr.TotalNS()) / 1e9
+		h.ObserveExemplar(secs, j.tr.TraceIDHex(), e.now().UnixNano())
+		if errors.Is(err, ErrFramePanic) {
+			trace.Fault("frame_panic")
+		} else if errors.Is(err, ErrFrameTimeout) {
+			trace.Fault("frame_timeout")
 		}
 	}
 }
@@ -324,8 +359,10 @@ func (e *Engine) EncodeEach(ctx context.Context, payloads [][]byte) []EncodeOutc
 	}
 	for i, p := range payloads {
 		done.Add(1)
-		j := &job{payload: p, idx: i, ctx: ctx, deliver: deliver, done: &done}
+		j := &job{payload: p, idx: i, ctx: ctx, deliver: deliver, done: &done, tr: trace.Start("encode")}
+		j.tr.Enqueued()
 		if err := e.submit(ctx, j); err != nil {
+			j.tr.Finish(err)
 			done.Done()
 			for k := i; k < len(payloads); k++ {
 				outcomes[k] = EncodeOutcome{Err: err}

@@ -25,6 +25,13 @@ type engineMetrics struct {
 	panics   *obs.Counter // frames whose worker panicked (recovered)
 	timeouts *obs.Counter // frames abandoned to FrameTimeout
 
+	// Per-frame end-to-end latency (queue wait + service), fed by traced
+	// frames only so every p99 bucket carries an exemplar naming the frame
+	// trace behind it. Aggregate per-worker stage histograms cover all
+	// frames regardless of tracing.
+	encodeFrameLatency *obs.Histogram
+	decodeFrameLatency *obs.Histogram
+
 	r      *obs.Registry
 	stages sync.Map // "<worker index>/<kind>" -> *obs.Stage
 }
@@ -52,7 +59,11 @@ func metrics() *engineMetrics {
 
 			panics:   r.Counter("engine.frame_panics"),
 			timeouts: r.Counter("engine.frame_timeouts"),
-			r:        r,
+
+			encodeFrameLatency: r.Histogram("engine.frame.encode.latency_seconds"),
+			decodeFrameLatency: r.Histogram("engine.frame.decode.latency_seconds"),
+
+			r: r,
 		}
 	})
 }

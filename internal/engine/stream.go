@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"sledzig/internal/core"
+	"sledzig/internal/obs/trace"
 )
 
 // StreamResult is one streamed encode outcome. Index is the zero-based
@@ -46,8 +47,10 @@ func (e *Engine) Stream(ctx context.Context, in <-chan []byte) <-chan StreamResu
 					break feed
 				}
 				inflight.Add(1)
-				j := &job{payload: p, idx: idx, ctx: ctx, deliver: deliver}
+				j := &job{payload: p, idx: idx, ctx: ctx, deliver: deliver, tr: trace.Start("encode")}
+				j.tr.Enqueued()
 				if err := e.submit(ctx, j); err != nil {
+					j.tr.Finish(err)
 					inflight.Done()
 					select {
 					case out <- StreamResult{Index: idx, Err: err}:

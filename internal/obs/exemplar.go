@@ -1,0 +1,61 @@
+package obs
+
+import "sync/atomic"
+
+// Exemplar links one histogram bucket back to the trace that produced a
+// representative observation — the OpenMetrics mechanism that lets a p99
+// latency bucket name the exact frame trace to look at.
+type Exemplar struct {
+	TraceID string  `json:"trace_id"`
+	Value   float64 `json:"value"`
+	UnixNS  int64   `json:"unix_ns,omitempty"`
+}
+
+// exemplarSet holds the latest exemplar per bucket. It is allocated lazily
+// on the first ObserveExemplar call, so histograms that never see traced
+// observations pay nothing.
+type exemplarSet struct {
+	slots [histBucketCount]atomic.Pointer[Exemplar]
+}
+
+// ObserveExemplar records v like Observe and additionally attaches an
+// exemplar (the trace ID of the frame that produced v) to the bucket v
+// lands in, overwriting the bucket's previous exemplar. An empty traceID
+// degrades to a plain Observe. Unlike Observe this allocates (one Exemplar,
+// plus the per-bucket set on first use) — call it only on traced frames.
+func (h *Histogram) ObserveExemplar(v float64, traceID string, unixNS int64) {
+	if h == nil {
+		return
+	}
+	if traceID == "" {
+		h.Observe(v)
+		return
+	}
+	i := bucketIndex(v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, floatBits(bitsFloat(old)+v)) {
+			break
+		}
+	}
+	set := h.exemplars.Load()
+	for set == nil {
+		h.exemplars.CompareAndSwap(nil, new(exemplarSet))
+		set = h.exemplars.Load()
+	}
+	set.slots[i].Store(&Exemplar{TraceID: traceID, Value: v, UnixNS: unixNS})
+}
+
+// exemplar returns the latest exemplar for bucket i, or nil.
+func (h *Histogram) exemplar(i int) *Exemplar {
+	if h == nil {
+		return nil
+	}
+	set := h.exemplars.Load()
+	if set == nil {
+		return nil
+	}
+	return set.slots[i].Load()
+}

@@ -10,6 +10,7 @@ import (
 	"net/http/pprof"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Snapshot is a point-in-time copy of every metric in a registry — the
@@ -102,6 +103,58 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return nil
 }
 
+// WriteOpenMetrics renders the registry in the OpenMetrics text format:
+// the same samples as WritePrometheus, but counters gain the mandated
+// _total suffix, histogram buckets carry exemplars when present
+// ("# {trace_id=...} value" suffixes linking latency buckets to frame
+// traces), and the output ends with the required "# EOF" marker.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	if r == nil {
+		_, err := fmt.Fprint(w, "# EOF\n")
+		return err
+	}
+	counters, gauges, histograms := r.names()
+	for _, n := range counters {
+		pn := PromName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s_total %d\n", pn, pn, r.Counter(n).Value()); err != nil {
+			return err
+		}
+	}
+	for _, n := range gauges {
+		pn := PromName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", pn, pn, formatFloat(r.Gauge(n).Value())); err != nil {
+			return err
+		}
+	}
+	for _, n := range histograms {
+		pn := PromName(n)
+		snap := r.Histogram(n).Snapshot()
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		var cum uint64
+		for _, b := range snap.Buckets {
+			cum += b.Count
+			line := fmt.Sprintf("%s_bucket{le=%q} %d", pn, formatFloat(b.UpperBound), cum)
+			if e := b.Exemplar; e != nil {
+				line += fmt.Sprintf(" # {trace_id=%q} %s", e.TraceID, formatFloat(e.Value))
+				if e.UnixNS > 0 {
+					line += fmt.Sprintf(" %s", formatFloat(float64(e.UnixNS)/1e9))
+				}
+			}
+			if _, err := fmt.Fprintln(w, line); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+			pn, snap.Count, pn, formatFloat(snap.Sum), pn, snap.Count); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprint(w, "# EOF\n")
+	return err
+}
+
 // formatFloat renders floats the way Prometheus clients expect: decimal
 // when reasonable, "+Inf"/"-Inf" spelled out.
 func formatFloat(v float64) string {
@@ -115,28 +168,77 @@ func formatFloat(v float64) string {
 	}
 }
 
-// PublishExpvar publishes the registry under the given expvar name (once;
-// expvar panics on duplicates, so repeated calls are ignored).
+// expvarPublished tracks names already handed to expvar, which is
+// process-global and panics on duplicates: the guard must span registries,
+// not just repeated calls on one (a second registry building a mux must
+// not crash the process — the first publication wins).
+var (
+	expvarMu        sync.Mutex
+	expvarPublished = map[string]bool{}
+)
+
+// PublishExpvar publishes the registry under the given expvar name. Only
+// the first publication per name across the whole process takes effect.
 func (r *Registry) PublishExpvar(name string) {
 	if r == nil {
 		return
 	}
-	r.expvarOnce.Do(func() {
-		expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
-	})
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvarPublished[name] {
+		return
+	}
+	expvarPublished[name] = true
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
 }
 
-// Handler serves the registry as Prometheus text format.
+// openMetricsContentType is the negotiated OpenMetrics media type.
+const openMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// Handler serves the registry as Prometheus text format, upgrading to
+// OpenMetrics (which carries histogram exemplars) when the client's Accept
+// header asks for application/openmetrics-text.
 func (r *Registry) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if strings.Contains(req.Header.Get("Accept"), "application/openmetrics-text") {
+			w.Header().Set("Content-Type", openMetricsContentType)
+			_ = r.WriteOpenMetrics(w)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = r.WritePrometheus(w)
 	})
 }
 
+// debugHandlers are extra endpoints other packages contribute to the
+// diagnostics mux (the trace package mounts /debug/traces this way, so obs
+// never imports it). Registration is idempotent per pattern: the first
+// handler for a pattern wins.
+var (
+	debugHandlersMu sync.Mutex
+	debugHandlers   = map[string]http.Handler{}
+)
+
+// RegisterDebugHandler contributes an endpoint to every mux NewMux builds
+// afterwards. Safe for concurrent use; registering the same pattern twice
+// keeps the first handler (NewMux would panic on duplicate mounts).
+func RegisterDebugHandler(pattern string, h http.Handler) {
+	if pattern == "" || h == nil {
+		return
+	}
+	debugHandlersMu.Lock()
+	defer debugHandlersMu.Unlock()
+	if _, dup := debugHandlers[pattern]; dup {
+		return
+	}
+	debugHandlers[pattern] = h
+}
+
 // NewMux builds the diagnostics mux a long-running binary mounts behind
-// -metrics-addr: /metrics (Prometheus), /debug/vars (expvar, including
-// the registry published as "sledzig"), and the /debug/pprof family.
+// -metrics-addr: /metrics (Prometheus/OpenMetrics), /debug/vars (expvar,
+// including the registry published as "sledzig"), the /debug/pprof family,
+// and any endpoints contributed via RegisterDebugHandler (the trace
+// package's /debug/traces).
 func (r *Registry) NewMux() *http.ServeMux {
 	r.PublishExpvar("sledzig")
 	mux := http.NewServeMux()
@@ -147,8 +249,20 @@ func (r *Registry) NewMux() *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	extra := make([]string, 0, 4)
+	debugHandlersMu.Lock()
+	for pattern, h := range debugHandlers {
+		mux.Handle(pattern, h)
+		extra = append(extra, pattern)
+	}
+	debugHandlersMu.Unlock()
+	sort.Strings(extra)
+	banner := "sledzig diagnostics: /metrics /debug/vars /debug/pprof/"
+	for _, p := range extra {
+		banner += " " + p
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "sledzig diagnostics: /metrics /debug/vars /debug/pprof/")
+		fmt.Fprintln(w, banner)
 	})
 	return mux
 }

@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestWriteOpenMetricsFormat checks the OpenMetrics divergences from the
+// classic exposition: the _total counter suffix, bucket exemplars linking
+// back to trace IDs, and the mandatory # EOF terminator.
+func TestWriteOpenMetricsFormat(t *testing.T) {
+	r := New()
+	r.Counter("decode.frames").Add(3)
+	r.Gauge("engine.queue_depth").Set(2)
+	h := r.Histogram("engine.frame.decode.latency_seconds")
+	h.ObserveExemplar(0.5, "00000000deadbeef", 1_700_000_000_000_000_000)
+	h.Observe(0.25)
+
+	var b strings.Builder
+	if err := r.WriteOpenMetrics(&b); err != nil {
+		t.Fatalf("WriteOpenMetrics: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"sledzig_decode_frames_total 3\n",
+		"sledzig_engine_queue_depth 2\n",
+		`# {trace_id="00000000deadbeef"} 0.5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("OpenMetrics output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Errorf("OpenMetrics output does not end with # EOF:\n%s", out)
+	}
+	// The untraced observation's bucket must carry no exemplar suffix.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, `le="0.25`) && strings.Contains(line, "trace_id") {
+			t.Errorf("untraced bucket carries an exemplar: %s", line)
+		}
+	}
+}
+
+// TestWriteOpenMetricsNilRegistry: a nil registry still writes a valid
+// (empty) exposition.
+func TestWriteOpenMetricsNilRegistry(t *testing.T) {
+	var r *Registry
+	var b strings.Builder
+	if err := r.WriteOpenMetrics(&b); err != nil {
+		t.Fatalf("WriteOpenMetrics on nil: %v", err)
+	}
+	if b.String() != "# EOF\n" {
+		t.Fatalf("nil registry exposition = %q, want \"# EOF\\n\"", b.String())
+	}
+}
+
+// TestObserveExemplarEmptyTraceIDDegrades: without a trace ID the
+// observation counts but attaches nothing (and allocates no exemplar set).
+func TestObserveExemplarEmptyTraceIDDegrades(t *testing.T) {
+	r := New()
+	h := r.Histogram("h.seconds")
+	h.ObserveExemplar(0.5, "", 0)
+	s := h.Snapshot()
+	if s.Count != 1 {
+		t.Fatalf("count %d, want 1", s.Count)
+	}
+	for _, b := range s.Buckets {
+		if b.Exemplar != nil {
+			t.Fatalf("exemplar attached without a trace ID: %+v", b.Exemplar)
+		}
+	}
+}
+
+// TestHandlerContentNegotiation: the /metrics handler upgrades to
+// OpenMetrics only when the Accept header asks for it.
+func TestHandlerContentNegotiation(t *testing.T) {
+	r := New()
+	r.Counter("decode.frames").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	get := func(accept string) (string, string) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, srv.URL, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		if _, err := io.Copy(&b, resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.Header.Get("Content-Type"), b.String()
+	}
+
+	ct, body := get("")
+	if !strings.Contains(ct, "version=0.0.4") || strings.Contains(body, "_total") {
+		t.Errorf("default exposition: content type %q, body:\n%s", ct, body)
+	}
+	ct, body = get("application/openmetrics-text; version=1.0.0")
+	if !strings.Contains(ct, "openmetrics-text") || !strings.Contains(body, "sledzig_decode_frames_total 1") || !strings.HasSuffix(body, "# EOF\n") {
+		t.Errorf("openmetrics exposition: content type %q, body:\n%s", ct, body)
+	}
+}
+
+// TestRegisterDebugHandlerFirstWins: duplicate registrations keep the
+// first handler, NewMux mounts it, and the banner advertises the pattern.
+func TestRegisterDebugHandlerFirstWins(t *testing.T) {
+	RegisterDebugHandler("/debug/testfirstwins", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("first"))
+	}))
+	RegisterDebugHandler("/debug/testfirstwins", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("second"))
+	}))
+	RegisterDebugHandler("", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {})) // ignored
+	RegisterDebugHandler("/debug/testnil", nil)                                                 // ignored
+
+	r := New()
+	srv := httptest.NewServer(r.NewMux())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/testfirstwins")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "first" {
+		t.Fatalf("duplicate registration replaced the first handler: %q", body)
+	}
+
+	resp, err = http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	banner, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(banner), "/debug/testfirstwins") {
+		t.Fatalf("banner does not advertise the contributed endpoint: %q", banner)
+	}
+}
+
+// TestConcurrentExposition hammers the registry with writers while readers
+// scrape every exposition format through the diagnostics mux — the -race
+// proof that snapshotting, exemplars and expvar publication are safe under
+// live traffic.
+func TestConcurrentExposition(t *testing.T) {
+	r := New()
+	srv := httptest.NewServer(r.NewMux())
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			c := r.Counter("decode.frames")
+			g := r.Gauge("engine.queue_depth")
+			h := r.Histogram("engine.frame.decode.latency_seconds")
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				g.Set(float64(i % 8))
+				if i%3 == 0 {
+					h.ObserveExemplar(float64(i%100)/1000, "00000000deadbeef", int64(i))
+				} else {
+					h.Observe(float64(i%100) / 1000)
+				}
+			}
+		}(w)
+	}
+
+	scrape := func(path, accept string) {
+		req, err := http.NewRequest(http.MethodGet, srv.URL+path, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d", path, resp.StatusCode)
+			return
+		}
+		if path == "/debug/vars" {
+			var v map[string]json.RawMessage
+			if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+				t.Errorf("expvar output is not JSON: %v", err)
+			}
+			return
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			t.Errorf("%s: %v", path, err)
+		}
+	}
+
+	var readers sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 8; i++ {
+				scrape("/metrics", "")
+				scrape("/metrics", "application/openmetrics-text")
+				scrape("/debug/vars", "")
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	writers.Wait()
+}

@@ -39,6 +39,10 @@ type Histogram struct {
 	buckets [histBucketCount]atomic.Uint64
 	count   atomic.Uint64
 	sum     atomic.Uint64 // float64 bits, CAS-updated
+
+	// exemplars is allocated on the first ObserveExemplar call; nil for
+	// histograms that never see traced observations (see exemplar.go).
+	exemplars atomic.Pointer[exemplarSet]
 }
 
 // bucketIndex maps a value to its bucket: 0 is underflow (v < 10^minExp),
@@ -135,10 +139,12 @@ type HistogramSnapshot struct {
 	Buckets []BucketCount `json:"buckets,omitempty"`
 }
 
-// BucketCount is one non-empty histogram bucket.
+// BucketCount is one non-empty histogram bucket. Exemplar, when present,
+// names the trace behind a representative observation in this bucket.
 type BucketCount struct {
-	UpperBound float64 `json:"le"`
-	Count      uint64  `json:"count"`
+	UpperBound float64   `json:"le"`
+	Count      uint64    `json:"count"`
+	Exemplar   *Exemplar `json:"exemplar,omitempty"`
 }
 
 // Snapshot copies the histogram's current state.
@@ -149,7 +155,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.Sum()}
 	for i := range h.buckets {
 		if n := h.buckets[i].Load(); n > 0 {
-			s.Buckets = append(s.Buckets, BucketCount{UpperBound: BucketUpperBound(i), Count: n})
+			s.Buckets = append(s.Buckets, BucketCount{UpperBound: BucketUpperBound(i), Count: n, Exemplar: h.exemplar(i)})
 		}
 	}
 	return s

@@ -92,8 +92,6 @@ type Registry struct {
 	histograms map[string]*Histogram
 
 	bus Bus
-
-	expvarOnce sync.Once
 }
 
 // New creates an empty registry.

@@ -1,0 +1,212 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+)
+
+// Exporter consumes retained frame traces. Implementations must be fast or
+// buffer internally; Finish calls them inline on the finishing goroutine.
+type Exporter interface {
+	ExportFrame(*Snapshot) error
+}
+
+// JSONLExporter streams retained traces to w as one JSON object per line.
+// The first write error sticks (later frames are dropped), mirroring the
+// obs sink contract.
+type JSONLExporter struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLExporter wraps w.
+func NewJSONLExporter(w io.Writer) *JSONLExporter {
+	return &JSONLExporter{enc: json.NewEncoder(w)}
+}
+
+// ExportFrame writes one line.
+func (e *JSONLExporter) ExportFrame(s *Snapshot) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err != nil {
+		return e.err
+	}
+	e.err = e.enc.Encode(s)
+	return e.err
+}
+
+// Flush returns the first encode/write error (lines are unbuffered).
+func (e *JSONLExporter) Flush() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// Dump is the flight-recorder dump format: the retained ring plus enough
+// context to interpret it offline.
+type Dump struct {
+	Reason     string      `json:"reason"`
+	DumpedAt   time.Time   `json:"dumped_at"`
+	Total      uint64      `json:"frames_recorded_total"`
+	Frames     []*Snapshot `json:"frames"`
+	SampleEach int         `json:"sample_every"`
+}
+
+// WriteDump writes the flight recorder as indented JSON.
+func (t *Tracer) WriteDump(w io.Writer, reason string) error {
+	if t == nil {
+		return ErrNoTracer
+	}
+	d := Dump{
+		Reason:     reason,
+		DumpedAt:   time.Now(),
+		Total:      t.flight.total(),
+		Frames:     t.Flight(),
+		SampleEach: t.cfg.SampleEvery,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// dumpFile writes the flight recorder dump to path, replacing any previous
+// dump (the latest fault wins).
+func (t *Tracer) dumpFile(path, reason string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := t.WriteDump(f, reason)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// DumpToFile writes the flight recorder dump to path.
+func (t *Tracer) DumpToFile(path, reason string) error {
+	if t == nil {
+		return ErrNoTracer
+	}
+	t.faultMu.Lock()
+	defer t.faultMu.Unlock()
+	return t.dumpFile(path, reason)
+}
+
+// chromeEvent is one Chrome trace-event ("X" complete events only).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`  // microseconds
+	Dur  float64        `json:"dur"` // microseconds
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object form of the trace-event format, which
+// Perfetto and chrome://tracing both load.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders frame traces in the Chrome trace-event format:
+// one row (tid) per engine worker (facade frames land on tid 0), a root
+// slice per frame, a queue-wait slice when the frame went through the
+// pool, and one slice per pipeline-stage span. Timestamps are normalized
+// to the earliest frame so the viewer opens at t=0.
+func WriteChromeTrace(w io.Writer, frames []*Snapshot) error {
+	var base int64
+	for i, f := range frames {
+		if i == 0 || f.StartUnixNS < base {
+			base = f.StartUnixNS
+		}
+	}
+	us := func(ns int64) float64 { return float64(ns) / 1e3 }
+	ct := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	for _, f := range frames {
+		tid := f.Worker + 1 // facade frames (worker -1) share row 0
+		start := f.StartUnixNS - base
+		args := map[string]any{"trace_id": f.TraceID}
+		if f.Error != "" {
+			args["error"] = f.Error
+		}
+		if f.Retained != "" {
+			args["retained"] = f.Retained
+		}
+		ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
+			Name: f.Kind, Cat: "frame", Ph: "X",
+			TS: us(start), Dur: us(f.TotalNS), PID: 1, TID: tid, Args: args,
+		})
+		if f.QueueWaitNS > 0 {
+			ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
+				Name: "queue_wait", Cat: "queue", Ph: "X",
+				TS: us(start), Dur: us(f.QueueWaitNS), PID: 1, TID: tid,
+				Args: map[string]any{"trace_id": f.TraceID},
+			})
+		}
+		for _, sp := range f.Spans {
+			args := map[string]any{"trace_id": f.TraceID}
+			if sp.Count > 1 {
+				args["count"] = sp.Count
+			}
+			ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
+				Name: sp.Name, Cat: "stage", Ph: "X",
+				TS: us(start + sp.StartNS), Dur: us(sp.DurNS), PID: 1, TID: tid,
+				Args: args,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(ct)
+}
+
+// registerHandlerOnce guards the /debug/traces mount (see SetDefault).
+var registerHandlerOnce sync.Once
+
+// Handler serves the default tracer's retained traces beside the
+// Prometheus exposition:
+//
+//	GET /debug/traces               retained traces as JSON
+//	GET /debug/traces?format=chrome Chrome trace-event export (Perfetto)
+//	GET /debug/traces?ring=flight   full flight recorder instead
+//
+// The handler reads the tracer at request time, so it can be mounted
+// before SetDefault and keeps working across tracer swaps.
+func Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t := Default()
+		if t == nil {
+			http.Error(w, "tracing disabled: install a tracer with trace.SetDefault", http.StatusServiceUnavailable)
+			return
+		}
+		frames := t.Retained()
+		if r.URL.Query().Get("ring") == "flight" {
+			frames = t.Flight()
+		}
+		if r.URL.Query().Get("format") == "chrome" {
+			w.Header().Set("Content-Type", "application/json")
+			if err := WriteChromeTrace(w, frames); err != nil {
+				http.Error(w, fmt.Sprintf("chrome export: %v", err), http.StatusInternalServerError)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Retained int         `json:"retained"`
+			Recorded uint64      `json:"frames_recorded_total"`
+			Frames   []*Snapshot `json:"frames"`
+		}{Retained: len(frames), Recorded: t.flight.total(), Frames: frames})
+	})
+}

@@ -1,0 +1,32 @@
+package trace
+
+import "sledzig/internal/obs"
+
+// traceMetrics is the tracer's own counter bundle, resolved lazily against
+// the current default obs registry (all handles are nil-safe no-ops when
+// metrics are off).
+type traceMetrics struct {
+	started      *obs.Counter
+	finished     *obs.Counter
+	retainedHead *obs.Counter
+	retainedErr  *obs.Counter
+	retainedSlow *obs.Counter
+	faultDumps   *obs.Counter
+	exportErrors *obs.Counter
+}
+
+var lazyMetrics obs.Lazy[*traceMetrics]
+
+func metrics() *traceMetrics {
+	return lazyMetrics.Get(func(r *obs.Registry) *traceMetrics {
+		return &traceMetrics{
+			started:      r.Counter("trace.frames.started"),
+			finished:     r.Counter("trace.frames.finished"),
+			retainedHead: r.Counter("trace.retained.head"),
+			retainedErr:  r.Counter("trace.retained.error"),
+			retainedSlow: r.Counter("trace.retained.slow"),
+			faultDumps:   r.Counter("trace.flight.dumps"),
+			exportErrors: r.Counter("trace.export.errors"),
+		}
+	})
+}

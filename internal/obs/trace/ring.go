@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// ring is the lock-free flight recorder: a fixed array of atomic snapshot
+// pointers plus a monotone ticket counter. Writers claim a slot with one
+// atomic add and publish the finished snapshot with one atomic store —
+// no mutex on the frame-finish path, so a panicking goroutine dumping the
+// ring can never deadlock against in-flight writers.
+type ring struct {
+	slots []atomic.Pointer[Snapshot]
+	next  atomic.Uint64
+}
+
+func (r *ring) init(n int) {
+	if n < 1 {
+		n = 1
+	}
+	r.slots = make([]atomic.Pointer[Snapshot], n)
+}
+
+// put publishes one snapshot, overwriting the oldest slot when full.
+func (r *ring) put(s *Snapshot) {
+	i := r.next.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(s)
+}
+
+// total returns how many snapshots were ever published.
+func (r *ring) total() uint64 { return r.next.Load() }
+
+// snapshot copies the retained snapshots, ordered by frame start time.
+// Reads race benignly with concurrent puts: each slot read is atomic, so
+// the result is always a set of complete snapshots (possibly missing the
+// very newest), which is what a post-mortem dump needs.
+func (r *ring) snapshot() []*Snapshot {
+	out := make([]*Snapshot, 0, len(r.slots))
+	for i := range r.slots {
+		if s := r.slots[i].Load(); s != nil {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].StartUnixNS < out[j].StartUnixNS })
+	return out
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"sledzig/internal/bits"
+	"sledzig/internal/obs/trace"
 )
 
 // serviceBits is the length of the SERVICE field that precedes the PSDU in
@@ -27,6 +28,11 @@ type Frame struct {
 	ScrambledBits []bits.Bit
 	// NumSymbols is the number of DATA OFDM symbols.
 	NumSymbols int
+
+	// Trace, when non-nil, receives one child span per synthesis stage
+	// (tx.encode → tx.interleave → tx.map → tx.ifft) when the frame is
+	// rendered. A nil Trace costs one nil check per stage.
+	Trace *trace.Frame
 }
 
 // Transmitter assembles standard 802.11 frames. The zero value is not
@@ -172,7 +178,9 @@ func (f *Frame) AppendWaveform(dst []complex128) ([]complex128, error) {
 	}
 	m := phy()
 	t0 := m.txEncode.Start()
+	mk := f.Trace.Begin("tx.encode")
 	coded, err := EncodeAndPuncture(f.ScrambledBits, f.Mode.CodeRate)
+	mk.End()
 	if err != nil {
 		return dst, err
 	}
@@ -181,35 +189,45 @@ func (f *Frame) AppendWaveform(dst []complex128) ([]complex128, error) {
 	s := txScratchPool.Get().(*txScratch)
 	defer txScratchPool.Put(s)
 	t0 = m.txInterleave.Start()
+	mk = f.Trace.Begin("tx.interleave")
 	s.inter = bits.Grow(s.inter, len(coded))
 	if err := f.Convention.InterleaveAllCInto(f.Mode.Modulation, coded, s.inter); err != nil {
+		mk.End()
 		return dst, err
 	}
+	mk.End()
 	m.txInterleave.Done(t0, len(coded)/8)
 
 	t0 = m.txMap.Start()
+	mk = f.Trace.Begin("tx.map")
 	nPts := len(s.inter) / f.Mode.Modulation.BitsPerSubcarrier()
 	if cap(s.pts) < nPts {
 		s.pts = make([]complex128, nPts)
 	}
 	s.pts = s.pts[:nPts]
 	if err := f.Convention.MapAllCInto(f.Mode.Modulation, s.inter, s.pts); err != nil {
+		mk.End()
 		return dst, err
 	}
+	mk.End()
 	m.txMap.Done(t0, len(s.inter)/8)
 
 	t0 = m.txIFFT.Start()
+	mk = f.Trace.Begin("tx.ifft")
 	dst = AppendPreamble(dst)
 	dst, err = AppendSymbol(dst, sigPts, 0)
 	if err != nil {
+		mk.End()
 		return dst, err
 	}
 	for sym := 0; sym < f.NumSymbols; sym++ {
 		dst, err = AppendSymbol(dst, s.pts[sym*NumDataSubcarriers:(sym+1)*NumDataSubcarriers], sym+1)
 		if err != nil {
+			mk.End()
 			return dst, err
 		}
 	}
+	mk.End()
 	m.txIFFT.Done(t0, 0)
 	m.txFrames.Inc()
 	m.txSymbols.Add(uint64(1 + f.NumSymbols))

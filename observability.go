@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"sledzig/internal/obs"
+	"sledzig/internal/obs/trace"
 )
 
 // Observability. The library instruments its whole pipeline — encoder and
@@ -55,3 +56,62 @@ func NewEventRing(capacity int) *obs.RingSink { return obs.NewRingSink(capacity)
 // NewEventJSONL creates a sink streaming pipeline events to w as JSON
 // lines.
 func NewEventJSONL(w io.Writer) *obs.JSONLSink { return obs.NewJSONLSink(w) }
+
+// Tracing. Beyond aggregate metrics the pipeline supports per-frame
+// tracing: a root span per encode or decode with child spans for every
+// pipeline stage, queue-wait vs. service time through the engine worker
+// pool, head sampling plus tail-based capture (failed, slow, panicked and
+// timed-out frames are always retained), a lock-free flight recorder of
+// the last N frame traces dumped as JSON on engine faults, and exporters
+// in JSONL and Chrome trace-event format (loadable at ui.perfetto.dev).
+// Without a tracer installed every trace point is a nil check — the hot
+// paths stay allocation-free.
+//
+//	sledzig.SetDefaultTracer(sledzig.NewTracer(sledzig.TraceConfig{
+//	    SampleEvery:      100,                   // head-sample 1% of frames
+//	    LatencyThreshold: 20 * time.Millisecond, // retain slow frames
+//	    FaultDumpPath:    "flight.json",         // dump ring on panic/timeout
+//	}))
+//	... run traffic; curl :9090/debug/traces?format=chrome ...
+
+// Tracer issues per-frame traces and owns the sampling, retention and
+// flight-recorder machinery (Flight, Retained, AddExporter, WriteDump).
+type Tracer = trace.Tracer
+
+// TraceConfig selects the tracer's sampling and retention policy.
+type TraceConfig = trace.Config
+
+// TraceSnapshot is one finished frame trace: trace ID, kind, worker,
+// queue-wait/service/total nanoseconds and the per-stage spans.
+type TraceSnapshot = trace.Snapshot
+
+// TraceExporter consumes retained frame traces (see NewTraceJSONL).
+type TraceExporter = trace.Exporter
+
+// TraceDump is the flight-recorder dump format written on engine faults.
+type TraceDump = trace.Dump
+
+// NewTracer builds a tracer with the given policy.
+func NewTracer(cfg TraceConfig) *Tracer { return trace.New(cfg) }
+
+// SetDefaultTracer installs t process-wide: the engine worker pool and the
+// facade encode/decode paths pick it up, and /debug/traces appears on the
+// metrics mux. Passing nil turns tracing back off.
+func SetDefaultTracer(t *Tracer) { trace.SetDefault(t) }
+
+// DefaultTracer returns the installed tracer, or nil when tracing is off.
+func DefaultTracer() *Tracer { return trace.Default() }
+
+// TraceJSONL streams retained frame traces as JSON lines (see
+// NewTraceJSONL).
+type TraceJSONL = trace.JSONLExporter
+
+// NewTraceJSONL creates an exporter streaming every retained frame trace
+// to w as JSON lines (first write error sticks; check Flush).
+func NewTraceJSONL(w io.Writer) *TraceJSONL { return trace.NewJSONLExporter(w) }
+
+// WriteChromeTrace renders frame traces in the Chrome trace-event format,
+// loadable in Perfetto (ui.perfetto.dev) and chrome://tracing.
+func WriteChromeTrace(w io.Writer, frames []*TraceSnapshot) error {
+	return trace.WriteChromeTrace(w, frames)
+}

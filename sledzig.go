@@ -31,6 +31,7 @@ import (
 
 	"sledzig/internal/bits"
 	"sledzig/internal/core"
+	"sledzig/internal/obs/trace"
 	"sledzig/internal/wifi"
 )
 
@@ -188,24 +189,45 @@ type Frame struct {
 
 // Encode builds the frame carrying payload.
 func (e *Encoder) Encode(payload []byte) (*Frame, error) {
-	res, err := e.enc.Encode(payload)
+	// Root frame trace (nil, and free, with no tracer installed). The
+	// shared core encoder is copied by value so setting the trace never
+	// races concurrent Encode calls on the same Encoder.
+	tf := trace.Start("encode")
+	enc := *e.enc
+	enc.Trace = tf
+	res, err := enc.Encode(payload)
+	tf.Finish(err)
 	if err != nil {
 		return nil, wrapEncodeErr(err)
 	}
+	// Detach the closed trace: waveform synthesis gets its own root.
+	res.Frame.Trace = nil
 	return &Frame{res: res}, nil
 }
 
 // Waveform renders the complete PPDU (preamble + SIGNAL + DATA) at
 // 20 MS/s complex baseband.
 func (f *Frame) Waveform() ([]complex128, error) {
-	return f.res.Frame.Waveform()
+	// Trace synthesis as its own root frame, on a value copy of the
+	// wifi.Frame so concurrent renders of one Frame never race.
+	tf := trace.Start("waveform")
+	wf := *f.res.Frame
+	wf.Trace = tf
+	wave, err := wf.Waveform()
+	tf.Finish(err)
+	return wave, err
 }
 
 // AppendWaveform renders the PPDU appended to dst and returns the extended
 // slice — the allocation-lean variant for callers that render many frames
 // into recycled buffers. The samples are identical to Waveform's.
 func (f *Frame) AppendWaveform(dst []complex128) ([]complex128, error) {
-	return f.res.Frame.AppendWaveform(dst)
+	tf := trace.Start("waveform")
+	wf := *f.res.Frame
+	wf.Trace = tf
+	out, err := wf.AppendWaveform(dst)
+	tf.Finish(err)
+	return out, err
 }
 
 // TransmitBits returns the unscrambled DATA-field bits — what a completely
@@ -265,7 +287,9 @@ func (d *Decoder) Decode(waveform []complex128) ([]byte, Channel, error) {
 // its PSDU — useful for baseline comparisons. Like Decode it is a thin
 // compatibility wrapper; the SledZig-specific stages are skipped.
 func (d *Decoder) DecodeNormal(waveform []complex128) ([]byte, error) {
-	rx, err := wifi.Receiver{Seed: d.cfg.ScramblerSeed, Convention: d.cfg.Convention, Resync: d.cfg.Resilient}.Receive(waveform)
+	tf := trace.Start("decode")
+	rx, err := wifi.Receiver{Seed: d.cfg.ScramblerSeed, Convention: d.cfg.Convention, Resync: d.cfg.Resilient, Trace: tf}.Receive(waveform)
+	tf.Finish(err)
 	if err != nil {
 		return nil, wrapDecodeErr(err)
 	}
