@@ -1,13 +1,20 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test race bench bench-json bench-compare bench-baseline experiments selfcheck cover fmt fmt-check vet sledvet lint fuzz-smoke chaos trace-smoke
+.PHONY: test race bench bench-json bench-compare bench-baseline experiments selfcheck conformance cover fmt fmt-check vet sledvet lint fuzz-smoke chaos trace-smoke
 
 # Benchmarks gated by the checked-in allocation baseline (hot encode and
-# decode paths).
-BENCH_GATED = BenchmarkSledZigEncode1500B$$|BenchmarkCoreEncodeTo1500B$$|BenchmarkWaveformSynthesis$$|BenchmarkAppendWaveform$$|BenchmarkReceiverDecode1500B$$|BenchmarkViterbiDecodeInto$$|BenchmarkViterbiDecodeSoftInto$$|BenchmarkDepunctureInto$$|BenchmarkFFTPlanForward64$$
+# decode paths, plus every codec backend through the public facade).
+BENCH_GATED = BenchmarkSledZigEncode1500B$$|BenchmarkCoreEncodeTo1500B$$|BenchmarkWaveformSynthesis$$|BenchmarkAppendWaveform$$|BenchmarkReceiverDecode1500B$$|BenchmarkViterbiDecodeInto$$|BenchmarkViterbiDecodeSoftInto$$|BenchmarkDepunctureInto$$|BenchmarkFFTPlanForward64$$|BenchmarkCodecOOKEncode400B$$|BenchmarkCodecOfdmFiEncode400B$$
 
-test:
+test: conformance
 	go test ./...
+
+# The codec-conformance suite on its own: every registered backend against
+# the shared contract (round-trip, band-power floor, typed errors, claimed
+# allocation bounds — see docs/codecs.md). `make test` covers this too;
+# the explicit target is the fast loop while developing a backend.
+conformance:
+	go test -run 'TestCodecConformance$$|TestCodecInstancesIndependent$$' -v ./internal/codec/
 
 race:
 	go test -race ./...
@@ -76,6 +83,7 @@ fuzz-smoke:
 	go test -run '^$$' -fuzz '^FuzzParseMACFrame$$' -fuzztime $(FUZZTIME) ./internal/wifi
 	go test -run '^$$' -fuzz '^FuzzParseSignalField$$' -fuzztime $(FUZZTIME) ./internal/wifi
 	go test -run '^$$' -fuzz '^FuzzViterbiDecode$$' -fuzztime $(FUZZTIME) ./internal/wifi
+	go test -run '^$$' -fuzz '^FuzzCodecRegistry$$' -fuzztime $(FUZZTIME) ./internal/codec
 
 # Fault-injection soak of the decode pipeline (see docs/robustness.md).
 # Exits non-zero on any untyped error, escaped panic, or goroutine leak.

@@ -311,7 +311,7 @@ func BenchmarkFullRoundTrip(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, _, err := dec.Decode(wave); err != nil {
+		if _, err := dec.Decode(wave); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -689,3 +689,61 @@ func BenchmarkCTCEncode(b *testing.B) {
 		}
 	}
 }
+
+// benchmarkCodecEncode drives a registry backend through the public
+// facade: Frame construction plus waveform render, the per-frame cost a
+// codec-agnostic caller pays.
+func benchmarkCodecEncode(b *testing.B, name string, payloadLen int) {
+	enc, err := NewEncoder(Config{Channel: CH2, Codec: name})
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := bits.RandomBytes(rand.New(rand.NewSource(1)), payloadLen)
+	b.SetBytes(int64(payloadLen))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame, err := enc.Encode(payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := frame.Waveform(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The per-backend encode benchmarks sit in the allocation-gated set next
+// to BenchmarkSledZigEncode1500B, so a new backend cannot creep
+// allocations into the shared facade path unnoticed.
+func BenchmarkCodecOOKEncode400B(b *testing.B)    { benchmarkCodecEncode(b, CodecOOK, 400) }
+func BenchmarkCodecOfdmFiEncode400B(b *testing.B) { benchmarkCodecEncode(b, CodecOfdmFi, 400) }
+
+func benchmarkCodecDecode(b *testing.B, name string, payloadLen int) {
+	cfg := Config{Channel: CH2, Codec: name}
+	enc, err := NewEncoder(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec, err := NewDecoder(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	frame, err := enc.Encode(bits.RandomBytes(rand.New(rand.NewSource(1)), payloadLen))
+	if err != nil {
+		b.Fatal(err)
+	}
+	wave, err := frame.Waveform()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(payloadLen))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dec.Decode(wave); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCodecOOKDecode400B(b *testing.B)    { benchmarkCodecDecode(b, CodecOOK, 400) }
+func BenchmarkCodecOfdmFiDecode400B(b *testing.B) { benchmarkCodecDecode(b, CodecOfdmFi, 400) }

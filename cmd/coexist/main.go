@@ -17,6 +17,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	mod := flag.String("mod", "qam64", "modulation: qam16, qam64, qam256")
+	codecName := flag.String("codec", "", "coexistence codec for the protected variant: sledzig (default), ook-ctc, ofdmfi")
 	ch := flag.Int("ch", 3, "protected overlapped channel (1-4)")
 	dwz := flag.Float64("dwz", 4, "WiFi Tx to ZigBee Rx distance (m)")
 	dz := flag.Float64("dz", 1, "ZigBee link distance (m)")
@@ -65,6 +66,7 @@ func main() {
 	base := sledzig.CoexistenceConfig{
 		Modulation:  m,
 		CodeRate:    rate,
+		Codec:       *codecName,
 		Channel:     sledzig.Channel(*ch),
 		DWZ:         *dwz,
 		DZ:          *dz,
@@ -109,6 +111,9 @@ func main() {
 		name := "normal WiFi"
 		if useSled {
 			name = "SledZig    "
+			if *codecName != "" && *codecName != "sledzig" {
+				name = fmt.Sprintf("%-11s", *codecName)
+			}
 		}
 		if *asJSON {
 			key := "normal"

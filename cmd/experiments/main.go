@@ -43,7 +43,9 @@ func main() {
 	log.SetFlags(0)
 	quick := flag.Bool("quick", false, "shorter simulations (less stable statistics)")
 	seed := flag.Int64("seed", 1, "random seed for all experiments")
-	only := flag.String("only", "", "run a single experiment (theory, table2, table34, minsnr, fig5b, fig11..fig17, baselines, fleet, ht40, ccamode, percurve, phylevel, engine)")
+	only := flag.String("only", "", "run a single experiment (theory, table2, table34, minsnr, fig5b, fig11..fig17, baselines, codecs, fleet, ht40, ccamode, percurve, phylevel, engine)")
+	codecName := flag.String("codec", "", "restrict the codecs experiment to one backend (sledzig, ook-ctc, ofdmfi)")
+	codecManifest := flag.String("codec-manifest", "", "write the codecs experiment's comparison rows as JSON to this file")
 	manifestPath := flag.String("manifest", "", "write a JSON run manifest (config, seed, go version, wall time, metrics snapshot) to this file")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while the experiments run")
 	traceJSONL := flag.String("trace-jsonl", "", "enable per-frame tracing and stream retained frame traces here as JSON lines")
@@ -266,6 +268,44 @@ func main() {
 				100*cmp.NullCapacityLoss, "null (EmBee)", false)
 			fmt.Printf("  %-22s%12.1f%13s%16s%12v\n", name, cmp.GainDropDB,
 				fmt.Sprintf("1/%.1f range", cmp.GainRangeShrink), "gain cut", true)
+		}
+		return nil
+	})
+
+	run("codecs", func() error {
+		frames := 20
+		if *quick {
+			frames = 6
+		}
+		rows, err := exp.CompareCodecs(exp.CodecCompareOptions{
+			Convention: conv,
+			Seed:       *seed,
+			Frames:     frames,
+			Only:       *codecName,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println("Codec comparison (paper section VI) — registry backends under one contract")
+		fmt.Println("QAM-16 r=1/2, CH2, 100 B payloads, 15 dB AWGN")
+		fmt.Print(exp.FormatCodecTable(rows))
+		fmt.Println("  (SledZig: whole-frame drop at a few % WiFi cost; ook-ctc protects only its")
+		fmt.Println("  low symbols; ofdmfi drops further but carries no WiFi data at all)")
+		if *codecManifest != "" {
+			f, err := os.Create(*codecManifest)
+			if err != nil {
+				return err
+			}
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rows); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "codec manifest written to %s\n", *codecManifest)
 		}
 		return nil
 	})

@@ -91,12 +91,12 @@ func main() {
 		if err != nil {
 			return err
 		}
-		got, ch, err := dec.Decode(wave)
+		res, err := dec.Decode(wave)
 		if err != nil {
 			return err
 		}
-		if ch != sledzig.CH2 || string(got) != string(payload) {
-			return fmt.Errorf("round trip mismatch (channel %v)", ch)
+		if res.Channel != sledzig.CH2 || string(res.Payload) != string(payload) {
+			return fmt.Errorf("round trip mismatch (channel %v)", res.Channel)
 		}
 		return nil
 	})

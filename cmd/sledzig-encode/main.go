@@ -86,10 +86,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	got, detected, err := dec.Decode(wave)
+	res, err := dec.Decode(wave)
 	if err != nil {
 		log.Fatal(err)
 	}
+	got, detected := res.Payload, res.Channel
 	ok = len(got) == len(payload)
 	for i := range payload {
 		if !ok || got[i] != payload[i] {

@@ -35,13 +35,17 @@ type EngineConfig struct {
 // the pool, per-stage pipeline spans, and tail capture of failed, slow,
 // panicked or timed-out frames in the flight recorder.
 type Engine struct {
-	e *engine.Engine
+	e     *engine.Engine
+	codec string
 }
 
-// NewEngine validates the configuration and starts the worker pool. The
-// plan comes from the same process-wide cache NewEncoder uses, so engines
-// and encoders with identical parameters share constraint state.
+// NewEngine resolves the config defaults, validates it, and starts the
+// worker pool for the selected codec backend. For the default SledZig
+// codec the plan comes from the same process-wide cache NewEncoder uses,
+// so engines and encoders with identical parameters share constraint
+// state; other codecs give each worker its own backend instance.
 func NewEngine(cfg EngineConfig) (*Engine, error) {
+	cfg.Config = cfg.Config.WithDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -57,11 +61,23 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		Queue:        cfg.Queue,
 		FrameTimeout: cfg.FrameTimeout,
 		Resilient:    cfg.Resilient,
+		Codec:        cfg.Codec,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{e: e}, nil
+	return &Engine{e: e, codec: cfg.Codec}, nil
+}
+
+// frameFromProduct maps an engine product to the public Frame.
+func (e *Engine) frameFromProduct(p *engine.Product) *Frame {
+	if p == nil {
+		return nil
+	}
+	if p.Generic != nil {
+		return &Frame{enc: p.Generic, cdc: e.codec}
+	}
+	return &Frame{res: p.Core}
 }
 
 // Workers returns the resolved worker count.
@@ -78,7 +94,7 @@ func (e *Engine) EncodeBatch(ctx context.Context, payloads [][]byte) ([]*Frame, 
 	}
 	frames := make([]*Frame, len(results))
 	for i, r := range results {
-		frames[i] = &Frame{res: r}
+		frames[i] = e.frameFromProduct(r)
 	}
 	return frames, nil
 }
@@ -102,7 +118,7 @@ func (e *Engine) EncodeEach(ctx context.Context, payloads [][]byte) []EncodeOutc
 	for i, r := range results {
 		out[i].Err = wrapEncodeErr(r.Err)
 		if r.Result != nil {
-			out[i].Frame = &Frame{res: r.Result}
+			out[i].Frame = e.frameFromProduct(r.Result)
 		}
 	}
 	return out
@@ -129,7 +145,7 @@ func (e *Engine) Stream(ctx context.Context, in <-chan []byte) <-chan StreamFram
 		for r := range src {
 			sf := StreamFrame{Index: r.Index, Err: wrapEncodeErr(r.Err)}
 			if r.Result != nil {
-				sf.Frame = &Frame{res: r.Result}
+				sf.Frame = e.frameFromProduct(r.Result)
 			}
 			select {
 			case out <- sf:
@@ -146,6 +162,7 @@ func decodeResultFrom(r *engine.DecodeResult) *DecodeResult {
 	return &DecodeResult{
 		Payload:       r.Payload,
 		Channel:       Channel(r.Channel),
+		Codec:         r.Codec,
 		Modulation:    Modulation(r.Mode.Modulation),
 		CodeRate:      CodeRate(r.Mode.CodeRate),
 		ScramblerSeed: r.ScramblerSeed,

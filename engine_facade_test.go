@@ -88,14 +88,14 @@ func TestEngineStreamRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Waveform %d: %v", sf.Index, err)
 		}
-		got, ch, err := dec.Decode(wave)
+		res, err := dec.Decode(wave)
 		if err != nil {
 			t.Fatalf("Decode %d: %v", sf.Index, err)
 		}
-		if ch != CH1 {
-			t.Fatalf("frame %d: detected %v, want CH1", sf.Index, ch)
+		if res.Channel != CH1 {
+			t.Fatalf("frame %d: detected %v, want CH1", sf.Index, res.Channel)
 		}
-		want := payloads[sf.Index]
+		got, want := res.Payload, payloads[sf.Index]
 		if len(got) != len(want) {
 			t.Fatalf("frame %d: payload length %d != %d", sf.Index, len(got), len(want))
 		}
@@ -226,12 +226,12 @@ func TestDecodeDetailed(t *testing.T) {
 		t.Fatal("ScramblerSeed not reported")
 	}
 
-	// The thin wrappers agree with the detailed result.
-	p2, ch2, err := dec.Decode(wave)
+	// The deprecated thin wrapper agrees with the detailed result.
+	p2, ch2, err := dec.DecodePayload(wave)
 	if err != nil {
-		t.Fatalf("Decode: %v", err)
+		t.Fatalf("DecodePayload: %v", err)
 	}
 	if string(p2) != string(payload) || ch2 != CH3 {
-		t.Fatalf("Decode disagrees with DecodeDetailed: %q on %v", p2, ch2)
+		t.Fatalf("DecodePayload disagrees with Decode: %q on %v", p2, ch2)
 	}
 }

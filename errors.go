@@ -4,20 +4,21 @@ import (
 	"errors"
 	"fmt"
 
+	"sledzig/internal/codec"
 	"sledzig/internal/core"
 	"sledzig/internal/engine"
 	"sledzig/internal/wifi"
 )
 
 // Sentinel errors of the public API. Every error returned by NewEncoder,
-// Encode, Decode, DecodeDetailed and the Engine wraps one of these (or is
+// NewDecoder, Encode, Decode and the Engine wraps one of these (or is
 // a plain internal error for conditions outside this taxonomy), so callers
 // classify failures with errors.Is instead of parsing messages:
 //
-//	payload, ch, err := dec.Decode(wave)
+//	res, err := dec.Decode(wave)
 //	switch {
 //	case errors.Is(err, sledzig.ErrNoProtectedChannel):
-//	    // standard WiFi frame — fall back to DecodeNormal
+//	    // standard WiFi frame — retry with sledzig.AsStandardFrame()
 //	case errors.Is(err, sledzig.ErrNoPreamble):
 //	    // capture too short / not a PPDU
 //	}
@@ -101,6 +102,10 @@ func wrapDecodeErr(err error) error {
 		return fmt.Errorf("%w: %w", ErrNoProtectedChannel, err)
 	case errors.Is(err, core.ErrExtraBitLayout), errors.Is(err, core.ErrConstraintUnsatisfied):
 		return fmt.Errorf("%w: %w", ErrExtraBitMismatch, err)
+	case errors.Is(err, codec.ErrDecode):
+		return fmt.Errorf("%w: %w", ErrDemodulation, err)
+	case errors.Is(err, codec.ErrUnknownCodec):
+		return fmt.Errorf("%w: %w", ErrInvalidConfig, err)
 	}
 	return wrapEngineErr(err)
 }

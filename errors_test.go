@@ -43,14 +43,14 @@ func TestErrNoPreambleReachable(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewDecoder: %v", err)
 	}
-	if _, _, err := dec.Decode(make([]complex128, 50)); !errors.Is(err, ErrNoPreamble) {
+	if _, err := dec.Decode(make([]complex128, 50)); !errors.Is(err, ErrNoPreamble) {
 		t.Fatalf("Decode(short): got %v, want ErrNoPreamble", err)
 	}
 
 	// Truncated mid-PPDU: the SIGNAL field promises more symbols than the
 	// capture holds.
 	wave := encodeTestWaveform(t, Config{Channel: CH2}, 100)
-	if _, _, err := dec.Decode(wave[:len(wave)-wifi.SymbolLength]); !errors.Is(err, ErrNoPreamble) {
+	if _, err := dec.Decode(wave[:len(wave)-wifi.SymbolLength]); !errors.Is(err, ErrNoPreamble) {
 		t.Fatalf("Decode(truncated): got %v, want ErrNoPreamble", err)
 	}
 }
@@ -86,7 +86,7 @@ func TestErrBadSignalFieldReachable(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewDecoder: %v", err)
 	}
-	if _, _, err := dec.Decode(wave); !errors.Is(err, ErrBadSignalField) {
+	if _, err := dec.Decode(wave); !errors.Is(err, ErrBadSignalField) {
 		t.Fatalf("Decode(zeroed SIGNAL): got %v, want ErrBadSignalField", err)
 	}
 }
@@ -106,7 +106,7 @@ func TestErrNoProtectedChannelReachable(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewDecoder: %v", err)
 	}
-	if _, _, err := dec.Decode(wave); !errors.Is(err, ErrNoProtectedChannel) {
+	if _, err := dec.Decode(wave); !errors.Is(err, ErrNoProtectedChannel) {
 		t.Fatalf("Decode(standard frame): got %v, want ErrNoProtectedChannel", err)
 	}
 	// DecodeNormal remains the escape hatch for such frames.
@@ -125,7 +125,7 @@ func TestErrExtraBitMismatchReachable(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewDecoder: %v", err)
 	}
-	if _, _, err := dec.Decode(wave); !errors.Is(err, ErrExtraBitMismatch) {
+	if _, err := dec.Decode(wave); !errors.Is(err, ErrExtraBitMismatch) {
 		t.Fatalf("Decode(convention mismatch): got %v, want ErrExtraBitMismatch", err)
 	}
 }

@@ -29,11 +29,11 @@ func ExampleNewEncoder() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	payload, ch, err := dec.Decode(wave)
+	res, err := dec.Decode(wave)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%s via %v, %.2f%% WiFi overhead\n", payload, ch, 100*enc.OverheadFraction())
+	fmt.Printf("%s via %v, %.2f%% WiFi overhead\n", res.Payload, res.Channel, 100*enc.OverheadFraction())
 	// Output: hello via CH2, 12.96% WiFi overhead
 }
 

@@ -47,9 +47,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	got, ch, err := dec.Decode(wave)
+	res, err := dec.Decode(wave)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("receiver detected protected channel %v and recovered %q\n", ch, got)
+	fmt.Printf("receiver detected protected channel %v and recovered %q\n", res.Channel, res.Payload)
 }

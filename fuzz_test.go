@@ -109,9 +109,9 @@ func FuzzDecodeWaveform(f *testing.F) {
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		w := bytesToWave(data)
-		_, _, derr := dec.Decode(w)
+		_, derr := dec.Decode(w)
 		assertTypedDecodeErr(t, derr)
-		_, _, derr = resilient.Decode(w)
+		_, derr = resilient.Decode(w)
 		assertTypedDecodeErr(t, derr)
 		_, nerr := dec.DecodeNormal(w)
 		assertTypedDecodeErr(t, nerr)
@@ -158,7 +158,7 @@ func FuzzSignalField(f *testing.F) {
 				w[i] += complex(0.05, -0.05)
 			}
 		}
-		_, _, derr := dec.Decode(w)
+		_, derr := dec.Decode(w)
 		assertTypedDecodeErr(t, derr)
 	})
 }

@@ -1,0 +1,78 @@
+package codec
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"sledzig/internal/fault"
+)
+
+// complexToBytes packs a waveform as little-endian float64 (re, im) pairs
+// so fault-corrupted captures can seed the byte-oriented fuzz corpus.
+func complexToBytes(wave []complex128) []byte {
+	out := make([]byte, 16*len(wave))
+	for i, v := range wave {
+		binary.LittleEndian.PutUint64(out[16*i:], math.Float64bits(real(v)))
+		binary.LittleEndian.PutUint64(out[16*i+8:], math.Float64bits(imag(v)))
+	}
+	return out
+}
+
+func bytesToComplex(data []byte) []complex128 {
+	wave := make([]complex128, len(data)/16)
+	for i := range wave {
+		re := math.Float64frombits(binary.LittleEndian.Uint64(data[16*i:]))
+		im := math.Float64frombits(binary.LittleEndian.Uint64(data[16*i+8:]))
+		wave[i] = complex(re, im)
+	}
+	return wave
+}
+
+// FuzzCodecRegistry drives arbitrary waveforms through every registered
+// backend's Decode. The corpus is seeded with fault-injector corruptions
+// of each backend's own frames — the hostile captures the paper's testbed
+// produces — and the invariant is the decode contract: no panic, no hang,
+// and every failure inside the typed-error taxonomy.
+func FuzzCodecRegistry(f *testing.F) {
+	p := conformanceParams()
+	for bi, name := range Names() {
+		c, err := New(name, p)
+		if err != nil {
+			f.Fatalf("New(%q): %v", name, err)
+		}
+		enc, err := c.Encode([]byte("fuzz corpus seed payload"))
+		if err != nil {
+			f.Fatalf("%s: Encode: %v", name, err)
+		}
+		f.Add(byte(bi), complexToBytes(enc.Waveform))
+		for seed := int64(1); seed <= 3; seed++ {
+			chain := fault.RandomChain(seed, 2)
+			f.Add(byte(bi), complexToBytes(chain.Apply(enc.Waveform)))
+		}
+	}
+	f.Add(byte(0), []byte{})
+	f.Add(byte(1), make([]byte, 160))
+
+	f.Fuzz(func(t *testing.T, which byte, data []byte) {
+		if len(data) > 1<<21 { // bound memory, not coverage
+			return
+		}
+		names := Names()
+		name := names[int(which)%len(names)]
+		c, err := New(name, p)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		dec, err := c.Decode(bytesToComplex(data))
+		if err != nil {
+			if !isTypedDecodeErr(err) {
+				t.Fatalf("%s: error outside the typed taxonomy: %v", name, err)
+			}
+			return
+		}
+		if len(dec.Payload) == 0 {
+			t.Fatalf("%s: Decode returned success with an empty payload", name)
+		}
+	})
+}

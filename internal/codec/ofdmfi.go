@@ -1,0 +1,280 @@
+package codec
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"sledzig/internal/bits"
+	"sledzig/internal/core"
+	"sledzig/internal/dsp"
+	"sledzig/internal/obs/trace"
+	"sledzig/internal/wifi"
+)
+
+func init() {
+	Register("ofdmfi", func(p Params) (Codec, error) {
+		return newOfdmFi(p)
+	})
+}
+
+const (
+	// ofdmFiGroupSize data subcarriers share one message chip, giving the
+	// RSSI-grade receiver 4 x 312.5 kHz = 1.25 MHz of power per chip.
+	ofdmFiGroupSize = 4
+	// ofdmFiLoAmp is the "low" subcarrier amplitude: power 1/16, a 12 dB
+	// per-subcarrier drop before leakage.
+	ofdmFiLoAmp = 0.25
+	// ofdmFiMaxSymbols bounds one frame (about 16 ms of airtime), standing
+	// in for the PLCP LENGTH bound a standards frame would have.
+	ofdmFiMaxSymbols = 4096
+	invSqrt2         = 0.7071067811865476
+)
+
+// ofdmFi is an OfdmFi-style message-embedding backend: the frame is an
+// 802.11 preamble (so WiFi neighbours defer to it) followed by OFDM
+// symbols whose subcarrier power pattern IS the message. The 48 data
+// subcarriers split into 12 groups of 4; each unprotected group carries
+// one chip per symbol (high amplitude = bit 1, low = bit 0), readable by
+// narrowband RSSI sampling of the group's 1.25 MHz slice. Groups and
+// pilots overlapping the protected ZigBee channel are held at the low
+// amplitude for the whole frame, so the band-power promise covers every
+// symbol — but, unlike SledZig, the frame carries no WiFi payload at
+// all: the entire DATA field is spent on the embedded message
+// (OverheadFraction 1).
+//
+// The embedded message is framed as a 16-bit little-endian byte length,
+// the payload bytes, and a CRC-8, all LSB-first per byte.
+type ofdmFi struct {
+	params Params
+	window map[int]bool // signed subcarrier index -> in protected band
+	groups [][]int      // 12 groups of 4 data subcarriers, ascending
+	msg    []int        // group indices that carry message chips
+	refPil []int        // pilot subcarriers outside the protected band
+	tr     *trace.Frame
+}
+
+func newOfdmFi(p Params) (*ofdmFi, error) {
+	if !p.Channel.Valid() {
+		return nil, fmt.Errorf("codec: ofdmfi needs a protected channel, got %d", int(p.Channel))
+	}
+	window := map[int]bool{}
+	for _, k := range p.Channel.SubcarrierWindow() {
+		window[k] = true
+	}
+	data := wifi.DataSubcarriers()
+	c := &ofdmFi{params: p, window: window}
+	for g := 0; g+ofdmFiGroupSize <= len(data); g += ofdmFiGroupSize {
+		group := data[g : g+ofdmFiGroupSize]
+		c.groups = append(c.groups, group)
+		protected := false
+		for _, k := range group {
+			if window[k] {
+				protected = true
+				break
+			}
+		}
+		if !protected {
+			c.msg = append(c.msg, len(c.groups)-1)
+		}
+	}
+	for _, k := range wifi.PilotSubcarriers() {
+		if !window[k] {
+			c.refPil = append(c.refPil, k)
+		}
+	}
+	if len(c.msg) == 0 || len(c.refPil) == 0 {
+		return nil, fmt.Errorf("codec: ofdmfi has no usable groups for channel %d", int(p.Channel))
+	}
+	return c, nil
+}
+
+func (c *ofdmFi) Name() string { return "ofdmfi" }
+
+func (c *ofdmFi) SetTrace(tr *trace.Frame) { c.tr = tr }
+
+// chip returns the QPSK point for (symbol, subcarrier), decorrelating
+// bins with a splitmix-style hash so the waveform is noise-like rather
+// than a comb of identical tones. Power measurement ignores the phase.
+func chip(sym, k int) complex128 {
+	x := uint64(sym+1)*0x9E3779B97F4A7C15 ^ uint64(k+64)*0xBF58476D1CE4E5B9
+	x ^= x >> 31
+	x *= 0x94D049BB133111EB
+	x ^= x >> 29
+	re, im := invSqrt2, invSqrt2
+	if x&1 != 0 {
+		re = -re
+	}
+	if x&2 != 0 {
+		im = -im
+	}
+	return complex(re, im)
+}
+
+// ofdmFiMessage frames the payload bits carried on the air.
+func ofdmFiMessage(payload []byte) []bits.Bit {
+	framed := make([]byte, 0, len(payload)+3)
+	framed = append(framed, byte(len(payload)), byte(len(payload)>>8))
+	framed = append(framed, payload...)
+	framed = append(framed, crc8(payload))
+	return bits.FromBytes(framed)
+}
+
+func (c *ofdmFi) Encode(payload []byte) (*Encoded, error) {
+	if len(payload) > c.MaxPayload() {
+		return nil, fmt.Errorf("%w: ofdmfi payload of %d octets exceeds %d", core.ErrPayloadSize, len(payload), c.MaxPayload())
+	}
+	mk := c.tr.Begin("codec.embed")
+	defer mk.End()
+	message := ofdmFiMessage(payload)
+	perSym := len(c.msg)
+	nSym := (len(message) + perSym - 1) / perSym
+	wave := wifi.AppendPreamble(make([]complex128, 0, wifi.PreambleLength+nSym*wifi.SymbolLength))
+	var data [wifi.NumDataSubcarriers]complex128
+	freq := make([]complex128, wifi.NumSubcarriers)
+	td := make([]complex128, wifi.NumSubcarriers)
+	dataIndex := map[int]int{}
+	for i, k := range wifi.DataSubcarriers() {
+		dataIndex[k] = i
+	}
+	for s := 0; s < nSym; s++ {
+		// Protected (and padding) groups stay low; message groups carry
+		// their chip's amplitude.
+		next := 0
+		for g, group := range c.groups {
+			amp := ofdmFiLoAmp
+			if next < len(c.msg) && c.msg[next] == g {
+				idx := s*perSym + next
+				if idx < len(message) && message[idx] == 1 {
+					amp = 1
+				}
+				next++
+			}
+			for _, k := range group {
+				data[dataIndex[k]] = complex(amp, 0) * chip(s, k)
+			}
+		}
+		if err := wifi.SubcarrierMapInto(freq, data[:], s+1); err != nil {
+			return nil, err
+		}
+		// Pilots cannot be dropped (receivers track them), but the one
+		// inside the protected band is attenuated like its neighbours.
+		for _, k := range c.params.Channel.PilotSubcarriers() {
+			freq[fftBin(k)] *= complex(ofdmFiLoAmp, 0)
+		}
+		if err := dsp.IFFTInto(td, freq); err != nil {
+			return nil, err
+		}
+		wave = append(wave, td[wifi.NumSubcarriers-wifi.CPLength:]...)
+		wave = append(wave, td...)
+	}
+	return &Encoded{
+		Waveform:       wave,
+		NumSymbols:     nSym,
+		ProtectedMask:  nil, // every symbol holds the band low
+		AirtimeSeconds: float64(len(wave)) / wifi.SampleRate,
+	}, nil
+}
+
+func (c *ofdmFi) Decode(waveform []complex128) (*Decoded, error) {
+	mk := c.tr.Begin("codec.extract")
+	defer mk.End()
+	body := len(waveform) - wifi.PreambleLength
+	if body < wifi.SymbolLength {
+		return nil, fmt.Errorf("%w: ofdmfi capture of %d samples holds no symbols", ErrDecode, len(waveform))
+	}
+	nSym := body / wifi.SymbolLength
+	freq := make([]complex128, wifi.NumSubcarriers)
+	raw := make([]bits.Bit, 0, nSym*len(c.msg))
+	// Accumulated per-channel window power, to verify the protected band
+	// really is the quiet one.
+	var bandPower [4]float64
+	for s := 0; s < nSym; s++ {
+		start := wifi.PreambleLength + s*wifi.SymbolLength
+		if err := wifi.FrequencyDomainInto(freq, waveform[start:start+wifi.SymbolLength]); err != nil {
+			return nil, err
+		}
+		// Reference "high" power from the pilots outside the protected
+		// band (unit amplitude at the transmitter, so they track the
+		// link gain).
+		var hiRef float64
+		for _, k := range c.refPil {
+			hiRef += binPower(freq[fftBin(k)])
+		}
+		hiRef /= float64(len(c.refPil))
+		if hiRef <= 0 {
+			return nil, fmt.Errorf("%w: ofdmfi capture has no pilot energy in symbol %d", ErrDecode, s)
+		}
+		threshold := hiRef * (1 + ofdmFiLoAmp*ofdmFiLoAmp) / 2
+		for _, g := range c.msg {
+			var p float64
+			for _, k := range c.groups[g] {
+				p += binPower(freq[fftBin(k)])
+			}
+			p /= ofdmFiGroupSize
+			var b bits.Bit
+			if p > threshold {
+				b = 1
+			}
+			raw = append(raw, b)
+		}
+		for ch := core.CH1; ch <= core.CH4; ch++ {
+			win := ch.SubcarrierWindow()
+			var p float64
+			for _, k := range win {
+				p += binPower(freq[fftBin(k)])
+			}
+			bandPower[ch-core.CH1] += p / float64(len(win))
+		}
+	}
+	for ch := core.CH1; ch <= core.CH4; ch++ {
+		if ch != c.params.Channel && bandPower[ch-core.CH1] <= bandPower[c.params.Channel-core.CH1] {
+			return nil, fmt.Errorf("%w: ofdmfi protected band %d is not the quietest window", ErrDecode, int(c.params.Channel))
+		}
+	}
+	if len(raw) < 16 {
+		return nil, fmt.Errorf("%w: ofdmfi message truncated at %d bits", ErrDecode, len(raw))
+	}
+	n := 0
+	for i := 0; i < 16; i++ {
+		n |= int(raw[i]) << i
+	}
+	total := 16 + 8*n + 8
+	if len(raw) < total {
+		return nil, fmt.Errorf("%w: ofdmfi header says %d octets but capture holds %d bits", ErrDecode, n, len(raw))
+	}
+	framed, err := bits.ToBytes(raw[:total])
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDecode, err)
+	}
+	payload := framed[2 : 2+n]
+	if crc8(payload) != framed[2+n] {
+		return nil, fmt.Errorf("%w: ofdmfi CRC mismatch", ErrDecode)
+	}
+	return &Decoded{Payload: payload, Channel: c.params.Channel}, nil
+}
+
+func (c *ofdmFi) Contract() Contract {
+	// Every in-band subcarrier (data and pilot) runs at amplitude 1/4
+	// for the whole frame: 12 dB per subcarrier, 6 dB band floor after
+	// leakage from the adjacent full-power groups.
+	return Contract{MinDropDB: 6.0, WholeFrame: true}
+}
+
+func (c *ofdmFi) MaxPayload() int {
+	return (ofdmFiMaxSymbols*len(c.msg) - 16 - 8) / 8
+}
+
+// OverheadFraction is 1: the frame spends its entire DATA field on the
+// embedded message and carries no WiFi payload — the throughput cost the
+// paper's section VI holds against message-embedding CTC.
+func (c *ofdmFi) OverheadFraction() float64 { return 1.0 }
+
+// fftBin converts a signed subcarrier index to an FFT bin index.
+func fftBin(k int) int {
+	return ((k % wifi.NumSubcarriers) + wifi.NumSubcarriers) % wifi.NumSubcarriers
+}
+
+func binPower(v complex128) float64 {
+	m := cmplx.Abs(v)
+	return m * m
+}

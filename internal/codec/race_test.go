@@ -1,0 +1,8 @@
+//go:build race
+
+package codec
+
+// raceEnabled reports whether the race detector instruments this build.
+// Race instrumentation adds allocations of its own, so allocation-bound
+// assertions are meaningless under -race and are skipped.
+const raceEnabled = true

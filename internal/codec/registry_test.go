@@ -1,0 +1,63 @@
+package codec
+
+import (
+	"errors"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestNamesSortedAndKnown(t *testing.T) {
+	names := Names()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("Names() not sorted: %v", names)
+	}
+	for _, want := range []string{"sledzig", "ook-ctc", "ofdmfi"} {
+		if !Known(want) {
+			t.Fatalf("backend %q not registered (have %v)", want, names)
+		}
+	}
+	if Known("nope") {
+		t.Fatal(`Known("nope") = true`)
+	}
+}
+
+func TestNewUnknownWrapsSentinel(t *testing.T) {
+	_, err := New("nope", conformanceParams())
+	if !errors.Is(err, ErrUnknownCodec) {
+		t.Fatalf("error %v does not wrap ErrUnknownCodec", err)
+	}
+	// The message must list the registered backends so a mistyped name is
+	// self-diagnosing.
+	if !strings.Contains(err.Error(), "sledzig") {
+		t.Fatalf("error %v does not list registered backends", err)
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	Register("sledzig", func(Params) (Codec, error) { return nil, nil })
+}
+
+func TestRegisterEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Register with empty name did not panic")
+		}
+	}()
+	Register("", func(Params) (Codec, error) { return nil, nil })
+}
+
+func TestFactoryRejectsInvalidChannel(t *testing.T) {
+	for _, name := range Names() {
+		p := conformanceParams()
+		p.Channel = 0
+		if _, err := New(name, p); err == nil {
+			t.Fatalf("%s: factory accepted channel 0", name)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package codec
+
+import (
+	"sledzig/internal/core"
+	"sledzig/internal/obs/trace"
+	"sledzig/internal/wifi"
+)
+
+func init() {
+	Register("sledzig", func(p Params) (Codec, error) {
+		return newSledZig(p)
+	})
+}
+
+// sledZig is the paper's mechanism promoted onto the Codec contract: every
+// DATA symbol's subcarriers overlapping the protected channel are pinned
+// to the lowest-power constellation points via extra payload bits, so the
+// whole frame honours the band-power promise while remaining a 100%
+// standard PPDU carrying the payload as ordinary (strippable) WiFi data.
+//
+// This is the waveform-level view of the facade's Encoder/Decoder pair;
+// the facade keeps its specialized zero-allocation frame path, while this
+// backend serves the registry, the conformance suite and the comparative
+// experiment harness.
+type sledZig struct {
+	params Params
+	plan   *core.Plan
+	enc    core.Encoder
+	res    core.EncodeResult
+	rxr    wifi.Receiver
+	rx     wifi.RxResult
+	dec    core.Decoder
+	tr     *trace.Frame
+}
+
+func newSledZig(p Params) (*sledZig, error) {
+	plan, err := core.CachedPlan(p.Convention, p.Mode, p.Channel)
+	if err != nil {
+		return nil, err
+	}
+	seed := p.Seed
+	if seed == 0 {
+		seed = wifi.DefaultScramblerSeed
+	}
+	return &sledZig{
+		params: p,
+		plan:   plan,
+		enc:    core.Encoder{Plan: plan, Seed: p.Seed},
+		rxr:    wifi.Receiver{Seed: seed, Convention: p.Convention, Resync: p.Resilient},
+		dec:    core.Decoder{Convention: p.Convention},
+	}, nil
+}
+
+func (c *sledZig) Name() string { return "sledzig" }
+
+func (c *sledZig) SetTrace(tr *trace.Frame) { c.tr = tr }
+
+func (c *sledZig) Encode(payload []byte) (*Encoded, error) {
+	c.enc.Trace = c.tr
+	if err := c.enc.EncodeTo(payload, &c.res); err != nil {
+		return nil, err
+	}
+	wave, err := c.res.Frame.Waveform()
+	if err != nil {
+		return nil, err
+	}
+	return &Encoded{
+		Waveform:       wave,
+		NumSymbols:     c.res.Frame.NumSymbols,
+		ProtectedMask:  nil, // every symbol is pinned
+		AirtimeSeconds: c.res.Frame.Duration(),
+	}, nil
+}
+
+func (c *sledZig) Decode(waveform []complex128) (*Decoded, error) {
+	c.rxr.Trace = c.tr
+	c.dec.Trace = c.tr
+	if err := c.rxr.ReceiveInto(waveform, &c.rx); err != nil {
+		return nil, err
+	}
+	payload, ch, err := c.dec.DecodeAuto(&c.rx)
+	if err != nil {
+		return nil, err
+	}
+	return &Decoded{Payload: payload, Channel: ch}, nil
+}
+
+func (c *sledZig) Contract() Contract {
+	// The per-subcarrier drop is 7.0/13.2/19.3 dB (paper III-B), but the
+	// 2 MHz band-power drop is bounded by the unpinnable pilots and
+	// spectral leakage from neighbouring subcarriers; the paper's Fig. 12
+	// measures 4-8 dB. 3 dB is the honest floor across modes.
+	return Contract{MinDropDB: 3.0, WholeFrame: true, MaxEncodeAllocs: 64}
+}
+
+func (c *sledZig) MaxPayload() int {
+	nDBPS := c.plan.Mode.DataBitsPerSymbol()
+	maxSym := (8*wifi.MaxPSDULength + 22) / nDBPS
+	return c.enc.MaxPayload(maxSym)
+}
+
+func (c *sledZig) OverheadFraction() float64 {
+	return c.plan.ThroughputLossFraction()
+}

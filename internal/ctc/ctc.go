@@ -12,6 +12,11 @@
 // paper's critique of SLEM is precisely that its points "cannot always be
 // the designated lowest ones"), and the WiFi payload remains intact, so
 // the same frame simultaneously carries its normal WiFi data.
+//
+// The frame assembly itself lives in internal/core
+// (core.AssembleMaskedFrame / core.StripMaskedPayload): ctc supplies the
+// OOK symbol mask and the RSSI receiver, and the registry's "ook-ctc"
+// backend (internal/codec) promotes the pair onto the Codec contract.
 package ctc
 
 import (
@@ -46,6 +51,28 @@ type Frame struct {
 	Bits []bits.Bit
 }
 
+// mode resolves the zero-value default.
+func (e Encoder) mode() wifi.Mode {
+	if e.Mode.Modulation == 0 {
+		return wifi.Mode{Modulation: wifi.QAM16, CodeRate: wifi.Rate12}
+	}
+	return e.Mode
+}
+
+// MessageMask expands an OOK message into the per-symbol pinning mask
+// (bit 0 = low energy = pinned).
+func MessageMask(message []bits.Bit) []bool {
+	mask := make([]bool, len(message)*SymbolsPerBit)
+	for i, b := range message {
+		if b == 0 {
+			for s := 0; s < SymbolsPerBit; s++ {
+				mask[i*SymbolsPerBit+s] = true
+			}
+		}
+	}
+	return mask
+}
+
 // Encode builds a frame whose in-channel energy follows message (one
 // bit per SymbolsPerBit OFDM symbols; bit 1 = high energy, 0 = low) while
 // carrying payload as ordinary WiFi data.
@@ -59,11 +86,8 @@ func (e Encoder) Encode(payload []byte, message []bits.Bit) (*Frame, error) {
 	if !e.Channel.Valid() {
 		return nil, fmt.Errorf("ctc: invalid channel %d", int(e.Channel))
 	}
-	mode := e.Mode
-	if mode.Modulation == 0 {
-		mode = wifi.Mode{Modulation: wifi.QAM16, CodeRate: wifi.Rate12}
-	}
-	plan, err := core.NewPlan(e.Convention, mode, e.Channel)
+	mode := e.mode()
+	plan, err := core.CachedPlan(e.Convention, mode, e.Channel)
 	if err != nil {
 		return nil, err
 	}
@@ -72,93 +96,42 @@ func (e Encoder) Encode(payload []byte, message []bits.Bit) (*Frame, error) {
 	nDBPS := mode.DataBitsPerSymbol()
 	// The 12-bit PLCP LENGTH field bounds one frame; longer messages span
 	// multiple frames.
-	if nSym*nDBPS > 8*4095+16+6 {
+	if nSym*nDBPS > 8*wifi.MaxPSDULength+16+6 {
 		return nil, fmt.Errorf("ctc: message of %d bits needs %d OFDM symbols, beyond one frame at %v (max %d bits)",
-			len(message), nSym, mode, (8*4095+22)/nDBPS/SymbolsPerBit)
+			len(message), nSym, mode, (8*wifi.MaxPSDULength+22)/nDBPS/SymbolsPerBit)
 	}
 
-	// Build the symbol mask: low-energy symbols carry the plan's
-	// constraints, high-energy symbols none.
-	mask := make([]bool, nSym)
-	lowSymbols := 0
-	for i, b := range message {
-		if b == 0 {
-			for s := 0; s < SymbolsPerBit; s++ {
-				mask[i*SymbolsPerBit+s] = true
-			}
-			lowSymbols += SymbolsPerBit
-		}
-	}
-
-	// Per-frame constraint list: the plan's per-symbol constraints, but
-	// only on masked symbols.
-	perSym := plan.SymbolConstraintList()
-	var all []core.Constraint
-	for s := 0; s < nSym; s++ {
-		if !mask[s] {
-			continue
-		}
-		for _, c := range perSym {
-			all = append(all, core.Constraint{
-				MotherIndex: c.MotherIndex + s*2*nDBPS,
-				Value:       c.Value,
-			})
-		}
-	}
-	layout, err := core.LayoutForGlobalConstraints(all, nSym)
+	mask := MessageMask(message)
+	frame, _, err := core.AssembleMaskedFrame(plan, mask, payload, e.Seed)
 	if err != nil {
-		return nil, err
-	}
-
-	total := nSym * nDBPS
-	capacity := total - len(layout.Positions) - 16 - 6 // SERVICE + tail
-	if 8*len(payload) > capacity {
-		return nil, fmt.Errorf("ctc: payload of %d octets exceeds the %d-bit capacity of a %d-bit message frame",
-			len(payload), capacity, len(message))
-	}
-
-	// Assemble the scrambled stream the way core.Encoder does, but with
-	// the frame size fixed by the message length.
-	logical := make([]bits.Bit, 0, capacity+16+6)
-	logical = append(logical, make([]bits.Bit, 16)...)
-	logical = append(logical, bits.FromBytes([]byte{byte(len(payload)), byte(len(payload) >> 8)})...)
-	logical = append(logical, bits.FromBytes(payload)...)
-	pad := total - len(layout.Positions) - len(logical)
-	if pad < 0 {
-		return nil, fmt.Errorf("ctc: frame capacity accounting failed")
-	}
-	logical = append(logical, make([]bits.Bit, pad)...)
-
-	extra := make([]bool, total)
-	for _, p := range layout.Positions {
-		extra[p] = true
-	}
-	u := make([]bits.Bit, total)
-	li := 0
-	for i := range u {
-		if !extra[i] {
-			u[i] = logical[li]
-			li++
-		}
-	}
-	seed := e.Seed
-	if seed == 0 {
-		seed = wifi.DefaultScramblerSeed
-	}
-	x, err := wifi.ScrambleWithSeed(u, seed)
-	if err != nil {
-		return nil, err
-	}
-	for _, p := range layout.Positions {
-		x[p] = 0
-	}
-	if err := core.SolveExtraBits(x, layout.Clusters); err != nil {
-		return nil, err
-	}
-	tx := wifi.Transmitter{Mode: mode, Seed: seed, Convention: e.Convention}
-	frame, err := tx.FrameFromScrambled(x, (total-16-6)/8)
-	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("ctc: %w", err)
 	}
 	return &Frame{WiFi: frame, Mask: mask, Bits: bits.Clone(message)}, nil
+}
+
+// MaxPayload returns the largest payload (octets) a frame carrying a
+// message of numBits OOK bits can hold alongside it.
+func (e Encoder) MaxPayload(numBits int) (int, error) {
+	if numBits <= 0 {
+		return 0, fmt.Errorf("ctc: numBits must be positive")
+	}
+	if !e.Channel.Valid() {
+		return 0, fmt.Errorf("ctc: invalid channel %d", int(e.Channel))
+	}
+	mode := e.mode()
+	plan, err := core.CachedPlan(e.Convention, mode, e.Channel)
+	if err != nil {
+		return 0, err
+	}
+	// Worst case extra-bit spend: every bit low (all symbols pinned).
+	mask := make([]bool, numBits*SymbolsPerBit)
+	for i := range mask {
+		mask[i] = true
+	}
+	layout, err := core.MaskedLayout(plan, mask)
+	if err != nil {
+		return 0, err
+	}
+	capacity := len(mask)*mode.DataBitsPerSymbol() - len(layout.Positions) - 16 - 6
+	return capacity/8 - 2, nil
 }

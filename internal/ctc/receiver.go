@@ -73,8 +73,11 @@ type Decoder struct {
 	Channel    core.ZigBeeChannel
 }
 
-// Decode extracts (payload, message) from a standard receive result.
-func (d Decoder) Decode(rx *wifi.RxResult) ([]byte, []bits.Bit, error) {
+// RecoverMessage reconstructs the OOK message and the regularized
+// per-symbol pinning mask from received constellation points: a symbol is
+// "low" when every overlapped data subcarrier sits on the lowest ring,
+// and each SymbolsPerBit group majority-votes into one bit.
+func (d Decoder) RecoverMessage(rx *wifi.RxResult) ([]bits.Bit, []bool, error) {
 	if !d.Channel.Valid() {
 		return nil, nil, fmt.Errorf("ctc: invalid channel %d", int(d.Channel))
 	}
@@ -82,8 +85,6 @@ func (d Decoder) Decode(rx *wifi.RxResult) ([]byte, []bits.Bit, error) {
 	if nSym == 0 || nSym%SymbolsPerBit != 0 {
 		return nil, nil, fmt.Errorf("ctc: frame of %d symbols is not whole CTC bits", nSym)
 	}
-	// Reconstruct the mask: a symbol is "low" when every overlapped data
-	// subcarrier sits on the lowest ring.
 	dataIndex := map[int]int{}
 	for i, k := range wifi.DataSubcarriers() {
 		dataIndex[k] = i
@@ -101,7 +102,8 @@ func (d Decoder) Decode(rx *wifi.RxResult) ([]byte, []bits.Bit, error) {
 		}
 		mask[s] = low
 	}
-	// Majority-vote the mask into CTC bits (low = 0).
+	// Majority-vote the mask into CTC bits (low = 0), then regularize the
+	// mask to the decided values so the layout matches the transmitter's.
 	message := make([]bits.Bit, nSym/SymbolsPerBit)
 	for i := range message {
 		lows := 0
@@ -113,62 +115,26 @@ func (d Decoder) Decode(rx *wifi.RxResult) ([]byte, []bits.Bit, error) {
 		if lows <= SymbolsPerBit/2 {
 			message[i] = 1
 		}
-		// Regularize the mask to the decided value so the layout below
-		// matches the transmitter's.
 		for s := 0; s < SymbolsPerBit; s++ {
 			mask[i*SymbolsPerBit+s] = message[i] == 0
 		}
 	}
+	return message, mask, nil
+}
 
-	// Rebuild the transmitter's layout and strip the extra bits.
-	mode := rx.Mode
-	plan, err := core.NewPlan(d.Convention, mode, d.Channel)
+// Decode extracts (payload, message) from a standard receive result.
+func (d Decoder) Decode(rx *wifi.RxResult) ([]byte, []bits.Bit, error) {
+	message, mask, err := d.RecoverMessage(rx)
 	if err != nil {
 		return nil, nil, err
 	}
-	perSym := plan.SymbolConstraintList()
-	nDBPS := mode.DataBitsPerSymbol()
-	var all []core.Constraint
-	for s := 0; s < nSym; s++ {
-		if !mask[s] {
-			continue
-		}
-		for _, c := range perSym {
-			all = append(all, core.Constraint{MotherIndex: c.MotherIndex + s*2*nDBPS, Value: c.Value})
-		}
-	}
-	layout, err := core.LayoutForGlobalConstraints(all, nSym)
+	plan, err := core.CachedPlan(d.Convention, rx.Mode, d.Channel)
 	if err != nil {
 		return nil, nil, err
 	}
-	extra := make([]bool, len(rx.DataBits))
-	for _, p := range layout.Positions {
-		if p < len(extra) {
-			extra[p] = true
-		}
-	}
-	logical := make([]bits.Bit, 0, len(rx.DataBits))
-	for i, b := range rx.DataBits {
-		if !extra[i] {
-			logical = append(logical, b)
-		}
-	}
-	if len(logical) < 16+16 {
-		return nil, nil, fmt.Errorf("ctc: stripped stream too short")
-	}
-	body := logical[16:]
-	hdr, err := bits.ToBytes(body[:16])
+	payload, err := core.StripMaskedPayload(plan, mask, rx.DataBits)
 	if err != nil {
-		return nil, nil, err
-	}
-	length := int(hdr[0]) | int(hdr[1])<<8
-	need := 8 * (2 + length)
-	if length == 0 || len(body) < need {
-		return nil, nil, fmt.Errorf("ctc: header declares %d octets, stream too short", length)
-	}
-	payload, err := bits.ToBytes(body[16:need])
-	if err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("ctc: %w", err)
 	}
 	return payload, message, nil
 }

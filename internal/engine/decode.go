@@ -10,15 +10,18 @@ import (
 	"sledzig/internal/wifi"
 )
 
-// DecodeResult is one demodulated and SledZig-stripped frame. Every slice
+// DecodeResult is one demodulated and payload-stripped frame. Every slice
 // is freshly allocated per frame — the worker's pooled receive buffers
 // never leak into results, so callers may retain them indefinitely.
+// Generic codec backends fill Payload, Channel and Codec only.
 type DecodeResult struct {
 	// Payload is the recovered original payload.
 	Payload []byte
 	// Channel is the protected ZigBee channel detected from the
-	// constellation.
+	// constellation (configured, for fixed-channel codec backends).
 	Channel core.ZigBeeChannel
+	// Codec names the backend that decoded the frame.
+	Codec string
 	// Mode is the modulation and code rate signalled in the PLCP header.
 	Mode wifi.Mode
 	// ScramblerSeed is the seed the descrambler used.
@@ -65,6 +68,7 @@ func (d *decoderState) decodeOne(waveform []complex128) (*DecodeResult, error) {
 	res := &DecodeResult{
 		Payload:       payload,
 		Channel:       ch,
+		Codec:         codecSledZig,
 		Mode:          d.rx.Mode,
 		ScramblerSeed: d.rxr.Seed,
 		NumSymbols:    len(d.rx.DataPoints),

@@ -1,10 +1,11 @@
-// Package engine runs the SledZig encoder and decoder across a shared pool
-// of workers: batch and streaming front-ends over the shared plan cache,
+// Package engine runs the coexistence codecs across a shared pool of
+// workers: batch and streaming front-ends over the shared plan cache,
 // with bounded queues for backpressure and full pipeline instrumentation.
 // It exists so callers that process many frames (sweeps, simulators,
 // traffic generators) saturate every core without re-deriving plans or
 // re-implementing fan-out. Each worker owns one encoder and one receiver
-// whose scratch buffers are recycled frame to frame.
+// (or one registry codec instance) whose scratch buffers are recycled
+// frame to frame.
 package engine
 
 import (
@@ -16,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"sledzig/internal/codec"
 	"sledzig/internal/core"
 	"sledzig/internal/obs"
 	"sledzig/internal/obs/trace"
@@ -60,6 +62,31 @@ type Config struct {
 	// Resilient enables the receivers' graceful-degradation ladder
 	// (preamble resync after a failed decode at sample 0).
 	Resilient bool
+
+	// Codec selects a registry backend ("ook-ctc", "ofdmfi", ...). Empty
+	// or "sledzig" runs the specialized zero-allocation SledZig path;
+	// any other name routes every frame through codec.New instances, one
+	// per worker.
+	Codec string
+}
+
+const codecSledZig = "sledzig"
+
+// generic reports whether the engine routes through the codec registry
+// instead of the specialized SledZig path.
+func (c Config) generic() bool {
+	return c.Codec != "" && c.Codec != codecSledZig
+}
+
+// codecParams maps the engine config onto codec-layer parameters.
+func (c Config) codecParams() codec.Params {
+	return codec.Params{
+		Convention: c.Convention,
+		Mode:       c.Mode,
+		Channel:    c.Channel,
+		Seed:       c.Seed,
+		Resilient:  c.Resilient,
+	}
 }
 
 // withDefaults resolves the pool geometry.
@@ -85,7 +112,7 @@ type job struct {
 	// PHY — cancellation drains a full queue at channel speed.
 	ctx context.Context
 
-	deliver    func(idx int, res *core.EncodeResult, err error)
+	deliver    func(idx int, res *Product, err error)
 	deliverDec func(idx int, res *DecodeResult, err error)
 	done       *sync.WaitGroup
 
@@ -114,12 +141,22 @@ type Engine struct {
 
 // New builds the engine: resolves the plan through the process-wide plan
 // cache (so engines and plain Encoders with the same parameters share
-// constraint state) and starts the workers.
+// constraint state) and starts the workers. With a generic Config.Codec
+// the plan is skipped and the backend is constructed once up front to
+// surface configuration errors here rather than per frame.
 func New(cfg Config) (*Engine, error) {
 	cfg = cfg.withDefaults()
-	plan, err := core.CachedPlan(cfg.Convention, cfg.Mode, cfg.Channel)
-	if err != nil {
-		return nil, err
+	var plan *core.Plan
+	if cfg.generic() {
+		if _, err := codec.New(cfg.Codec, cfg.codecParams()); err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		plan, err = core.CachedPlan(cfg.Convention, cfg.Mode, cfg.Channel)
+		if err != nil {
+			return nil, err
+		}
 	}
 	e := &Engine{
 		cfg:  cfg,
@@ -137,21 +174,42 @@ func New(cfg Config) (*Engine, error) {
 // Workers returns the resolved worker count.
 func (e *Engine) Workers() int { return e.cfg.Workers }
 
-// Plan exposes the engine's shared, read-only plan.
+// Plan exposes the engine's shared, read-only plan (nil when a generic
+// codec backend is selected — those own their pinning state).
 func (e *Engine) Plan() *core.Plan { return e.plan }
 
 // workerState is one worker's mutable PHY state. It is rebuilt whenever a
 // frame is abandoned to a deadline: the timed-out goroutine still owns the
-// old encoder/decoder buffers, so the worker must never touch them again.
+// old encoder/decoder buffers (or codec instance), so the worker must
+// never touch them again.
 type workerState struct {
 	e   *Engine
 	enc *core.Encoder
 	dec *decoderState
+	cdc codec.Codec // non-nil iff cfg.generic()
 }
 
 func (w *workerState) reset() {
+	if w.e.cfg.generic() {
+		// New validated this construction; a failure here means the
+		// registry changed underneath a running engine — fail loudly.
+		cdc, err := codec.New(w.e.cfg.Codec, w.e.cfg.codecParams())
+		if err != nil {
+			panic(fmt.Sprintf("engine: codec %q vanished mid-run: %v", w.e.cfg.Codec, err))
+		}
+		w.cdc = cdc
+		return
+	}
 	w.enc = &core.Encoder{Plan: w.e.plan, Seed: w.e.cfg.Seed}
 	w.dec = w.e.newDecoderState()
+}
+
+// setTrace threads a frame trace into a codec instance when it supports
+// tracing; it must only be called while w still owns cdc.
+func setTrace(cdc codec.Codec, tr *trace.Frame) {
+	if t, ok := cdc.(codec.Traceable); ok {
+		t.SetTrace(tr)
+	}
 }
 
 // testFrameHook, when non-nil, runs inside the guarded section before each
@@ -201,7 +259,18 @@ func (w *workerState) guarded(ctx context.Context, fn func() error) error {
 	}
 }
 
+// Product is one encoded frame from either path; exactly one field is
+// set. Core carries the specialized SledZig result, Generic the registry
+// codec's rendered frame.
+type Product struct {
+	Core    *core.EncodeResult
+	Generic *codec.Encoded
+}
+
 func (w *workerState) decodeFrame(j *job) (*DecodeResult, error) {
+	if w.cdc != nil {
+		return w.decodeGeneric(j)
+	}
 	var res *DecodeResult
 	dec := w.dec
 	// Thread the frame trace into the receive pipeline. On a timeout the
@@ -226,7 +295,36 @@ func (w *workerState) decodeFrame(j *job) (*DecodeResult, error) {
 	return res, nil
 }
 
-func (w *workerState) encodeFrame(j *job) (*core.EncodeResult, error) {
+func (w *workerState) decodeGeneric(j *job) (*DecodeResult, error) {
+	var res *DecodeResult
+	cdc := w.cdc
+	setTrace(cdc, j.tr)
+	err := w.guarded(j.ctx, func() error {
+		if h := testFrameHook; h != nil {
+			h(j)
+		}
+		dec, derr := cdc.Decode(j.waveform)
+		if derr != nil {
+			return derr
+		}
+		res = &DecodeResult{Payload: dec.Payload, Channel: dec.Channel, Codec: w.e.cfg.Codec}
+		return nil
+	})
+	// On abandonment (timeout/cancel) reset already replaced w.cdc and the
+	// stuck goroutine still owns cdc — leave its trace alone.
+	if cdc == w.cdc {
+		setTrace(cdc, nil)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func (w *workerState) encodeFrame(j *job) (*Product, error) {
+	if w.cdc != nil {
+		return w.encodeGeneric(j)
+	}
 	res := new(core.EncodeResult)
 	enc := w.enc
 	enc.Trace = j.tr
@@ -239,7 +337,31 @@ func (w *workerState) encodeFrame(j *job) (*core.EncodeResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return res, nil
+	return &Product{Core: res}, nil
+}
+
+func (w *workerState) encodeGeneric(j *job) (*Product, error) {
+	var out *codec.Encoded
+	cdc := w.cdc
+	setTrace(cdc, j.tr)
+	err := w.guarded(j.ctx, func() error {
+		if h := testFrameHook; h != nil {
+			h(j)
+		}
+		enc, cerr := cdc.Encode(j.payload)
+		if cerr != nil {
+			return cerr
+		}
+		out = enc
+		return nil
+	})
+	if cdc == w.cdc {
+		setTrace(cdc, nil)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Product{Generic: out}, nil
 }
 
 func (e *Engine) worker(i int) {
@@ -339,7 +461,7 @@ func (e *Engine) submit(ctx context.Context, j *job) error {
 // EncodeOutcome is one frame's result in a per-frame batch: exactly one of
 // Result and Err is set.
 type EncodeOutcome struct {
-	Result *core.EncodeResult
+	Result *Product
 	Err    error
 }
 
@@ -354,7 +476,7 @@ func (e *Engine) EncodeEach(ctx context.Context, payloads [][]byte) []EncodeOutc
 	start := e.now()
 	outcomes := make([]EncodeOutcome, len(payloads))
 	var done sync.WaitGroup
-	deliver := func(idx int, res *core.EncodeResult, err error) {
+	deliver := func(idx int, res *Product, err error) {
 		outcomes[idx] = EncodeOutcome{Result: res, Err: err}
 	}
 	for i, p := range payloads {
@@ -388,9 +510,9 @@ func (e *Engine) EncodeEach(ctx context.Context, payloads [][]byte) []EncodeOutc
 // after all submitted work has drained; a cancelled context abandons the
 // unsubmitted remainder but still waits for in-flight frames. Callers that
 // need sibling results to survive one bad frame use EncodeEach.
-func (e *Engine) EncodeBatch(ctx context.Context, payloads [][]byte) ([]*core.EncodeResult, error) {
+func (e *Engine) EncodeBatch(ctx context.Context, payloads [][]byte) ([]*Product, error) {
 	outcomes := e.EncodeEach(ctx, payloads)
-	results := make([]*core.EncodeResult, len(outcomes))
+	results := make([]*Product, len(outcomes))
 	for i, o := range outcomes {
 		if o.Err != nil {
 			return nil, fmt.Errorf("engine: payload %d: %w", i, o.Err)

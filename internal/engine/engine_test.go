@@ -66,7 +66,7 @@ func TestEncodeBatchMatchesSequentialEncode(t *testing.T) {
 		if err != nil {
 			t.Fatalf("sequential Waveform %d: %v", i, err)
 		}
-		gotWave, err := got[i].Frame.Waveform()
+		gotWave, err := got[i].Core.Frame.Waveform()
 		if err != nil {
 			t.Fatalf("batch Waveform %d: %v", i, err)
 		}
@@ -79,7 +79,7 @@ func TestEncodeBatchMatchesSequentialEncode(t *testing.T) {
 			}
 		}
 		for b := range want.TransmitBits {
-			if got[i].TransmitBits[b] != want.TransmitBits[b] {
+			if got[i].Core.TransmitBits[b] != want.TransmitBits[b] {
 				t.Fatalf("payload %d: transmit bits diverge at %d", i, b)
 			}
 		}
@@ -127,7 +127,7 @@ func TestEncodeBatchConcurrentCallers(t *testing.T) {
 				return
 			}
 			for i, r := range res {
-				if r == nil || r.PayloadLength != len(payloads[i]) {
+				if r == nil || r.Core.PayloadLength != len(payloads[i]) {
 					t.Errorf("caller %d: bad result %d", c, i)
 					return
 				}
@@ -197,8 +197,8 @@ func TestStreamDeliversEverything(t *testing.T) {
 			t.Fatalf("index %d delivered twice", r.Index)
 		}
 		seen[r.Index] = true
-		if r.Result.PayloadLength != len(payloads[r.Index]) {
-			t.Fatalf("index %d: payload length %d != %d", r.Index, r.Result.PayloadLength, len(payloads[r.Index]))
+		if r.Result.Core.PayloadLength != len(payloads[r.Index]) {
+			t.Fatalf("index %d: payload length %d != %d", r.Index, r.Result.Core.PayloadLength, len(payloads[r.Index]))
 		}
 	}
 	if len(seen) != len(payloads) {

@@ -4,7 +4,6 @@ import (
 	"context"
 	"sync"
 
-	"sledzig/internal/core"
 	"sledzig/internal/obs/trace"
 )
 
@@ -12,7 +11,7 @@ import (
 // position of the payload in the input stream.
 type StreamResult struct {
 	Index  int
-	Result *core.EncodeResult
+	Result *Product
 	Err    error
 }
 
@@ -29,7 +28,7 @@ func (e *Engine) Stream(ctx context.Context, in <-chan []byte) <-chan StreamResu
 	go func() {
 		defer close(out)
 		var inflight sync.WaitGroup
-		deliver := func(idx int, res *core.EncodeResult, err error) {
+		deliver := func(idx int, res *Product, err error) {
 			select {
 			case out <- StreamResult{Index: idx, Result: res, Err: err}:
 			case <-ctx.Done():

@@ -1,0 +1,47 @@
+package exp
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestCompareCodecsAllBackends(t *testing.T) {
+	rows, err := CompareCodecs(CodecCompareOptions{Seed: 1, Frames: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 3 {
+		t.Fatalf("only %d backends compared", len(rows))
+	}
+	for _, r := range rows {
+		if r.BandDropDB < r.ContractMinDropDB {
+			t.Errorf("%s: measured drop %.1f dB below its %.1f dB contract", r.Codec, r.BandDropDB, r.ContractMinDropDB)
+		}
+		if r.PRR < 1 {
+			t.Errorf("%s: PRR %.2f on a clean 15 dB AWGN link", r.Codec, r.PRR)
+		}
+		if r.AirtimeMicros <= 0 || r.MaxPayload <= 0 {
+			t.Errorf("%s: degenerate row %+v", r.Codec, r)
+		}
+	}
+	// The rows are the CI manifest artifact; they must serialize.
+	if _, err := json.Marshal(rows); err != nil {
+		t.Fatal(err)
+	}
+	if FormatCodecTable(rows) == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestCompareCodecsOnly(t *testing.T) {
+	rows, err := CompareCodecs(CodecCompareOptions{Seed: 1, Frames: 2, Only: "sledzig"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Codec != "sledzig" {
+		t.Fatalf("Only filter returned %+v", rows)
+	}
+	if _, err := CompareCodecs(CodecCompareOptions{Frames: 2, Only: "nope"}); err == nil {
+		t.Fatal("unknown Only name did not error")
+	}
+}

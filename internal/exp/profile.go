@@ -7,6 +7,7 @@ import (
 
 	"sledzig/internal/bits"
 	"sledzig/internal/channel"
+	"sledzig/internal/codec"
 	"sledzig/internal/core"
 	"sledzig/internal/dsp"
 	"sledzig/internal/mac"
@@ -20,6 +21,10 @@ type Variant struct {
 	// baseline.
 	Mode    wifi.Mode
 	SledZig bool
+	// Codec selects a non-default registry backend for the protected
+	// variant ("" keeps the plain SledZig encoder). Only read when SledZig
+	// is true.
+	Codec string
 }
 
 // PaperVariants returns the four curves the paper sweeps in Figs. 14-16:
@@ -58,6 +63,22 @@ func payloadWave(conv wifi.Convention, v Variant, ch core.ZigBeeChannel, rng *ra
 			return nil, err
 		}
 		return frame.DataWaveform()
+	}
+	if v.Codec != "" && v.Codec != "sledzig" {
+		cdc, err := codec.New(v.Codec, codec.Params{Convention: conv, Mode: v.Mode, Channel: ch})
+		if err != nil {
+			return nil, err
+		}
+		if mp := cdc.MaxPayload(); len(payload) > mp {
+			payload = payload[:mp]
+		}
+		enc, err := cdc.Encode(payload)
+		if err != nil {
+			return nil, err
+		}
+		// The DATA symbols are the final NumSymbols*SymbolLength samples
+		// regardless of the backend's framing.
+		return enc.Waveform[len(enc.Waveform)-enc.NumSymbols*wifi.SymbolLength:], nil
 	}
 	plan, err := core.NewPlan(conv, v.Mode, ch)
 	if err != nil {
@@ -110,7 +131,7 @@ func DeriveProfile(conv wifi.Convention, v Variant, ch core.ZigBeeChannel, seed 
 		PreambleDBm: total + preShare,
 		PilotDBm:    math.Inf(-1),
 	}
-	if v.SledZig && len(ch.PilotSubcarriers()) > 0 {
+	if v.SledZig && (v.Codec == "" || v.Codec == "sledzig") && len(ch.PilotSubcarriers()) > 0 {
 		// Pilot tone: one of the 52 active subcarriers at unit power.
 		pilot := total + dsp.DB(float64(len(ch.PilotSubcarriers()))/52.0)
 		profile.PilotDBm = pilot

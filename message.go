@@ -50,11 +50,11 @@ func NewMessageReceiver(cfg Config) (*MessageReceiver, error) {
 // Feed decodes one PPDU waveform and returns a completed message when the
 // final fragment arrives (nil otherwise).
 func (m *MessageReceiver) Feed(waveform []complex128) ([]byte, error) {
-	frag, _, err := m.dec.Decode(waveform)
+	res, err := m.dec.Decode(waveform)
 	if err != nil {
 		return nil, fmt.Errorf("sledzig: fragment decode: %w", err)
 	}
-	return m.re.Feed(frag)
+	return m.re.Feed(res.Payload)
 }
 
 // Pending reports partially received messages.

@@ -56,7 +56,7 @@ func benchDecode(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := dec.Decode(wave); err != nil {
+		if _, err := dec.Decode(wave); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -41,12 +41,12 @@ func TestRoundTripStageCoverage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	payload, ch, err := dec.Decode(wave)
+	res, err := dec.Decode(wave)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ch != CH2 || string(payload) != "stage coverage payload" {
-		t.Fatalf("round trip mismatch: channel %v payload %q", ch, payload)
+	if res.Channel != CH2 || string(res.Payload) != "stage coverage payload" {
+		t.Fatalf("round trip mismatch: channel %v payload %q", res.Channel, res.Payload)
 	}
 
 	// The SledZig encoder scrambles in core; run one standard WiFi frame
@@ -216,7 +216,7 @@ func TestDecodeFailureTaxonomy(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if _, _, err := dec.Decode(tc.mangle()); err == nil {
+			if _, err := dec.Decode(tc.mangle()); err == nil {
 				t.Fatal("decode unexpectedly succeeded")
 			}
 			snap := reg.Snapshot()
@@ -280,12 +280,12 @@ func TestNoRegistryIsNoOp(t *testing.T) {
 		t.Fatal(err)
 	}
 	dec, _ := NewDecoder(Config{})
-	payload, ch, err := dec.Decode(wave)
+	res, err := dec.Decode(wave)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ch != CH3 || string(payload) != "no registry" {
-		t.Fatalf("round trip without registry: channel %v payload %q", ch, payload)
+	if res.Channel != CH3 || string(res.Payload) != "no registry" {
+		t.Fatalf("round trip without registry: channel %v payload %q", res.Channel, res.Payload)
 	}
 	_ = obs.Default() // and the internal default agrees
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sledzig/internal/channel"
+	"sledzig/internal/codec"
 	"sledzig/internal/core"
 	"sledzig/internal/dsp"
 	"sledzig/internal/exp"
@@ -22,6 +23,10 @@ type CoexistenceConfig struct {
 	Channel    Channel // protected channel; also the ZigBee link's channel
 	UseSledZig bool
 	Convention Convention
+	// Codec selects the coexistence mechanism for the protected variant
+	// (one of Codecs(); empty = CodecSledZig). Only read when UseSledZig
+	// is true.
+	Codec string
 
 	// Geometry in meters: WiFi Tx -> ZigBee Rx, ZigBee Tx -> ZigBee Rx,
 	// WiFi Tx -> WiFi Rx.
@@ -79,8 +84,13 @@ func SimulateCoexistence(cfg CoexistenceConfig) (*CoexistenceResult, error) {
 	if !cfg.Channel.Valid() {
 		return nil, fmt.Errorf("%w: coexistence config must name a channel", ErrInvalidChannel)
 	}
-	mode := Config{Modulation: cfg.Modulation, CodeRate: cfg.CodeRate}.mode()
-	variant := exp.Variant{Name: "custom", Mode: mode, SledZig: cfg.UseSledZig}
+	mcfg := Config{Modulation: cfg.Modulation, CodeRate: cfg.CodeRate, Channel: cfg.Channel,
+		Convention: cfg.Convention, Codec: cfg.Codec}.WithDefaults()
+	if err := mcfg.Validate(); err != nil {
+		return nil, err
+	}
+	mode := mcfg.mode()
+	variant := exp.Variant{Name: "custom", Mode: mode, SledZig: cfg.UseSledZig, Codec: mcfg.Codec}
 	profile, err := exp.DeriveProfile(cfg.Convention, variant, cfg.Channel, cfg.Seed+7)
 	if err != nil {
 		return nil, err
@@ -109,11 +119,19 @@ func SimulateCoexistence(cfg CoexistenceConfig) (*CoexistenceResult, error) {
 	}
 	goodput := 1.0
 	if cfg.UseSledZig {
-		plan, err := core.NewPlan(cfg.Convention, mode, cfg.Channel)
-		if err != nil {
-			return nil, err
+		if mcfg.Codec != CodecSledZig {
+			cdc, err := mcfg.newCodec()
+			if err != nil {
+				return nil, err
+			}
+			goodput = 1 - cdc.OverheadFraction()
+		} else {
+			plan, err := core.NewPlan(cfg.Convention, mode, cfg.Channel)
+			if err != nil {
+				return nil, err
+			}
+			goodput = 1 - plan.ThroughputLossFraction()
 		}
-		goodput = 1 - plan.ThroughputLossFraction()
 	}
 	return &CoexistenceResult{
 		ZigBeeThroughputBps: res.ZigBeeThroughputBps,
@@ -137,6 +155,16 @@ func SimulateCoexistence(cfg CoexistenceConfig) (*CoexistenceResult, error) {
 func MeasureBandReduction(cfg Config, payload []byte) (float64, error) {
 	if !cfg.Channel.Valid() {
 		return 0, fmt.Errorf("%w: config must name a protected channel", ErrInvalidChannel)
+	}
+	cfg = cfg.WithDefaults()
+	if cfg.Codec != CodecSledZig {
+		// Generic backends measure through the codec layer: protected DATA
+		// symbols against a standard frame of the same mode.
+		cdc, err := cfg.newCodec()
+		if err != nil {
+			return 0, err
+		}
+		return codec.MeasureBandDrop(cdc, cfg.codecParams(), payload)
 	}
 	mode := cfg.mode()
 	normal, err := wifi.Transmitter{Mode: mode, Convention: cfg.Convention, Seed: cfg.ScramblerSeed}.Frame(payload)

@@ -10,6 +10,8 @@
 //   - internal/wifi — a bit-exact 802.11 OFDM baseband PHY,
 //   - internal/zigbee — the 802.15.4 DSSS/O-QPSK PHY,
 //   - internal/core — the SledZig encoder/decoder itself,
+//   - internal/codec — the codec registry (SledZig and the related-work
+//     coexistence mechanisms behind one contract — see docs/codecs.md),
 //   - internal/channel — the paper-calibrated radio environment,
 //   - internal/mac — the CSMA/CA coexistence simulator.
 //
@@ -23,13 +25,21 @@
 //	frame, _ := enc.Encode([]byte("hello zigbee neighbours"))
 //	wave, _ := frame.Waveform()            // 20 MS/s baseband samples
 //	dec, _ := sledzig.NewDecoder(sledzig.Config{})
-//	payload, ch, _ := dec.Decode(wave)     // channel auto-detected
+//	res, _ := dec.Decode(wave)             // channel auto-detected
+//	_ = res.Payload
+//
+// Config.Codec swaps the coexistence mechanism while keeping the same
+// Encoder/Decoder/Engine surface: "sledzig" (default), "ook-ctc" (the
+// SLEM-style energy-modulation side channel) or "ofdmfi" (an
+// OfdmFi-style message-embedding waveform). See Codecs and docs/codecs.md.
 package sledzig
 
 import (
 	"fmt"
+	"sync"
 
 	"sledzig/internal/bits"
+	"sledzig/internal/codec"
 	"sledzig/internal/core"
 	"sledzig/internal/obs/trace"
 	"sledzig/internal/wifi"
@@ -81,12 +91,30 @@ const (
 	CH4 = core.CH4
 )
 
+// Registered codec backends for Config.Codec (see docs/codecs.md).
+const (
+	// CodecSledZig is the paper's mechanism: every DATA symbol pinned,
+	// payload carried as ordinary WiFi data.
+	CodecSledZig = "sledzig"
+	// CodecOOK is the SLEM-style energy-modulation side channel: the
+	// payload rides as WiFi data while in-band energy toggles spell an
+	// OOK digest readable by RSSI sampling.
+	CodecOOK = "ook-ctc"
+	// CodecOfdmFi is an OfdmFi-style message-embedding waveform: the
+	// subcarrier power pattern is the payload; no WiFi data is carried.
+	CodecOfdmFi = "ofdmfi"
+)
+
+// Codecs lists the registered codec backends, sorted by name.
+func Codecs() []string { return codec.Names() }
+
 // Config selects the transmission parameters. The zero value of Channel is
-// invalid for encoding; decoding detects the channel from the air.
+// invalid for encoding; decoding detects the channel from the air where
+// the codec allows it.
 //
 // Zero values of the remaining fields select documented defaults (see
-// WithDefaults): QAM-16, rate 1/2, ConventionIEEE, and the 802.11 Annex G
-// scrambler seed.
+// WithDefaults): the "sledzig" codec, QAM-16, rate 1/2, ConventionIEEE,
+// and the 802.11 Annex G scrambler seed.
 type Config struct {
 	Modulation Modulation
 	CodeRate   CodeRate
@@ -104,13 +132,17 @@ type Config struct {
 	// captures with leading garbage), at the cost of one extra decode
 	// attempt on genuinely undecodable input. See docs/robustness.md.
 	Resilient bool
+	// Codec names the coexistence mechanism: one of Codecs(). Empty
+	// selects CodecSledZig. Non-default codecs need a valid Channel on
+	// both sides (their receivers decode a fixed configured channel).
+	Codec string
 }
 
 // WithDefaults returns a copy of the config with every zero field resolved
-// to its documented default: QAM-16 modulation, rate 1/2 coding, and the
-// 802.11 Annex G scrambler seed (0x5D). Channel has no default — the zero
-// value stays zero and remains invalid for encoding — and Convention's
-// zero value already is ConventionIEEE.
+// to its documented default: the "sledzig" codec, QAM-16 modulation, rate
+// 1/2 coding, and the 802.11 Annex G scrambler seed (0x5D). Channel has no
+// default — the zero value stays zero and remains invalid for encoding —
+// and Convention's zero value already is ConventionIEEE.
 func (c Config) WithDefaults() Config {
 	if c.Modulation == 0 {
 		c.Modulation = QAM16
@@ -120,6 +152,9 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.ScramblerSeed == 0 {
 		c.ScramblerSeed = wifi.DefaultScramblerSeed
+	}
+	if c.Codec == "" {
+		c.Codec = CodecSledZig
 	}
 	return c
 }
@@ -145,6 +180,9 @@ func (c Config) Validate() error {
 	if c.ScramblerSeed > 127 {
 		return fmt.Errorf("%w: scrambler seed %d outside [0, 127]", ErrInvalidConfig, c.ScramblerSeed)
 	}
+	if c.Codec != "" && !codec.Known(c.Codec) {
+		return fmt.Errorf("%w: unknown codec %q (registered: %v)", ErrInvalidConfig, c.Codec, codec.Names())
+	}
 	return nil
 }
 
@@ -154,22 +192,63 @@ func (c Config) mode() wifi.Mode {
 	return wifi.Mode{Modulation: c.Modulation, CodeRate: c.CodeRate}
 }
 
-// Encoder produces SledZig frames.
+// codecParams maps the public config onto the codec-layer parameters.
+func (c Config) codecParams() codec.Params {
+	c = c.WithDefaults()
+	return codec.Params{
+		Convention: c.Convention,
+		Mode:       wifi.Mode{Modulation: c.Modulation, CodeRate: c.CodeRate},
+		Channel:    c.Channel,
+		Seed:       c.ScramblerSeed,
+		Resilient:  c.Resilient,
+	}
+}
+
+// newCodec builds the configured non-default codec backend, mapping
+// construction failures onto the public taxonomy.
+func (c Config) newCodec() (codec.Codec, error) {
+	if !c.Channel.Valid() {
+		return nil, fmt.Errorf("%w: codec %q works on a fixed channel; config must name CH1..CH4", ErrInvalidChannel, c.Codec)
+	}
+	cdc, err := codec.New(c.Codec, c.codecParams())
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrInvalidConfig, err)
+	}
+	return cdc, nil
+}
+
+// Encoder produces coexistence-encoded frames for the configured codec
+// backend (SledZig by default). It is safe for concurrent use.
 type Encoder struct {
 	cfg  Config
 	plan *core.Plan
 	enc  *core.Encoder
+
+	// Non-default codec backends encode through the registry contract;
+	// instances hold recycled state, so calls serialize on mu.
+	cdc codec.Codec
+	mu  sync.Mutex
 }
 
-// NewEncoder validates the configuration and resolves the extra-bit plan
-// through the process-wide plan cache, so repeated constructions with the
-// same parameters (and Engines sharing them) reuse one precomputed plan.
+// NewEncoder resolves the config defaults, validates it, and prepares the
+// selected codec backend. For the default SledZig codec the extra-bit plan
+// resolves through the process-wide plan cache, so repeated constructions
+// with the same parameters (and Engines sharing them) reuse one
+// precomputed plan.
 func NewEncoder(cfg Config) (*Encoder, error) {
+	cfg = cfg.WithDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if !cfg.Channel.Valid() {
 		return nil, fmt.Errorf("%w: config must name a protected channel (CH1..CH4)", ErrInvalidChannel)
+	}
+	if cfg.Codec != CodecSledZig {
+		cdc, err := cfg.newCodec()
+		if err != nil {
+			return nil, err
+		}
+		return &Encoder{cfg: cfg, cdc: cdc}, nil
 	}
 	plan, err := core.CachedPlan(cfg.Convention, cfg.mode(), cfg.Channel)
 	if err != nil {
@@ -182,13 +261,33 @@ func NewEncoder(cfg Config) (*Encoder, error) {
 	}, nil
 }
 
-// Frame is an encoded SledZig PPDU.
+// Frame is an encoded PPDU from one of the codec backends.
 type Frame struct {
-	res *core.EncodeResult
+	res *core.EncodeResult // SledZig path
+	enc *codec.Encoded     // generic codec path
+	cdc string             // backend name ("" means CodecSledZig)
 }
 
 // Encode builds the frame carrying payload.
 func (e *Encoder) Encode(payload []byte) (*Frame, error) {
+	if e.cdc != nil {
+		tf := trace.Start("encode")
+		e.mu.Lock()
+		t, traceable := e.cdc.(codec.Traceable)
+		if traceable {
+			t.SetTrace(tf)
+		}
+		enc, err := e.cdc.Encode(payload)
+		if traceable {
+			t.SetTrace(nil)
+		}
+		e.mu.Unlock()
+		tf.Finish(err)
+		if err != nil {
+			return nil, wrapEncodeErr(err)
+		}
+		return &Frame{enc: enc, cdc: e.cfg.Codec}, nil
+	}
 	// Root frame trace (nil, and free, with no tracer installed). The
 	// shared core encoder is copied by value so setting the trace never
 	// races concurrent Encode calls on the same Encoder.
@@ -205,9 +304,20 @@ func (e *Encoder) Encode(payload []byte) (*Frame, error) {
 	return &Frame{res: res}, nil
 }
 
-// Waveform renders the complete PPDU (preamble + SIGNAL + DATA) at
-// 20 MS/s complex baseband.
+// Codec names the backend that produced the frame.
+func (f *Frame) Codec() string {
+	if f.cdc == "" {
+		return CodecSledZig
+	}
+	return f.cdc
+}
+
+// Waveform renders the complete PPDU (preamble + header + DATA) at
+// 20 MS/s complex baseband. The returned slice is the caller's.
 func (f *Frame) Waveform() ([]complex128, error) {
+	if f.enc != nil {
+		return append([]complex128(nil), f.enc.Waveform...), nil
+	}
 	// Trace synthesis as its own root frame, on a value copy of the
 	// wifi.Frame so concurrent renders of one Frame never race.
 	tf := trace.Start("waveform")
@@ -222,6 +332,9 @@ func (f *Frame) Waveform() ([]complex128, error) {
 // slice — the allocation-lean variant for callers that render many frames
 // into recycled buffers. The samples are identical to Waveform's.
 func (f *Frame) AppendWaveform(dst []complex128) ([]complex128, error) {
+	if f.enc != nil {
+		return append(dst, f.enc.Waveform...), nil
+	}
 	tf := trace.Start("waveform")
 	wf := *f.res.Frame
 	wf.Trace = tf
@@ -232,68 +345,79 @@ func (f *Frame) AppendWaveform(dst []complex128) ([]complex128, error) {
 
 // TransmitBits returns the unscrambled DATA-field bits — what a completely
 // standard 802.11 transmitter would be fed to emit this exact frame. Each
-// byte holds one bit (0/1).
+// byte holds one bit (0/1). Codec backends whose waveform is not a
+// standard PPDU (CodecOfdmFi) return nil.
 func (f *Frame) TransmitBits() []byte {
+	if f.res == nil {
+		return nil
+	}
 	return bits.Clone(f.res.TransmitBits)
 }
 
-// NumSymbols returns the frame length in OFDM symbols.
-func (f *Frame) NumSymbols() int { return f.res.Frame.NumSymbols }
+// NumSymbols returns the frame length in DATA OFDM symbols.
+func (f *Frame) NumSymbols() int {
+	if f.enc != nil {
+		return f.enc.NumSymbols
+	}
+	return f.res.Frame.NumSymbols
+}
 
 // ExtraBits returns how many extra bits the frame spent satisfying the
-// constellation constraints.
-func (f *Frame) ExtraBits() int { return len(f.res.Layout.Positions) }
+// constellation constraints (0 for codec backends that do not use the
+// extra-bit mechanism frame-wide).
+func (f *Frame) ExtraBits() int {
+	if f.res == nil {
+		return 0
+	}
+	return len(f.res.Layout.Positions)
+}
+
+// ProtectedSymbols reports, per DATA OFDM symbol, whether the codec held
+// the protected band low during that symbol. Nil means every symbol is
+// protected — SledZig's whole-frame contract. Energy-modulation codecs
+// (CodecOOK) protect only the low half of their symbols.
+func (f *Frame) ProtectedSymbols() []bool {
+	if f.enc == nil || f.enc.ProtectedMask == nil {
+		return nil
+	}
+	return append([]bool(nil), f.enc.ProtectedMask...)
+}
 
 // AirtimeSeconds returns the PPDU duration on the air.
-func (f *Frame) AirtimeSeconds() float64 { return f.res.Frame.Duration() }
+func (f *Frame) AirtimeSeconds() float64 {
+	if f.enc != nil {
+		return f.enc.AirtimeSeconds
+	}
+	return f.res.Frame.Duration()
+}
 
-// OverheadFraction is the per-symbol throughput loss of the encoder's
-// plan (paper Table IV).
-func (e *Encoder) OverheadFraction() float64 { return e.plan.ThroughputLossFraction() }
+// OverheadFraction is the fraction of the frame's standard WiFi data
+// throughput the mechanism costs: the per-symbol extra-bit loss for
+// SledZig (paper Table IV), 1 for codecs that carry no WiFi data.
+func (e *Encoder) OverheadFraction() float64 {
+	if e.cdc != nil {
+		return e.cdc.OverheadFraction()
+	}
+	return e.plan.ThroughputLossFraction()
+}
 
-// ExtraBitsPerSymbol is the paper's Table III count for this plan.
-func (e *Encoder) ExtraBitsPerSymbol() int { return e.plan.ExtraBitsPerSymbol() }
+// ExtraBitsPerSymbol is the paper's Table III count for this plan (0 for
+// codec backends that do not pin every symbol).
+func (e *Encoder) ExtraBitsPerSymbol() int {
+	if e.plan == nil {
+		return 0
+	}
+	return e.plan.ExtraBitsPerSymbol()
+}
 
 // MaxPayload returns the largest payload that fits in n OFDM symbols.
-func (e *Encoder) MaxPayload(nSymbols int) int { return e.enc.MaxPayload(nSymbols) }
-
-// Decoder recovers payloads from received waveforms.
-type Decoder struct {
-	cfg Config
-}
-
-// NewDecoder builds a decoder; only Convention and ScramblerSeed of cfg
-// matter (mode and channel are read off the air).
-func NewDecoder(cfg Config) (*Decoder, error) {
-	return &Decoder{cfg: cfg}, nil
-}
-
-// Decode demodulates a PPDU waveform, detects the protected ZigBee
-// channel from the constellation, strips the extra bits, and returns the
-// original payload.
-//
-// Decode is the compatibility surface: it is a thin wrapper over
-// DecodeDetailed, which additionally reports the detected mode, the
-// extra-bit count and per-symbol EVM.
-func (d *Decoder) Decode(waveform []complex128) ([]byte, Channel, error) {
-	res, err := d.DecodeDetailed(waveform)
-	if err != nil {
-		return nil, 0, err
+// Codec backends with their own framing ignore n and report their
+// single-frame bound.
+func (e *Encoder) MaxPayload(nSymbols int) int {
+	if e.cdc != nil {
+		return e.cdc.MaxPayload()
 	}
-	return res.Payload, res.Channel, nil
-}
-
-// DecodeNormal demodulates a standard (non-SledZig) WiFi PPDU and returns
-// its PSDU — useful for baseline comparisons. Like Decode it is a thin
-// compatibility wrapper; the SledZig-specific stages are skipped.
-func (d *Decoder) DecodeNormal(waveform []complex128) ([]byte, error) {
-	tf := trace.Start("decode")
-	rx, err := wifi.Receiver{Seed: d.cfg.ScramblerSeed, Convention: d.cfg.Convention, Resync: d.cfg.Resilient, Trace: tf}.Receive(waveform)
-	tf.Finish(err)
-	if err != nil {
-		return nil, wrapDecodeErr(err)
-	}
-	return rx.PSDU, nil
+	return e.enc.MaxPayload(nSymbols)
 }
 
 // PowerReductionDB returns the theoretical per-subcarrier power drop of

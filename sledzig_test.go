@@ -34,14 +34,14 @@ func TestEncoderDecoderRoundTrip(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			got, detected, err := dec.Decode(wave)
+			res, err := dec.Decode(wave)
 			if err != nil {
 				t.Fatalf("%v %v: %v", conv, ch, err)
 			}
-			if detected != ch {
-				t.Fatalf("%v: detected %v, want %v", conv, detected, ch)
+			if res.Channel != ch {
+				t.Fatalf("%v: detected %v, want %v", conv, res.Channel, ch)
 			}
-			if !bytes.Equal(got, payload) {
+			if !bytes.Equal(res.Payload, payload) {
 				t.Fatalf("%v %v: payload mismatch", conv, ch)
 			}
 		}
@@ -312,12 +312,12 @@ func TestEncoderConcurrentUse(t *testing.T) {
 					errs <- err
 					return
 				}
-				got, _, err := dec.Decode(wave)
+				res, err := dec.Decode(wave)
 				if err != nil {
 					errs <- err
 					return
 				}
-				if got[0] != byte(w) {
+				if got := res.Payload; got[0] != byte(w) {
 					errs <- fmt.Errorf("worker %d got %d", w, got[0])
 					return
 				}
