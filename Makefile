@@ -4,7 +4,7 @@
 
 # Benchmarks gated by the checked-in allocation baseline (hot encode and
 # decode paths, plus every codec backend through the public facade).
-BENCH_GATED = BenchmarkSledZigEncode1500B$$|BenchmarkCoreEncodeTo1500B$$|BenchmarkWaveformSynthesis$$|BenchmarkAppendWaveform$$|BenchmarkReceiverDecode1500B$$|BenchmarkViterbiDecodeInto$$|BenchmarkViterbiDecodeSoftInto$$|BenchmarkDepunctureInto$$|BenchmarkFFTPlanForward64$$|BenchmarkCodecOOKEncode400B$$|BenchmarkCodecOfdmFiEncode400B$$
+BENCH_GATED = BenchmarkSledZigEncode1500B$$|BenchmarkCoreEncodeTo1500B$$|BenchmarkWaveformSynthesis$$|BenchmarkAppendWaveform$$|BenchmarkReceiverDecode1500B$$|BenchmarkReceiverDecode1500BWide$$|BenchmarkViterbiDecodeInto$$|BenchmarkViterbiDecodeSoftInto$$|BenchmarkViterbiACSReferenceHard$$|BenchmarkViterbiACSReferenceSoft$$|BenchmarkDepunctureInto$$|BenchmarkFFTPlanForward64$$|BenchmarkCodecOOKEncode400B$$|BenchmarkCodecOfdmFiEncode400B$$|BenchmarkQfunc$$|BenchmarkQfuncExact$$
 
 test: conformance
 	go test ./...
@@ -33,12 +33,12 @@ bench-json:
 # with BENCHTIME=100x without weakening the gate.
 BENCHTIME ?= 1s
 bench-compare:
-	go test -run '^$$' -bench '$(BENCH_GATED)' -benchtime $(BENCHTIME) -benchmem . | tee bench.current.txt
+	go test -run '^$$' -bench '$(BENCH_GATED)' -benchtime $(BENCHTIME) -benchmem . ./internal/mac/ | tee bench.current.txt
 	go run ./cmd/benchdiff -baseline bench.baseline.txt -current bench.current.txt
 
 # Refresh the checked-in baseline after an intentional allocation change.
 bench-baseline:
-	go test -run '^$$' -bench '$(BENCH_GATED)' -benchmem . | tee bench.baseline.txt
+	go test -run '^$$' -bench '$(BENCH_GATED)' -benchmem . ./internal/mac/ | tee bench.baseline.txt
 
 experiments:
 	go run ./cmd/experiments
@@ -83,6 +83,7 @@ fuzz-smoke:
 	go test -run '^$$' -fuzz '^FuzzParseMACFrame$$' -fuzztime $(FUZZTIME) ./internal/wifi
 	go test -run '^$$' -fuzz '^FuzzParseSignalField$$' -fuzztime $(FUZZTIME) ./internal/wifi
 	go test -run '^$$' -fuzz '^FuzzViterbiDecode$$' -fuzztime $(FUZZTIME) ./internal/wifi
+	go test -run '^$$' -fuzz '^FuzzDemap64RoundTrip$$' -fuzztime $(FUZZTIME) ./internal/wifi
 	go test -run '^$$' -fuzz '^FuzzCodecRegistry$$' -fuzztime $(FUZZTIME) ./internal/codec
 
 # Fault-injection soak of the decode pipeline (see docs/robustness.md).

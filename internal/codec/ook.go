@@ -69,7 +69,7 @@ func newOOK(p Params) (*ook, error) {
 		plan:   plan,
 		enc:    ctc.Encoder{Convention: p.Convention, Mode: mode, Channel: p.Channel, Seed: p.Seed},
 		dec:    ctc.Decoder{Convention: p.Convention, Channel: p.Channel},
-		rxr:    wifi.Receiver{Seed: seed, Convention: p.Convention, Resync: p.Resilient},
+		rxr:    wifi.Receiver{Seed: seed, Convention: p.Convention, Resync: p.Resilient, WideIQ: p.WideIQ},
 	}, nil
 }
 
@@ -132,8 +132,11 @@ func (c *ook) Decode(waveform []complex128) (*Decoded, error) {
 
 func (c *ook) Contract() Contract {
 	// Low symbols use SledZig's exact pinning, so they inherit its 3 dB
-	// band-drop floor — but only the masked symbols are protected.
-	return Contract{MinDropDB: 3.0, WholeFrame: false}
+	// band-drop floor — but only the masked symbols are protected. The
+	// alloc bound holds because masked layouts are memoized per (plan,
+	// mask): steady-state encodes assemble and scramble, but never re-plan
+	// clusters (measured ~33 allocs/op, dominated by frame assembly).
+	return Contract{MinDropDB: 3.0, WholeFrame: false, MaxEncodeAllocs: 48}
 }
 
 func (c *ook) MaxPayload() int {

@@ -17,7 +17,11 @@ import (
 
 // MaskedLayout builds the extra-bit layout for a frame of len(mask) OFDM
 // symbols where only the symbols marked true carry the plan's per-symbol
-// constraints. An all-true mask reproduces Plan.FrameLayout's geometry.
+// constraints. An all-true mask reproduces Plan.FrameLayout's geometry (and
+// shares its memoized instance). Layouts are memoized per (plan, mask) —
+// the CTC codecs re-derive the same handful of masks for every frame of a
+// message alphabet, so steady-state encoding skips cluster planning
+// entirely. The returned layout is shared and read-only.
 func MaskedLayout(plan *Plan, mask []bool) (*FrameLayout, error) {
 	if plan == nil {
 		return nil, fmt.Errorf("core: masked layout needs a plan")
@@ -25,8 +29,51 @@ func MaskedLayout(plan *Plan, mask []bool) (*FrameLayout, error) {
 	if len(mask) == 0 {
 		return nil, fmt.Errorf("core: masked layout needs at least one symbol")
 	}
+	allTrue := true
+	for _, pinned := range mask {
+		if !pinned {
+			allTrue = false
+			break
+		}
+	}
+	if allTrue {
+		// Identical constraint expansion; FrameLayout's own cache (keyed by
+		// the cheaper int) holds the shared instance.
+		return plan.FrameLayout(len(mask))
+	}
+	key := maskKey(mask)
+	if v, ok := plan.maskedLayouts.Load(key); ok {
+		metrics().layoutHit.Inc()
+		return v.(*FrameLayout), nil
+	}
+	metrics().layoutMiss.Inc()
+	layout, err := computeMaskedLayout(plan, mask)
+	if err != nil {
+		return nil, err
+	}
+	v, _ := plan.maskedLayouts.LoadOrStore(key, layout)
+	return v.(*FrameLayout), nil
+}
+
+// maskKey packs a symbol mask into a compact map key.
+func maskKey(mask []bool) string {
+	b := make([]byte, 4+(len(mask)+7)/8)
+	b[0] = byte(len(mask))
+	b[1] = byte(len(mask) >> 8)
+	b[2] = byte(len(mask) >> 16)
+	b[3] = byte(len(mask) >> 24)
+	for i, pinned := range mask {
+		if pinned {
+			b[4+i/8] |= 1 << (i % 8)
+		}
+	}
+	return string(b)
+}
+
+// computeMaskedLayout derives a masked layout from scratch.
+func computeMaskedLayout(plan *Plan, mask []bool) (*FrameLayout, error) {
 	nDBPS := plan.Mode.DataBitsPerSymbol()
-	perSym := plan.SymbolConstraintList()
+	perSym := plan.symbolConstraints
 	var all []Constraint
 	for s, pinned := range mask {
 		if !pinned {

@@ -32,6 +32,10 @@ type Plan struct {
 	// frames of recurring sizes (the common case for batch traffic) pay
 	// the cluster planning cost once.
 	layouts sync.Map // int -> *FrameLayout
+	// maskedLayouts memoizes MaskedLayout by packed mask. Masks come from
+	// small message alphabets (the CTC codecs derive them from short OOK
+	// words), so the map stays bounded by the alphabet, not the traffic.
+	maskedLayouts sync.Map // string -> *FrameLayout
 }
 
 // NewPlan builds the plan for a protected ZigBee channel using its full
@@ -198,12 +202,18 @@ func planCluster(eqs []Constraint) (*Cluster, error) {
 	minStep, maxStep := eqs[0].Step(), eqs[len(eqs)-1].Step()
 
 	// Candidate preference: paper positions first, then every other
-	// window position from latest to earliest.
+	// window position from latest to earliest. Candidates live in the
+	// cluster's step window [minStep-(K-1), maxStep], so dedup is a small
+	// offset-indexed slice rather than a map.
+	candBase := minStep - (wifi.ConstraintLength - 1)
 	pref := make([]int, 0, len(eqs)*2+wifi.ConstraintLength)
-	seen := make(map[int]bool)
+	seen := make([]bool, maxStep-candBase+1)
 	addCand := func(p int) {
-		if p >= 0 && !seen[p] {
-			seen[p] = true
+		if p < 0 || p < candBase || p > maxStep {
+			return
+		}
+		if !seen[p-candBase] {
+			seen[p-candBase] = true
 			pref = append(pref, p)
 		}
 	}
@@ -241,15 +251,16 @@ func planCluster(eqs []Constraint) (*Cluster, error) {
 	// pivot columns in preference order.
 	e := len(eqs)
 	rows := make([][]bits.Bit, e)
+	backing := make([]bits.Bit, e*len(pref))
 	for r := range rows {
-		rows[r] = make([]bits.Bit, len(pref))
+		rows[r] = backing[r*len(pref) : (r+1)*len(pref)]
 		for c, p := range pref {
 			rows[r][c] = coeff(eqs[r], p)
 		}
 	}
 	pivotCols := make([]int, 0, e)
 	usedRow := make([]bool, e)
-	for _, c := range rangeInts(len(pref)) {
+	for c := 0; c < len(pref); c++ {
 		// Find an unused row with a 1 in this column.
 		pivot := -1
 		for r := 0; r < e; r++ {
@@ -283,14 +294,6 @@ func planCluster(eqs []Constraint) (*Cluster, error) {
 	}
 	sort.Ints(positions)
 	return &Cluster{Equations: append([]Constraint(nil), eqs...), Positions: positions}, nil
-}
-
-func rangeInts(n int) []int {
-	out := make([]int, n)
-	for i := range out {
-		out[i] = i
-	}
-	return out
 }
 
 // LayoutForConstraints builds a frame-wide solving layout from an

@@ -1,0 +1,138 @@
+package wifi
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"sledzig/internal/bits"
+)
+
+// Narrow (complex64) demapping for the rx32 pipeline. Hard decisions reuse
+// the per-axis level tables of demap.go — quantization happens on a single
+// widened float64, so narrow and wide hard demaps agree whenever the point
+// is not within float32 rounding of a decision boundary. The soft demapper
+// keeps a complex64 shadow of the constellation cache and runs its
+// distance search in float32: the max-log minimum only needs ~7 bits of
+// relative precision to pick the same nearest points, and the final LLR
+// subtraction widens back to float64 for the Viterbi.
+
+// DemapAll64Into hard-demaps a narrow point sequence into dst as a flat
+// bit stream; dst must hold len(pts)*m.BitsPerSubcarrier() bits. No
+// allocation.
+func (c Convention) DemapAll64Into(dst []bits.Bit, m Modulation, pts []complex64) error {
+	bpsc := m.BitsPerSubcarrier()
+	if bpsc == 0 {
+		return fmt.Errorf("wifi: invalid modulation %d", int(m))
+	}
+	if len(dst) != len(pts)*bpsc {
+		return fmt.Errorf("wifi: demap destination length %d != %d points x %d bits", len(dst), len(pts), bpsc)
+	}
+	if m == BPSK {
+		for i, p := range pts {
+			if real(p) >= 0 {
+				dst[i] = 1
+			} else {
+				dst[i] = 0
+			}
+		}
+		return nil
+	}
+	t, err := hardDemap(c, m)
+	if err != nil {
+		return err
+	}
+	for i, p := range pts {
+		out := dst[i*bpsc : (i+1)*bpsc]
+		iAxis := t.axis[t.levelIndex(float64(real(p)))]
+		qAxis := t.axis[t.levelIndex(float64(imag(p)))]
+		if t.paper {
+			for k := 0; k < t.n; k++ {
+				out[2*k] = iAxis[k]
+				out[2*k+1] = qAxis[k]
+			}
+			continue
+		}
+		copy(out[:t.n], iAxis)
+		copy(out[t.n:], qAxis)
+	}
+	return nil
+}
+
+// constellationTable32 is the narrow shadow of constellationTable: the
+// same points rounded to complex64 once, sharing the packed bit labels.
+type constellationTable32 struct {
+	points []complex64
+	packed []uint16
+}
+
+var constellationCache32 sync.Map // map[struct{Convention; Modulation}]*constellationTable32
+
+func constellation32(c Convention, m Modulation) (*constellationTable32, error) {
+	type key struct {
+		c Convention
+		m Modulation
+	}
+	if v, ok := constellationCache32.Load(key{c, m}); ok {
+		return v.(*constellationTable32), nil
+	}
+	wide, err := constellation(c, m)
+	if err != nil {
+		return nil, err
+	}
+	t := &constellationTable32{
+		points: make([]complex64, len(wide.points)),
+		packed: wide.packed,
+	}
+	for i, p := range wide.points {
+		t.points[i] = complex(float32(real(p)), float32(imag(p)))
+	}
+	constellationCache32.Store(key{c, m}, t)
+	return t, nil
+}
+
+// SoftDemapAll64Into demaps a narrow point sequence into dst as a flat
+// LLR stream; dst must hold len(pts)*m.BitsPerSubcarrier() values. The
+// distance search runs in float32; LLRs widen to float64. No allocation.
+func (c Convention) SoftDemapAll64Into(dst []float64, m Modulation, pts []complex64) error {
+	n := m.BitsPerSubcarrier()
+	if n == 0 {
+		return fmt.Errorf("wifi: invalid modulation %d", int(m))
+	}
+	if len(dst) != len(pts)*n {
+		return fmt.Errorf("wifi: LLR destination length %d != %d points x %d bits", len(dst), len(pts), n)
+	}
+	tbl, err := constellation32(c, m)
+	if err != nil {
+		return err
+	}
+	inf := float32(math.Inf(1))
+	for i, p := range pts {
+		var best0, best1 [maxBitsPerSubcarrier]float32
+		for b := 0; b < n; b++ {
+			best0[b] = inf
+			best1[b] = inf
+		}
+		pr, pi := real(p), imag(p)
+		for j, pt := range tbl.points {
+			dre := pr - real(pt)
+			dim := pi - imag(pt)
+			d := dre*dre + dim*dim
+			lab := tbl.packed[j]
+			for b := 0; b < n; b++ {
+				if lab>>uint(b)&1 == 0 {
+					if d < best0[b] {
+						best0[b] = d
+					}
+				} else if d < best1[b] {
+					best1[b] = d
+				}
+			}
+		}
+		llr := dst[i*n : (i+1)*n]
+		for b := 0; b < n; b++ {
+			llr[b] = float64(best1[b]) - float64(best0[b])
+		}
+	}
+	return nil
+}

@@ -2,7 +2,6 @@ package wifi
 
 import (
 	"fmt"
-	"math"
 	"sync"
 
 	"sledzig/internal/bits"
@@ -19,6 +18,13 @@ import (
 // — one uint64 word per trellis step (64 states, one decision bit each) —
 // so a 1500-byte frame's survivor memory is ~100 KiB smaller than the
 // struct-matrix representation and is recycled through a sync.Pool.
+//
+// The add-compare-select forward pass itself lives behind a small kernel
+// seam (see viterbi_acs.go): the default "word" kernel computes all 64
+// states with branch-free, word-parallel arithmetic (eight byte lanes per
+// uint64 for hard decisions, sign-bit selects for soft), and the
+// "reference" kernel keeps the straightforward paired-butterfly loops the
+// word kernel is tested byte-identical against.
 
 const (
 	viterbiStates = 64 // 2^(K-1)
@@ -31,6 +37,14 @@ const (
 type trellis struct {
 	out0 [viterbiStates]uint8
 	out1 [viterbiStates]uint8
+	// hardBM0/hardBM1 are the word-parallel branch-metric tables: for
+	// received-pair/erasure combo k (r0 | r1<<1 | e0<<2 | e1<<3) and
+	// destination word w, byte lane i of hardBM0[k][w] holds the Hamming
+	// branch metric of the transition into state 8w+i from its low
+	// predecessor ((8w+i)>>1), and hardBM1 from its high predecessor
+	// ((8w+i)>>1 | 32). See viterbi_acs.go.
+	hardBM0 [16][viterbiStates / 8]uint64
+	hardBM1 [16][viterbiStates / 8]uint64
 }
 
 var (
@@ -51,17 +65,36 @@ func viterbiTrellis() *trellis {
 			trellisTab.out0[ns] = pair(ns>>1, in)
 			trellisTab.out1[ns] = pair(ns>>1|32, in)
 		}
+		for combo := 0; combo < 16; combo++ {
+			r0 := int32(combo & 1)
+			r1 := int32(combo >> 1 & 1)
+			e0 := int32(combo >> 2 & 1)
+			e1 := int32(combo >> 3 & 1)
+			var bmv [4]uint64
+			for y := 0; y < 4; y++ {
+				y0, y1 := int32(y>>1), int32(y&1)
+				d0, d1 := r0^y0, r1^y1
+				bmv[y] = uint64(e0*d0 + e1*d1)
+			}
+			for ns := 0; ns < viterbiStates; ns++ {
+				w, lane := ns/8, uint(ns%8)
+				trellisTab.hardBM0[combo][w] |= bmv[trellisTab.out0[ns]&3] << (8 * lane)
+				trellisTab.hardBM1[combo][w] |= bmv[trellisTab.out1[ns]&3] << (8 * lane)
+			}
+		}
 	})
 	return &trellisTab
 }
 
 // viterbiScratch is the recycled working state of one decode: fixed-size
 // metric arrays (float for soft, int32 for hard — pointer-swapped between
-// steps, and sized by a constant so the hot loop needs no bounds checks)
-// and the bit-packed survivor words, grown to the longest frame seen.
+// steps, and sized by a constant so the hot loop needs no bounds checks),
+// the byte-lane metric words of the word-parallel hard kernel, and the
+// bit-packed survivor words, grown to the longest frame seen.
 type viterbiScratch struct {
 	m0, m1    [viterbiStates]float64
 	h0, h1    [viterbiStates]int32
+	w0, w1    [viterbiStates / 8]uint64
 	decisions []uint64
 }
 
@@ -93,56 +126,11 @@ func ViterbiDecodeSoftInto(dst []bits.Bit, llrs []float64, terminated bool) ([]b
 	if steps == 0 {
 		return dst[:0], nil
 	}
-	tr := viterbiTrellis()
 	s := viterbiPool.Get().(*viterbiScratch)
 	defer viterbiPool.Put(s)
 	s.grow(steps)
 
-	metric, next := &s.m0, &s.m1
-	inf := math.Inf(1)
-	for i := range metric {
-		metric[i] = inf
-	}
-	metric[0] = 0
-
-	var bmv [4]float64
-	for t := 0; t < steps; t++ {
-		// Cost of asserting bit value b against LLR l (l = log P(0)/P(1)):
-		// add l when the branch outputs 1, -l when it outputs 0; constant
-		// offsets cancel. Only four branch metrics exist per step, indexed
-		// by the output pair y0<<1|y1.
-		l0, l1 := llrs[2*t], llrs[2*t+1]
-		bmv[0] = -l0 - l1
-		bmv[1] = -l0 + l1
-		bmv[2] = l0 - l1
-		bmv[3] = l0 + l1
-		var word uint64
-		// Destination states 2p and 2p+1 share the predecessor pair
-		// (p, p+32); walking pairs halves the path-metric loads.
-		for p := 0; p < viterbiStates/2; p++ {
-			m0, m1 := metric[p], metric[p+32]
-			ns := 2 * p
-			c0 := m0 + bmv[tr.out0[ns]&3]
-			c1 := m1 + bmv[tr.out1[ns]&3]
-			if c1 < c0 {
-				next[ns] = c1
-				word |= 1 << uint(ns)
-			} else {
-				next[ns] = c0
-			}
-			ns++
-			c0 = m0 + bmv[tr.out0[ns]&3]
-			c1 = m1 + bmv[tr.out1[ns]&3]
-			if c1 < c0 {
-				next[ns] = c1
-				word |= 1 << uint(ns)
-			} else {
-				next[ns] = c0
-			}
-		}
-		s.decisions[t] = word
-		metric, next = next, metric
-	}
+	metric := currentACS().soft(s, llrs, steps)
 
 	best := 0
 	if !terminated {
@@ -170,60 +158,11 @@ func ViterbiDecodeInto(dst []bits.Bit, coded []bits.Bit, erased []bool, terminat
 	if steps == 0 {
 		return dst[:0], nil
 	}
-	tr := viterbiTrellis()
 	s := viterbiPool.Get().(*viterbiScratch)
 	defer viterbiPool.Put(s)
 	s.grow(steps)
 
-	metric, next := &s.h0, &s.h1
-	for i := range metric {
-		metric[i] = viterbiInfI32
-	}
-	metric[0] = 0
-
-	var bmv [4]int32
-	for t := 0; t < steps; t++ {
-		// Hamming branch metrics against the received pair, with erased
-		// positions contributing nothing; four values indexed by y0<<1|y1.
-		r0, r1 := int32(coded[2*t]&1), int32(coded[2*t+1]&1)
-		e0, e1 := int32(1), int32(1)
-		if erased != nil {
-			if erased[2*t] {
-				e0 = 0
-			}
-			if erased[2*t+1] {
-				e1 = 0
-			}
-		}
-		bmv[0] = e0*r0 + e1*r1         // outputs (0,0)
-		bmv[1] = e0*r0 + e1*(1-r1)     // outputs (0,1)
-		bmv[2] = e0*(1-r0) + e1*r1     // outputs (1,0)
-		bmv[3] = e0*(1-r0) + e1*(1-r1) // outputs (1,1)
-		var word uint64
-		for p := 0; p < viterbiStates/2; p++ {
-			m0, m1 := metric[p], metric[p+32]
-			ns := 2 * p
-			c0 := m0 + bmv[tr.out0[ns]&3]
-			c1 := m1 + bmv[tr.out1[ns]&3]
-			if c1 < c0 {
-				next[ns] = c1
-				word |= 1 << uint(ns)
-			} else {
-				next[ns] = c0
-			}
-			ns++
-			c0 = m0 + bmv[tr.out0[ns]&3]
-			c1 = m1 + bmv[tr.out1[ns]&3]
-			if c1 < c0 {
-				next[ns] = c1
-				word |= 1 << uint(ns)
-			} else {
-				next[ns] = c0
-			}
-		}
-		s.decisions[t] = word
-		metric, next = next, metric
-	}
+	metric := currentACS().hard(s, coded, erased, steps)
 
 	best := 0
 	if !terminated {
