@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test race bench bench-json bench-compare bench-baseline experiments selfcheck conformance cover fmt fmt-check vet sledvet lint fuzz-smoke chaos trace-smoke
+.PHONY: test race bench bench-json bench-compare bench-baseline experiments selfcheck conformance cover fmt fmt-check vet sledvet lint fuzz-smoke chaos chaos-overload trace-smoke
 
 # Benchmarks gated by the checked-in allocation baseline (hot encode and
 # decode paths, plus every codec backend through the public facade).
@@ -91,6 +91,14 @@ fuzz-smoke:
 CHAOS_DURATION ?= 30s
 chaos:
 	go run -race ./cmd/chaos -duration $(CHAOS_DURATION)
+
+# Overload soak (see docs/robustness.md): 4x offered load on a healthy
+# engine plus a storm-poisoned codec behind a breaker. Exits non-zero on
+# any stalled submit, untyped rejection, latency-bound breach, inert
+# breaker, or goroutine leak; writes the health snapshot for archiving.
+HEALTH_OUT ?= health.json
+chaos-overload:
+	go run -race ./cmd/chaos -overload -duration $(CHAOS_DURATION) -health-out $(HEALTH_OUT)
 
 # End-to-end exercise of the per-frame tracing path (see
 # docs/observability.md): a short traced chaos soak must produce a

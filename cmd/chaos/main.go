@@ -130,7 +130,14 @@ func main() {
 	traceDump := flag.String("trace-dump", "", "enable tracing and write a flight-recorder dump (JSON) here on any fault or soak failure")
 	traceChrome := flag.String("trace-chrome", "", "enable tracing and write retained frame traces here in Chrome trace-event format at exit")
 	traceSample := flag.Int("trace-sample", 64, "with tracing on, head-sample every Nth frame (failed frames are always retained; 0 disables head sampling)")
+	overload := flag.Bool("overload", false, "run the overload soak instead: 4x offered load plus a storm-poisoned codec, asserting shed-not-stall")
+	healthOut := flag.String("health-out", "", "with -overload, write the final health snapshot (JSON) to this path")
 	flag.Parse()
+
+	if *overload {
+		runOverload(*duration, *seed, *workers, *healthOut)
+		return
+	}
 
 	var tracer *sledzig.Tracer
 	if *traceDump != "" || *traceChrome != "" {

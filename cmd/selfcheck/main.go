@@ -6,6 +6,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
@@ -186,6 +187,45 @@ func main() {
 		return nil
 	})
 
+	check("reliability kernel (admit, health, drain)", func() error {
+		eng, err := sledzig.NewEngine(sledzig.EngineConfig{
+			Config: sledzig.Config{
+				Modulation: sledzig.QAM16, CodeRate: sledzig.Rate12, Channel: sledzig.CH2,
+			},
+			Workers:      2,
+			MaxQueueWait: 100 * time.Millisecond,
+			MaxInflight:  8,
+			Breaker: sledzig.BreakerConfig{
+				Window: 16, MinSamples: 4, FailureRate: 0.5, Cooldown: time.Second, Probes: 2,
+			},
+		})
+		if err != nil {
+			return err
+		}
+		if outs := eng.EncodeEach(context.Background(), [][]byte{[]byte("reliability probe")}); outs[0].Err != nil {
+			return outs[0].Err
+		}
+		if h := eng.Health(); h != sledzig.EngineHealthy {
+			return fmt.Errorf("health = %s, want healthy", h)
+		}
+		rep := eng.HealthReport()
+		if rep.Breaker != "closed" || rep.Shed.Total() != 0 {
+			return fmt.Errorf("report = %+v, want closed breaker and zero sheds", rep)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if dr := eng.Drain(ctx); !dr.Clean {
+			return fmt.Errorf("drain not clean: %+v", dr)
+		}
+		if h := eng.Health(); h != sledzig.EngineClosed {
+			return fmt.Errorf("post-drain health = %s, want closed", h)
+		}
+		if outs := eng.EncodeEach(context.Background(), [][]byte{[]byte("late")}); !errors.Is(outs[0].Err, sledzig.ErrEngineClosed) {
+			return fmt.Errorf("post-drain submit err = %v, want ErrEngineClosed", outs[0].Err)
+		}
+		return nil
+	})
+
 	check("channel sensing", func() error {
 		rng := rand.New(rand.NewSource(2))
 		capture := make([]complex128, 1<<14)
@@ -243,6 +283,10 @@ func printSnapshot(metrics *sledzig.Metrics) {
 	fmt.Println("reliability and trace counters:")
 	reliability := []string{
 		"engine.frame_panics", "engine.frame_timeouts",
+		"engine.shed.queue_wait", "engine.shed.inflight",
+		"engine.shed.abandoned_workers", "engine.shed.circuit_open",
+		"engine.shed.draining", "engine.breaker.opened",
+		"engine.breaker.reclosed", "engine.drains",
 		"trace.frames.started", "trace.frames.finished",
 		"trace.retained.head", "trace.retained.error", "trace.retained.slow",
 		"trace.flight.dumps", "trace.export.errors",

@@ -24,7 +24,50 @@ type EngineConfig struct {
 	// siblings proceed; the worker abandons the stuck computation and
 	// continues on fresh state. Zero disables the deadline.
 	FrameTimeout time.Duration
+
+	// MaxQueueWait bounds how long a submission may wait for queue
+	// capacity before being shed with ErrOverloaded instead of stalling.
+	// Zero keeps the original blocking-backpressure contract.
+	MaxQueueWait time.Duration
+	// MaxInflight caps admitted-but-unfinished frames across the queue
+	// and the workers; beyond it submissions shed with ErrOverloaded.
+	// <= 0 disables the cap.
+	MaxInflight int
+	// MaxAbandonedWorkers caps concurrently timeout-abandoned frame
+	// goroutines; at the cap new frames shed with ErrOverloaded rather
+	// than risk spawning another. 0 selects 16*Workers; negative disables
+	// the cap.
+	MaxAbandonedWorkers int
+	// Breaker configures the engine's circuit breaker; the zero value
+	// disables it.
+	Breaker BreakerConfig
 }
+
+// BreakerConfig tunes the Engine's circuit breaker; see the field docs on
+// the underlying type. The zero value disables the breaker.
+type BreakerConfig = engine.BreakerConfig
+
+// Overload is the typed detail behind ErrOverloaded; recover it with
+// errors.As to read the shed reason, queue depth, and wait.
+type Overload = engine.Overload
+
+// DrainReport is Engine.Drain's account of how in-flight work ended.
+type DrainReport = engine.DrainReport
+
+// EngineHealth is the Engine's coarse operating condition: EngineHealthy,
+// EngineDegraded, EngineDraining or EngineClosed.
+type EngineHealth = engine.HealthState
+
+// EngineHealthReport is one engine's full health snapshot, the same
+// document served per engine at /debug/health on the diagnostics mux.
+type EngineHealthReport = engine.HealthSnapshot
+
+const (
+	EngineHealthy  EngineHealth = engine.Healthy
+	EngineDegraded EngineHealth = engine.Degraded
+	EngineDraining EngineHealth = engine.Draining
+	EngineClosed   EngineHealth = engine.Closed
+)
 
 // Engine encodes frames across a pool of workers sharing one cached plan —
 // the high-throughput front-end for sweeps, simulators and traffic
@@ -60,6 +103,10 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		Workers:      cfg.Workers,
 		Queue:        cfg.Queue,
 		FrameTimeout: cfg.FrameTimeout,
+		MaxQueueWait: cfg.MaxQueueWait,
+		MaxInflight:  cfg.MaxInflight,
+		MaxAbandoned: cfg.MaxAbandonedWorkers,
+		Breaker:      cfg.Breaker,
 		Resilient:    cfg.Resilient,
 		WideIQ:       cfg.WideIQ,
 		Codec:        cfg.Codec,
@@ -248,8 +295,26 @@ func (e *Engine) DecodeStream(ctx context.Context, in <-chan []complex128) <-cha
 }
 
 // Close stops accepting work, waits for in-flight frames, and releases the
-// workers. Safe to call more than once.
+// workers. Safe to call more than once. Shutdown paths that need a
+// deadline and per-frame accounting use Drain instead.
 func (e *Engine) Close() { e.e.Close() }
+
+// Drain stops admission and flushes in-flight work, bounded by ctx. New
+// submissions fail with ErrOverloaded-distinct ErrDraining immediately; if
+// every admitted frame completes before ctx expires the drain is clean,
+// otherwise still-queued frames are handed back to their callers as
+// ErrDraining outcomes. The engine is closed either way; the report counts
+// what was flushed, shed, and abandoned. Safe to call concurrently and
+// more than once.
+func (e *Engine) Drain(ctx context.Context) DrainReport { return e.e.Drain(ctx) }
+
+// Health reports the engine's coarse operating condition — the signal a
+// gateway polls to steer load between backends.
+func (e *Engine) Health() EngineHealth { return e.e.Health() }
+
+// HealthReport returns the engine's full health snapshot: state, breaker,
+// queue depth, inflight and abandoned counts, and per-reason shed totals.
+func (e *Engine) HealthReport() EngineHealthReport { return e.e.Report() }
 
 // PlanCacheSize reports how many (convention, mode, channel) plans the
 // process-wide cache currently holds — an observability helper for tests

@@ -59,6 +59,23 @@ var (
 	// ErrFrameDeadline marks an Engine frame that exceeded
 	// EngineConfig.FrameTimeout; siblings in the same batch proceed.
 	ErrFrameDeadline = errors.New("sledzig: frame deadline exceeded")
+	// ErrOverloaded marks a frame shed by the Engine's admission control
+	// (queue-wait deadline, inflight cap, or abandoned-worker cap) instead
+	// of being allowed to stall the caller. Recover the shed reason and
+	// queue depth with errors.As into a *sledzig.Overload. Retry after
+	// backoff, or steer to another backend.
+	ErrOverloaded = errors.New("sledzig: engine overloaded")
+	// ErrDraining marks a frame rejected (or handed back un-run) because
+	// Engine.Drain is flushing the pool. Terminal for this engine: fail
+	// over rather than retry.
+	ErrDraining = errors.New("sledzig: engine draining")
+	// ErrCircuitOpen marks a frame failed fast because the engine's
+	// circuit breaker judged the codec backend unhealthy
+	// (EngineConfig.Breaker); the breaker re-probes after its cooldown.
+	ErrCircuitOpen = errors.New("sledzig: engine circuit open")
+	// ErrEngineClosed marks a submission to an Engine after Close or a
+	// completed Drain.
+	ErrEngineClosed = errors.New("sledzig: engine closed")
 )
 
 // wrapEncodeErr maps internal encoder failures onto the public taxonomy,
@@ -81,6 +98,14 @@ func wrapEngineErr(err error) error {
 		return fmt.Errorf("%w: %w", ErrFramePanicked, err)
 	case errors.Is(err, engine.ErrFrameTimeout):
 		return fmt.Errorf("%w: %w", ErrFrameDeadline, err)
+	case errors.Is(err, engine.ErrOverloaded):
+		return fmt.Errorf("%w: %w", ErrOverloaded, err)
+	case errors.Is(err, engine.ErrDraining):
+		return fmt.Errorf("%w: %w", ErrDraining, err)
+	case errors.Is(err, engine.ErrCircuitOpen):
+		return fmt.Errorf("%w: %w", ErrCircuitOpen, err)
+	case errors.Is(err, engine.ErrClosed):
+		return fmt.Errorf("%w: %w", ErrEngineClosed, err)
 	}
 	return err
 }

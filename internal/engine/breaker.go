@@ -1,0 +1,257 @@
+package engine
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrCircuitOpen is returned by submissions while the engine's circuit
+// breaker is open: the backend codec has been failing at a rate above
+// BreakerConfig.FailureRate, and the engine fails fast instead of burning
+// workers on frames that are overwhelmingly likely to panic, time out, or
+// decode to garbage. The breaker re-probes after BreakerConfig.Cooldown.
+var ErrCircuitOpen = errors.New("engine: circuit open")
+
+// BreakerConfig tunes the engine's circuit breaker. The zero value
+// disables the breaker entirely (Window <= 0), which keeps existing
+// configurations byte-for-byte compatible: breakers are opt-in because a
+// decode engine fed deliberately hostile waveforms (the chaos soak's
+// mismatched-seed scenarios) fails constantly by design.
+type BreakerConfig struct {
+	// Window is the sliding sample window (frame outcomes) the failure
+	// rate is computed over. <= 0 disables the breaker.
+	Window int
+	// MinSamples is the minimum number of recorded outcomes before the
+	// breaker may trip. 0 selects Window/2.
+	MinSamples int
+	// FailureRate in (0, 1]; the breaker opens when failures/samples
+	// reaches it. 0 selects 0.5.
+	FailureRate float64
+	// Cooldown is how long the breaker stays open before allowing
+	// half-open probes. 0 selects 1s.
+	Cooldown time.Duration
+	// Probes is how many concurrent trial frames the half-open state
+	// admits; that many consecutive successes re-close the breaker and a
+	// single failure re-opens it. 0 selects 3.
+	Probes int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Window <= 0 {
+		return BreakerConfig{}
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = c.Window / 2
+		if c.MinSamples < 1 {
+			c.MinSamples = 1
+		}
+	}
+	if c.FailureRate <= 0 {
+		c.FailureRate = 0.5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = time.Second
+	}
+	if c.Probes <= 0 {
+		c.Probes = 3
+	}
+	return c
+}
+
+// Breaker state values, mirrored into an atomic so State() and the health
+// reporter never contend with the admission path's mutex.
+const (
+	breakerClosed int32 = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breakerStateName maps a state value to its /debug/health label.
+func breakerStateName(s int32) string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is a count-based sliding-window circuit breaker. All transitions
+// are driven by the timestamps the engine's clock seam hands in, never by
+// the wall clock directly, so tests (and sledvet's seededrand analyzer)
+// stay deterministic.
+type breaker struct {
+	cfg BreakerConfig
+
+	mu sync.Mutex
+	// ring holds the last cfg.Window outcomes (true = failure).
+	ring   []bool
+	next   int
+	filled int
+	fails  int
+	// openedAt stamps the most recent closed/half-open -> open transition.
+	openedAt time.Time
+	// probes is the number of half-open trial frames currently in flight;
+	// probeOK counts consecutive successful probes.
+	probes  int
+	probeOK int
+
+	// state mirrors the mutex-guarded state for lock-free readers.
+	state atomic.Int32
+}
+
+func newBreaker(cfg BreakerConfig) *breaker {
+	cfg = cfg.withDefaults()
+	if cfg.Window <= 0 {
+		return nil
+	}
+	return &breaker{cfg: cfg, ring: make([]bool, cfg.Window)}
+}
+
+// State reports the current breaker state without taking the mutex.
+func (b *breaker) State() int32 {
+	if b == nil {
+		return breakerClosed
+	}
+	return b.state.Load()
+}
+
+// Allow decides whether a frame may enter the engine. probe is true when
+// the frame was admitted as a half-open trial; the caller must hand that
+// flag back through Record (or Release if the frame never runs) so the
+// probe slot is returned.
+func (b *breaker) Allow(now time.Time) (admit, probe bool) {
+	if b == nil {
+		return true, false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state.Load() {
+	case breakerOpen:
+		if now.Sub(b.openedAt) < b.cfg.Cooldown {
+			return false, false
+		}
+		b.toHalfOpen()
+		fallthrough
+	case breakerHalfOpen:
+		if b.probes >= b.cfg.Probes {
+			return false, false
+		}
+		b.probes++
+		return true, true
+	default:
+		return true, false
+	}
+}
+
+// Release returns a probe slot for a frame that was admitted by Allow but
+// never produced an outcome (shed later in the admission chain, or skipped
+// because its context died on the queue).
+func (b *breaker) Release(probe bool) {
+	if b == nil || !probe {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.probes > 0 {
+		b.probes--
+	}
+}
+
+// Record feeds one frame outcome into the window and drives transitions.
+// It reports whether the breaker changed state so the engine can publish
+// health exactly when something moved.
+func (b *breaker) Record(now time.Time, probe, failed bool) (changed bool) {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state.Load() {
+	case breakerHalfOpen:
+		if !probe {
+			// A frame admitted before the trip finished late; its outcome
+			// says nothing about the backend's recovery.
+			return false
+		}
+		if b.probes > 0 {
+			b.probes--
+		}
+		if failed {
+			b.toOpen(now)
+			return true
+		}
+		b.probeOK++
+		if b.probeOK >= b.cfg.Probes {
+			b.toClosed()
+			return true
+		}
+		return false
+	case breakerOpen:
+		// Late result from before the trip; the cooldown clock governs.
+		if probe && b.probes > 0 {
+			b.probes--
+		}
+		return false
+	default:
+		b.push(failed)
+		if b.filled >= b.cfg.MinSamples &&
+			float64(b.fails) >= b.cfg.FailureRate*float64(b.filled) {
+			b.toOpen(now)
+			return true
+		}
+		return false
+	}
+}
+
+func (b *breaker) push(failed bool) {
+	if b.filled == len(b.ring) {
+		if b.ring[b.next] {
+			b.fails--
+		}
+	} else {
+		b.filled++
+	}
+	b.ring[b.next] = failed
+	if failed {
+		b.fails++
+	}
+	b.next = (b.next + 1) % len(b.ring)
+}
+
+func (b *breaker) resetWindow() {
+	for i := range b.ring {
+		b.ring[i] = false
+	}
+	b.next, b.filled, b.fails = 0, 0, 0
+}
+
+func (b *breaker) toOpen(now time.Time) {
+	b.state.Store(breakerOpen)
+	b.openedAt = now
+	b.probes, b.probeOK = 0, 0
+	m := metrics()
+	m.breakerOpened.Inc()
+	m.breakerState.Set(float64(breakerOpen))
+}
+
+func (b *breaker) toHalfOpen() {
+	b.state.Store(breakerHalfOpen)
+	b.probes, b.probeOK = 0, 0
+	m := metrics()
+	m.breakerProbes.Inc()
+	m.breakerState.Set(float64(breakerHalfOpen))
+}
+
+func (b *breaker) toClosed() {
+	b.state.Store(breakerClosed)
+	b.resetWindow()
+	b.probes, b.probeOK = 0, 0
+	m := metrics()
+	m.breakerReclosed.Inc()
+	m.breakerState.Set(float64(breakerClosed))
+}

@@ -1,0 +1,240 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// bclock is a manually advanced clock for driving breaker transitions.
+type bclock struct {
+	base time.Time
+	off  atomic.Int64
+}
+
+func newBClock() *bclock { return &bclock{base: time.Unix(1_700_000_000, 0)} }
+
+func (c *bclock) now() time.Time { return c.base.Add(time.Duration(c.off.Load())) }
+
+func (c *bclock) advance(d time.Duration) { c.off.Add(int64(d)) }
+
+func testBreakerConfig() BreakerConfig {
+	return BreakerConfig{Window: 4, MinSamples: 2, FailureRate: 0.5, Cooldown: time.Second, Probes: 2}
+}
+
+// TestBreakerTripsAtFailureRate: the breaker stays closed below
+// MinSamples, then opens as soon as the windowed failure rate reaches the
+// threshold.
+func TestBreakerTripsAtFailureRate(t *testing.T) {
+	clk := newBClock()
+	b := newBreaker(testBreakerConfig())
+	if admit, _ := b.Allow(clk.now()); !admit {
+		t.Fatal("closed breaker must admit")
+	}
+	b.Record(clk.now(), false, true) // 1 failure, below MinSamples
+	if b.State() != breakerClosed {
+		t.Fatalf("state after 1 sample = %s, want closed", breakerStateName(b.State()))
+	}
+	b.Record(clk.now(), false, true) // 2/2 failed >= 0.5
+	if b.State() != breakerOpen {
+		t.Fatalf("state after 2 failures = %s, want open", breakerStateName(b.State()))
+	}
+	if admit, _ := b.Allow(clk.now()); admit {
+		t.Fatal("open breaker must not admit inside cooldown")
+	}
+}
+
+// TestBreakerSuccessesKeepItClosed: a window dominated by successes never
+// trips even past MinSamples.
+func TestBreakerSuccessesKeepItClosed(t *testing.T) {
+	clk := newBClock()
+	b := newBreaker(testBreakerConfig())
+	for i := 0; i < 10; i++ {
+		b.Record(clk.now(), false, i%4 == 3) // 25% failure rate < 0.5
+		if b.State() != breakerClosed {
+			t.Fatalf("tripped at sample %d with 25%% failures", i)
+		}
+	}
+}
+
+// TestBreakerHalfOpenProbesAndReclose walks the full recovery arc:
+// open -> (cooldown) -> half-open with a bounded probe quota -> closed
+// after Probes consecutive successes, with the window reset.
+func TestBreakerHalfOpenProbesAndReclose(t *testing.T) {
+	clk := newBClock()
+	b := newBreaker(testBreakerConfig())
+	b.Record(clk.now(), false, true)
+	b.Record(clk.now(), false, true)
+	if b.State() != breakerOpen {
+		t.Fatal("breaker should be open")
+	}
+	clk.advance(time.Second + time.Millisecond)
+	admit1, probe1 := b.Allow(clk.now())
+	if !admit1 || !probe1 {
+		t.Fatalf("first post-cooldown Allow = (%v, %v), want probe admit", admit1, probe1)
+	}
+	if b.State() != breakerHalfOpen {
+		t.Fatalf("state = %s, want half-open", breakerStateName(b.State()))
+	}
+	admit2, probe2 := b.Allow(clk.now())
+	if !admit2 || !probe2 {
+		t.Fatal("second probe should be admitted (Probes=2)")
+	}
+	if admit3, _ := b.Allow(clk.now()); admit3 {
+		t.Fatal("third concurrent probe must be rejected")
+	}
+	b.Record(clk.now(), true, false)
+	if b.State() != breakerHalfOpen {
+		t.Fatal("one good probe of two must not re-close yet")
+	}
+	if !b.Record(clk.now(), true, false) {
+		t.Fatal("re-close transition should report a state change")
+	}
+	if b.State() != breakerClosed {
+		t.Fatalf("state = %s, want closed after %d good probes", breakerStateName(b.State()), 2)
+	}
+	// The window was reset: one new failure must not re-trip instantly.
+	b.Record(clk.now(), false, true)
+	if b.State() != breakerClosed {
+		t.Fatal("window must reset on re-close")
+	}
+}
+
+// TestBreakerHalfOpenProbeFailureReopens: one failed probe re-opens the
+// breaker and restarts the cooldown from that moment.
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	clk := newBClock()
+	b := newBreaker(testBreakerConfig())
+	b.Record(clk.now(), false, true)
+	b.Record(clk.now(), false, true)
+	clk.advance(time.Second + time.Millisecond)
+	if admit, probe := b.Allow(clk.now()); !admit || !probe {
+		t.Fatal("expected a half-open probe")
+	}
+	b.Record(clk.now(), true, true)
+	if b.State() != breakerOpen {
+		t.Fatalf("state = %s, want open after failed probe", breakerStateName(b.State()))
+	}
+	if admit, _ := b.Allow(clk.now()); admit {
+		t.Fatal("cooldown must restart after a failed probe")
+	}
+	clk.advance(time.Second + time.Millisecond)
+	if admit, probe := b.Allow(clk.now()); !admit || !probe {
+		t.Fatal("second cooldown must admit a new probe")
+	}
+}
+
+// TestBreakerIgnoresLateNonProbeResults: outcomes of frames admitted
+// before a trip say nothing about recovery and must not move the state.
+func TestBreakerIgnoresLateNonProbeResults(t *testing.T) {
+	clk := newBClock()
+	b := newBreaker(testBreakerConfig())
+	b.Record(clk.now(), false, true)
+	b.Record(clk.now(), false, true)
+	clk.advance(time.Second + time.Millisecond)
+	b.Allow(clk.now()) // half-open with one probe out
+	b.Record(clk.now(), false, true)
+	b.Record(clk.now(), false, false)
+	if b.State() != breakerHalfOpen {
+		t.Fatalf("late non-probe results moved the state to %s", breakerStateName(b.State()))
+	}
+}
+
+// TestBreakerReleaseReturnsProbeSlot: a probe admitted but shed later in
+// the admission chain frees its slot for the next submission.
+func TestBreakerReleaseReturnsProbeSlot(t *testing.T) {
+	clk := newBClock()
+	cfg := testBreakerConfig()
+	cfg.Probes = 1
+	b := newBreaker(cfg)
+	b.Record(clk.now(), false, true)
+	b.Record(clk.now(), false, true)
+	clk.advance(time.Second + time.Millisecond)
+	if admit, probe := b.Allow(clk.now()); !admit || !probe {
+		t.Fatal("expected probe admit")
+	}
+	if admit, _ := b.Allow(clk.now()); admit {
+		t.Fatal("probe quota should be exhausted")
+	}
+	b.Release(true)
+	if admit, probe := b.Allow(clk.now()); !admit || !probe {
+		t.Fatal("released slot should admit a new probe")
+	}
+}
+
+// TestBreakerDisabledByZeroConfig: the zero BreakerConfig yields a nil
+// breaker whose every operation is a permissive no-op.
+func TestBreakerDisabledByZeroConfig(t *testing.T) {
+	b := newBreaker(BreakerConfig{})
+	if b != nil {
+		t.Fatal("zero config must disable the breaker")
+	}
+	if admit, probe := b.Allow(time.Time{}); !admit || probe {
+		t.Fatal("nil breaker must admit everything")
+	}
+	b.Record(time.Time{}, false, true)
+	b.Release(true)
+	if b.State() != breakerClosed {
+		t.Fatal("nil breaker reports closed")
+	}
+}
+
+// TestEngineBreakerFailsFastAndRecovers drives the breaker through a live
+// engine: a panic storm trips it, submissions fail fast with
+// ErrCircuitOpen, and after the cooldown (advanced on the clock seam)
+// healthy probes re-close it.
+func TestEngineBreakerFailsFastAndRecovers(t *testing.T) {
+	leakCheck(t)
+	cfg := testConfig(1)
+	cfg.Breaker = BreakerConfig{Window: 4, MinSamples: 2, FailureRate: 0.5, Cooldown: time.Minute, Probes: 1}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer e.Close()
+	clk := newBClock()
+	e.now = clk.now
+
+	testFrameHook = func(j *job) { panic("poisoned backend") }
+	ctx := context.Background()
+	outs := e.EncodeEach(ctx, testPayloads(3))
+	for i, o := range outs {
+		if !errors.Is(o.Err, ErrFramePanic) {
+			t.Fatalf("frame %d: err = %v, want ErrFramePanic", i, o.Err)
+		}
+	}
+	// Outcome recording happens just after delivery; wait for the trip.
+	waitFor(t, "breaker open", func() bool { return e.breaker.State() == breakerOpen })
+	testFrameHook = nil
+
+	outs = e.EncodeEach(ctx, testPayloads(1))
+	if !errors.Is(outs[0].Err, ErrCircuitOpen) {
+		t.Fatalf("submission while open: err = %v, want ErrCircuitOpen", outs[0].Err)
+	}
+	if e.Health() != Degraded {
+		t.Fatalf("health while open = %s, want degraded", e.Health())
+	}
+
+	clk.advance(time.Minute + time.Second)
+	waitFor(t, "breaker re-close", func() bool {
+		o := e.EncodeEach(ctx, testPayloads(1))
+		return o[0].Err == nil && e.breaker.State() == breakerClosed
+	})
+	if outs = e.EncodeEach(ctx, testPayloads(1)); outs[0].Err != nil {
+		t.Fatalf("post-recovery encode: %v", outs[0].Err)
+	}
+}
+
+// waitFor polls cond with a generous deadline, failing the test on expiry.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sledzig/internal/codec"
@@ -59,6 +60,23 @@ type Config struct {
 	// siblings proceed. Zero disables the deadline (and its small
 	// per-frame goroutine cost).
 	FrameTimeout time.Duration
+
+	// MaxQueueWait bounds how long a submission may wait for queue
+	// capacity before being shed with a typed *Overload (ErrOverloaded).
+	// Zero keeps the original blocking-backpressure contract: wait until
+	// a worker frees capacity or the caller's context dies.
+	MaxQueueWait time.Duration
+	// MaxInflight caps admitted-but-unfinished frames across the queue
+	// and the workers; beyond it submissions shed with ErrOverloaded.
+	// <= 0 disables the cap.
+	MaxInflight int
+	// MaxAbandoned caps concurrently timeout-abandoned frame goroutines;
+	// at the cap new frames shed with ErrOverloaded rather than risk
+	// spawning another. 0 selects 16*Workers; negative disables the cap.
+	MaxAbandoned int
+	// Breaker configures the engine's circuit breaker; the zero value
+	// disables it (see BreakerConfig).
+	Breaker BreakerConfig
 	// Resilient enables the receivers' graceful-degradation ladder
 	// (preamble resync after a failed decode at sample 0).
 	Resilient bool
@@ -120,6 +138,10 @@ type job struct {
 	deliverDec func(idx int, res *DecodeResult, err error)
 	done       *sync.WaitGroup
 
+	// probe marks a frame admitted as a half-open circuit-breaker trial;
+	// its outcome (or shed) must hand the probe slot back.
+	probe bool
+
 	// tr is the frame's trace (nil when tracing is off): started at
 	// submission, marked Enqueued/Dequeued around the queue hop, threaded
 	// into the PHY pipelines for stage spans, and finished by the worker.
@@ -131,11 +153,39 @@ type job struct {
 type Engine struct {
 	cfg  Config
 	plan *core.Plan
+	// id is the engine's slot in the live-engine health registry.
+	id uint64
 
-	// now is the engine's clock seam: batch latency metrics read time
-	// through it so tests (and deterministic replay harnesses) can inject
-	// a fake clock. New wires it to time.Now.
+	// now is the engine's clock seam: batch latency metrics, breaker
+	// cooldowns, and health recency all read time through it so tests
+	// (and deterministic replay harnesses) can inject a fake clock. New
+	// wires it to time.Now.
 	now func() time.Time
+
+	// breaker is nil unless Config.Breaker enables it.
+	breaker *breaker
+
+	// state is the admission gate (accepting/draining/closed); inflight
+	// counts admitted-but-unfinished frames (each submission reserves
+	// before enqueueing, each outcome — delivered, shed, or skipped —
+	// releases); abandoned counts live timeout-abandoned frame
+	// goroutines; lastShedNS stamps the most recent shed decision for
+	// health recency.
+	state      atomic.Int32
+	inflight   atomic.Int64
+	abandoned  atomic.Int64
+	lastShedNS atomic.Int64
+	sheds      shedTally
+
+	// drained closes (via drainOnce) when admission has stopped and the
+	// inflight count reaches zero. shedQueued flips the workers into
+	// shedding mode at a drain deadline; drainFlushed/drainShedN account
+	// the drain's per-frame disposition.
+	drained      chan struct{}
+	drainOnce    sync.Once
+	shedQueued   atomic.Bool
+	drainFlushed atomic.Uint64
+	drainShedN   atomic.Uint64
 
 	mu     sync.RWMutex // guards closed vs. sends on jobs
 	closed bool
@@ -163,15 +213,18 @@ func New(cfg Config) (*Engine, error) {
 		}
 	}
 	e := &Engine{
-		cfg:  cfg,
-		plan: plan,
-		now:  time.Now,
-		jobs: make(chan *job, cfg.Queue),
+		cfg:     cfg,
+		plan:    plan,
+		now:     time.Now,
+		breaker: newBreaker(cfg.Breaker),
+		drained: make(chan struct{}),
+		jobs:    make(chan *job, cfg.Queue),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		e.wg.Add(1)
 		go e.worker(i)
 	}
+	registerEngine(e)
 	return e, nil
 }
 
@@ -220,6 +273,45 @@ func setTrace(cdc codec.Codec, tr *trace.Frame) {
 // frame — the seam the robustness tests use to inject panics and stalls.
 var testFrameHook func(j *job)
 
+// FrameHookInfo describes the frame about to run when a process-wide
+// frame hook (SetFrameHook) is installed.
+type FrameHookInfo struct {
+	// Codec is the engine's backend name ("sledzig", "ofdmfi", ...).
+	Codec string
+	// Decode is true for decode frames, false for encode.
+	Decode bool
+	// Index is the frame's slot in its batch.
+	Index int
+}
+
+// frameHook is the process-wide fault-injection hook; atomic so harnesses
+// can install and remove it while engines run.
+var frameHook atomic.Pointer[func(FrameHookInfo)]
+
+// SetFrameHook installs (nil removes) a process-wide hook that runs inside
+// every frame's containment boundary, before the PHY work. It exists for
+// fault-injection harnesses (cmd/chaos -overload) that need to drive panic
+// and stall storms through the same recovery, timeout, breaker, and
+// admission machinery real failures exercise. Not a production seam.
+func SetFrameHook(h func(FrameHookInfo)) {
+	if h == nil {
+		frameHook.Store(nil)
+		return
+	}
+	frameHook.Store(&h)
+}
+
+// strike runs the frame hooks for one frame; called inside the guarded
+// section so an injected panic or stall is contained like a real one.
+func (e *Engine) strike(j *job, decode bool) {
+	if h := testFrameHook; h != nil {
+		h(j)
+	}
+	if hp := frameHook.Load(); hp != nil {
+		(*hp)(FrameHookInfo{Codec: e.codecName(), Decode: decode, Index: j.idx})
+	}
+}
+
 // runProtected executes fn, converting a panic into a typed per-frame
 // error carrying the stack. This is the boundary that keeps one hostile
 // frame from taking down the worker pool.
@@ -236,14 +328,35 @@ func runProtected(fn func() error) (err error) {
 // guarded runs fn under panic recovery and, when configured, the per-frame
 // deadline. On deadline or context expiry the computation is abandoned to
 // finish on its own (it holds only w's old state, which reset replaces)
-// and a typed error is returned promptly.
+// and a typed error is returned promptly. Abandoned goroutines are counted
+// in the abandoned_workers gauge and capped by Config.MaxAbandoned: at the
+// cap a new frame sheds with ErrOverloaded instead of risking yet another
+// background goroutine.
 func (w *workerState) guarded(ctx context.Context, fn func() error) error {
-	timeout := w.e.cfg.FrameTimeout
+	e := w.e
+	timeout := e.cfg.FrameTimeout
 	if timeout <= 0 {
 		return runProtected(fn)
 	}
+	if limit := e.abandonedCap(); limit > 0 && int(e.abandoned.Load()) >= limit {
+		e.noteShed(&e.sheds.abandoned, metrics().shedAbandoned)
+		return e.overload(OverloadAbandoned, 0)
+	}
+	// fate arbitrates the race between the frame finishing and the worker
+	// abandoning it: whichever side loses its CAS settles the abandoned
+	// tally, and a frame that finishes at the buzzer still wins — the
+	// worker takes its real result instead of reporting a timeout.
+	var fate atomic.Int32
 	done := make(chan error, 1)
-	go func() { done <- runProtected(fn) }()
+	go func() {
+		err := runProtected(fn)
+		if !fate.CompareAndSwap(frameRunning, frameFinished) {
+			// The worker abandoned this frame; this goroutine was the
+			// tallied abandoned worker and has now retired.
+			e.abandonedDone()
+		}
+		done <- err
+	}()
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	var cancel <-chan struct{}
@@ -254,10 +367,16 @@ func (w *workerState) guarded(ctx context.Context, fn func() error) error {
 	case err := <-done:
 		return err
 	case <-timer.C:
+		if !e.abandonFrame(&fate) {
+			return <-done
+		}
 		metrics().timeouts.Inc()
 		w.reset()
 		return fmt.Errorf("%w (%v)", ErrFrameTimeout, timeout)
 	case <-cancel:
+		if !e.abandonFrame(&fate) {
+			return <-done
+		}
 		w.reset()
 		return ctx.Err()
 	}
@@ -283,9 +402,7 @@ func (w *workerState) decodeFrame(j *job) (*DecodeResult, error) {
 	dec.rxr.Trace = j.tr
 	dec.dec.Trace = j.tr
 	err := w.guarded(j.ctx, func() error {
-		if h := testFrameHook; h != nil {
-			h(j)
-		}
+		w.e.strike(j, true)
 		r, derr := dec.decodeOne(j.waveform)
 		if derr != nil {
 			return derr
@@ -304,9 +421,7 @@ func (w *workerState) decodeGeneric(j *job) (*DecodeResult, error) {
 	cdc := w.cdc
 	setTrace(cdc, j.tr)
 	err := w.guarded(j.ctx, func() error {
-		if h := testFrameHook; h != nil {
-			h(j)
-		}
+		w.e.strike(j, true)
 		dec, derr := cdc.Decode(j.waveform)
 		if derr != nil {
 			return derr
@@ -333,9 +448,7 @@ func (w *workerState) encodeFrame(j *job) (*Product, error) {
 	enc := w.enc
 	enc.Trace = j.tr
 	err := w.guarded(j.ctx, func() error {
-		if h := testFrameHook; h != nil {
-			h(j)
-		}
+		w.e.strike(j, false)
 		return enc.EncodeTo(j.payload, res)
 	})
 	if err != nil {
@@ -349,9 +462,7 @@ func (w *workerState) encodeGeneric(j *job) (*Product, error) {
 	cdc := w.cdc
 	setTrace(cdc, j.tr)
 	err := w.guarded(j.ctx, func() error {
-		if h := testFrameHook; h != nil {
-			h(j)
-		}
+		w.e.strike(j, false)
 		enc, cerr := cdc.Encode(j.payload)
 		if cerr != nil {
 			return cerr
@@ -377,20 +488,24 @@ func (e *Engine) worker(i int) {
 	w.reset()
 	for j := range e.jobs {
 		m.queueDepth.Add(-1)
+		// At a drain deadline the workers stop running frames and hand
+		// everything still queued back to its callers as ErrDraining.
+		if e.shedQueued.Load() {
+			e.drainShedN.Add(1)
+			e.noteShed(&e.sheds.draining, m.shedDraining)
+			e.breaker.Release(j.probe)
+			e.failJob(j, ErrDraining)
+			e.releaseInflight()
+			continue
+		}
 		j.tr.Dequeued(i)
 		// A dead context fails the frame before any PHY work: cancellation
 		// drains the queue promptly instead of decoding doomed frames.
 		if j.ctx != nil {
 			if err := j.ctx.Err(); err != nil {
-				j.tr.Finish(err)
-				if j.deliverDec != nil {
-					j.deliverDec(j.idx, nil, err)
-				} else {
-					j.deliver(j.idx, nil, err)
-				}
-				if j.done != nil {
-					j.done.Done()
-				}
+				e.breaker.Release(j.probe)
+				e.failJob(j, err)
+				e.releaseInflight()
 				continue
 			}
 		}
@@ -409,6 +524,7 @@ func (e *Engine) worker(i int) {
 			if j.done != nil {
 				j.done.Done()
 			}
+			e.frameDone(j, err)
 			continue
 		}
 		t0 := encStage.Start()
@@ -425,7 +541,20 @@ func (e *Engine) worker(i int) {
 		if j.done != nil {
 			j.done.Done()
 		}
+		e.frameDone(j, err)
 	}
+}
+
+// frameDone settles one completed frame's reliability accounting: the
+// breaker outcome, the drain flush tally, and the inflight reservation.
+func (e *Engine) frameDone(j *job, err error) {
+	if e.breaker.Record(e.now(), j.probe, err != nil) {
+		publishHealthGauge()
+	}
+	if e.state.Load() == admitDraining {
+		e.drainFlushed.Add(1)
+	}
+	e.releaseInflight()
 }
 
 // finishFrame closes the frame's trace with its outcome, observes the
@@ -446,18 +575,81 @@ func (e *Engine) finishFrame(h *obs.Histogram, j *job, err error) {
 	}
 }
 
-// submit enqueues one job, honouring cancellation and close.
+// submit admits and enqueues one job. Admission runs the whole reliability
+// ladder in order: closed/draining state, the abandoned-worker cap, the
+// circuit breaker, the inflight cap, then the bounded queue wait — each
+// stage sheds with its own typed error rather than stalling the caller.
 func (e *Engine) submit(ctx context.Context, j *job) error {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.closed {
 		return ErrClosed
 	}
+	m := metrics()
+	switch e.state.Load() {
+	case admitClosed:
+		return ErrClosed
+	case admitDraining:
+		e.noteShed(&e.sheds.draining, m.shedDraining)
+		return ErrDraining
+	}
+	if limit := e.abandonedCap(); limit > 0 && int(e.abandoned.Load()) >= limit {
+		e.noteShed(&e.sheds.abandoned, m.shedAbandoned)
+		return e.overload(OverloadAbandoned, 0)
+	}
+	admit, probe := e.breaker.Allow(e.now())
+	if !admit {
+		e.noteShed(&e.sheds.circuit, m.shedCircuit)
+		return fmt.Errorf("%w: codec %q failing fast", ErrCircuitOpen, e.codecName())
+	}
+	j.probe = probe
+	// Reserve the inflight slot before the send: a worker finishing the
+	// job must never release a reservation that was not yet taken, or the
+	// drain-complete signal could fire with work still admitted.
+	if limit := e.cfg.MaxInflight; limit > 0 {
+		if nv := e.inflight.Add(1); int(nv) > limit {
+			e.releaseInflight()
+			e.breaker.Release(probe)
+			e.noteShed(&e.sheds.inflight, m.shedInflight)
+			return e.overload(OverloadInflight, 0)
+		}
+	} else {
+		e.inflight.Add(1)
+	}
 	select {
 	case e.jobs <- j:
-		metrics().queueDepth.Add(1)
+		m.queueDepth.Add(1)
 		return nil
+	default:
+	}
+	if e.cfg.MaxQueueWait <= 0 {
+		// Original backpressure contract: block until a worker frees
+		// capacity or the caller's context dies.
+		select {
+		case e.jobs <- j:
+			m.queueDepth.Add(1)
+			return nil
+		case <-ctx.Done():
+			e.releaseInflight()
+			e.breaker.Release(probe)
+			return ctx.Err()
+		}
+	}
+	start := e.now()
+	timer := time.NewTimer(e.cfg.MaxQueueWait)
+	defer timer.Stop()
+	select {
+	case e.jobs <- j:
+		m.queueDepth.Add(1)
+		return nil
+	case <-timer.C:
+		e.releaseInflight()
+		e.breaker.Release(probe)
+		e.noteShed(&e.sheds.queueWait, m.shedQueueWait)
+		return e.overload(OverloadQueueWait, e.now().Sub(start))
 	case <-ctx.Done():
+		e.releaseInflight()
+		e.breaker.Release(probe)
 		return ctx.Err()
 	}
 }
@@ -526,14 +718,14 @@ func (e *Engine) EncodeBatch(ctx context.Context, payloads [][]byte) ([]*Product
 	return results, nil
 }
 
-// Close stops accepting work, drains the queue, and waits for the workers
-// to exit. Safe to call more than once.
+// Close stops accepting work, runs everything already queued, and waits
+// for the workers to exit. Safe to call more than once, and safe to mix
+// with Drain (whichever wins shuts the engine; the other observes it).
+// Shutdown paths that need a deadline and per-frame accounting use Drain.
 func (e *Engine) Close() {
-	e.mu.Lock()
-	if !e.closed {
-		e.closed = true
-		close(e.jobs)
-	}
-	e.mu.Unlock()
+	e.closeNow()
 	e.wg.Wait()
+	e.state.Store(admitClosed)
+	e.drainOnce.Do(func() { close(e.drained) })
+	unregisterEngine(e)
 }

@@ -1,0 +1,124 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestHealthLifecycle: healthy -> degraded (abandoned worker) -> healthy
+// again -> draining -> closed, with the live registry tracking the engine.
+func TestHealthLifecycle(t *testing.T) {
+	leakCheck(t)
+	cfg := testConfig(1)
+	cfg.FrameTimeout = 30 * time.Millisecond
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if e.Health() != Healthy {
+		t.Fatalf("fresh engine health = %s, want healthy", e.Health())
+	}
+	rep := e.Report()
+	if rep.Codec != codecSledZig || rep.Workers != 1 || rep.ID == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+
+	_, release := stallHook(t)
+	outs := e.EncodeEach(context.Background(), testPayloads(1))
+	if outs[0].Err == nil {
+		t.Fatal("wedged frame should have timed out")
+	}
+	if e.Health() != Degraded {
+		t.Fatalf("health with abandoned worker = %s, want degraded", e.Health())
+	}
+	if rep := e.Report(); rep.Abandoned != 1 {
+		t.Fatalf("report abandoned = %d, want 1", rep.Abandoned)
+	}
+	close(release)
+	waitFor(t, "degraded to clear", func() bool { return e.Health() == Healthy })
+
+	if rep := e.Drain(context.Background()); !rep.Clean {
+		t.Fatalf("drain: %+v", rep)
+	}
+	if e.Health() != Closed {
+		t.Fatalf("health after drain = %s, want closed", e.Health())
+	}
+}
+
+// TestRecentShedDegrades: a shed marks the engine degraded for
+// shedDegradeWindow on the engine's own clock, then clears.
+func TestRecentShedDegrades(t *testing.T) {
+	leakCheck(t)
+	cfg := testConfig(1)
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer e.Close()
+	clk := newBClock()
+	e.now = clk.now
+
+	e.noteShed(&e.sheds.inflight, metrics().shedInflight)
+	if e.Health() != Degraded {
+		t.Fatalf("health right after shed = %s, want degraded", e.Health())
+	}
+	clk.advance(shedDegradeWindow + time.Second)
+	if e.Health() != Healthy {
+		t.Fatalf("health after window = %s, want healthy", e.Health())
+	}
+}
+
+// TestDebugHealthEndpoint: /debug/health serves a JSON document whose
+// engines array carries this engine's snapshot.
+func TestDebugHealthEndpoint(t *testing.T) {
+	leakCheck(t)
+	e, err := New(testConfig(2))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer e.Close()
+
+	rr := httptest.NewRecorder()
+	healthHandler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/health", nil))
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json; charset=utf-8" {
+		t.Fatalf("content type %q", ct)
+	}
+	var doc struct {
+		State   HealthState      `json:"state"`
+		Engines []HealthSnapshot `json:"engines"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("unmarshal /debug/health: %v\n%s", err, rr.Body.String())
+	}
+	found := false
+	for _, s := range doc.Engines {
+		if s.ID == e.id {
+			found = true
+			if s.Codec != codecSledZig || s.Workers != 2 || s.State != Healthy {
+				t.Fatalf("snapshot = %+v", s)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("engine %d missing from /debug/health: %s", e.id, rr.Body.String())
+	}
+}
+
+// TestCloseUnregisters: Close removes the engine from the live registry so
+// /debug/health and the aggregate gauge stop reporting it.
+func TestCloseUnregisters(t *testing.T) {
+	e, err := New(testConfig(1))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	id := e.id
+	e.Close()
+	for _, live := range snapshotEngines() {
+		if live.id == id {
+			t.Fatal("closed engine still registered")
+		}
+	}
+}

@@ -25,6 +25,27 @@ type engineMetrics struct {
 	panics   *obs.Counter // frames whose worker panicked (recovered)
 	timeouts *obs.Counter // frames abandoned to FrameTimeout
 
+	// Load-shed decisions by reason (see admit.go / drain.go), plus the
+	// live count of abandoned frame goroutines.
+	shedQueueWait    *obs.Counter
+	shedInflight     *obs.Counter
+	shedAbandoned    *obs.Counter
+	shedCircuit      *obs.Counter
+	shedDraining     *obs.Counter
+	abandonedWorkers *obs.Gauge
+
+	// Circuit-breaker transitions and current state (0 closed, 1 open,
+	// 2 half-open).
+	breakerOpened   *obs.Counter
+	breakerReclosed *obs.Counter
+	breakerProbes   *obs.Counter // open -> half-open transitions
+	breakerState    *obs.Gauge
+
+	// Worst live engine's health rank (0 healthy, 1 degraded, 2 draining,
+	// 3 closed) and the number of Drain calls that took effect.
+	healthState *obs.Gauge
+	drains      *obs.Counter
+
 	// Per-frame end-to-end latency (queue wait + service), fed by traced
 	// frames only so every p99 bucket carries an exemplar naming the frame
 	// trace behind it. Aggregate per-worker stage histograms cover all
@@ -59,6 +80,21 @@ func metrics() *engineMetrics {
 
 			panics:   r.Counter("engine.frame_panics"),
 			timeouts: r.Counter("engine.frame_timeouts"),
+
+			shedQueueWait:    r.Counter("engine.shed.queue_wait"),
+			shedInflight:     r.Counter("engine.shed.inflight"),
+			shedAbandoned:    r.Counter("engine.shed.abandoned_workers"),
+			shedCircuit:      r.Counter("engine.shed.circuit_open"),
+			shedDraining:     r.Counter("engine.shed.draining"),
+			abandonedWorkers: r.Gauge("engine.abandoned_workers"),
+
+			breakerOpened:   r.Counter("engine.breaker.opened"),
+			breakerReclosed: r.Counter("engine.breaker.reclosed"),
+			breakerProbes:   r.Counter("engine.breaker.half_open_probes"),
+			breakerState:    r.Gauge("engine.breaker.state"),
+
+			healthState: r.Gauge("engine.health.state"),
+			drains:      r.Counter("engine.drains"),
 
 			encodeFrameLatency: r.Histogram("engine.frame.encode.latency_seconds"),
 			decodeFrameLatency: r.Histogram("engine.frame.decode.latency_seconds"),

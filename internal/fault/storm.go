@@ -1,0 +1,73 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Storm injects worker-level faults — panics and stalls — into a frame
+// pipeline, the failure mode a poisoned codec backend exhibits (as opposed
+// to the waveform-level damage Injectors model). It is deterministic under
+// its seed: the k-th Strike always resolves to the same fate regardless of
+// which goroutine lands it, so a chaos run is replayable. Wire Strike into
+// the engine's frame hook to drive panic containment, frame timeouts, and
+// circuit breakers with real load.
+type Storm struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	// panicP and stallP are per-strike probabilities; stall is the sleep
+	// injected on a stall strike (meant to exceed the target engine's
+	// FrameTimeout so the frame is abandoned).
+	panicP float64
+	stallP float64
+	stall  time.Duration
+
+	panics atomic.Uint64
+	stalls atomic.Uint64
+}
+
+// NewStorm builds a seeded storm striking with the given per-frame panic
+// and stall probabilities (each clamped to [0,1]); stall is the injected
+// sleep duration.
+func NewStorm(seed int64, panicP, stallP float64, stall time.Duration) *Storm {
+	clamp := func(p float64) float64 {
+		if p < 0 {
+			return 0
+		}
+		if p > 1 {
+			return 1
+		}
+		return p
+	}
+	return &Storm{
+		rng:    rand.New(rand.NewSource(seed)),
+		panicP: clamp(panicP),
+		stallP: clamp(stallP),
+		stall:  stall,
+	}
+}
+
+// Strike rolls the seeded dice once: it panics (to be contained by the
+// caller's recovery boundary), sleeps past the frame deadline, or returns
+// untouched. Safe for concurrent use.
+func (s *Storm) Strike() {
+	s.mu.Lock()
+	u := s.rng.Float64()
+	s.mu.Unlock()
+	switch {
+	case u < s.panicP:
+		n := s.panics.Add(1)
+		panic(fmt.Sprintf("fault: storm panic #%d", n))
+	case u < s.panicP+s.stallP:
+		s.stalls.Add(1)
+		time.Sleep(s.stall)
+	}
+}
+
+// Panics and Stalls report how many strikes of each kind have fired.
+func (s *Storm) Panics() uint64 { return s.panics.Load() }
+func (s *Storm) Stalls() uint64 { return s.stalls.Load() }

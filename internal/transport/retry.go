@@ -29,6 +29,12 @@ type RetryPolicy struct {
 	// Rng drives the jitter. Nil uses the shared math/rand source; supply
 	// a seeded one for reproducible schedules.
 	Rng *rand.Rand
+	// MaxElapsed caps the total wall time spent inside Do — attempts and
+	// backoff sleeps together. When the next backoff would cross the
+	// budget Do gives up promptly with the last error instead of sleeping
+	// first and failing later. Zero means no total budget (the attempt
+	// count alone bounds the retry loop).
+	MaxElapsed time.Duration
 	// Retryable classifies errors; returning false stops immediately with
 	// that error. Nil retries every non-nil error except context
 	// cancellation (which always stops).
@@ -36,6 +42,9 @@ type RetryPolicy struct {
 	// Sleep overrides the backoff wait (for tests). Nil waits on a timer,
 	// returning early with ctx.Err() on cancellation.
 	Sleep func(ctx context.Context, d time.Duration) error
+	// Clock overrides the wall clock the MaxElapsed and context-deadline
+	// checks read (for tests). Nil uses time.Now.
+	Clock func() time.Time
 }
 
 func (p RetryPolicy) attempts() int {
@@ -96,16 +105,27 @@ func (p RetryPolicy) sleep(ctx context.Context, d time.Duration) error {
 	}
 }
 
-// Do runs op until it succeeds, exhausts the attempt budget, hits a
-// non-retryable error, or ctx is cancelled. The returned error is the last
-// op error (wrapped with the attempt count when the budget ran out), so
-// errors.Is classification against the underlying failure keeps working.
+func (p RetryPolicy) clock() time.Time {
+	if p.Clock != nil {
+		return p.Clock()
+	}
+	return time.Now()
+}
+
+// Do runs op until it succeeds, exhausts the attempt budget (Attempts or
+// MaxElapsed), hits a non-retryable error, or ctx is cancelled. A backoff
+// that cannot complete before the context deadline or the MaxElapsed
+// budget is never slept: Do returns promptly with the deadline (or budget)
+// error wrapping the last op error. Every give-up path wraps the last op
+// error, so errors.Is classification against the underlying failure keeps
+// working.
 func (p RetryPolicy) Do(ctx context.Context, op func() error) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	m := metrics()
 	n := p.attempts()
+	start := p.clock()
 	var err error
 	for attempt := 0; attempt < n; attempt++ {
 		if cerr := ctx.Err(); cerr != nil {
@@ -123,8 +143,20 @@ func (p RetryPolicy) Do(ctx context.Context, op func() error) error {
 		if attempt == n-1 {
 			break
 		}
+		d := p.delay(attempt)
+		now := p.clock()
+		if p.MaxElapsed > 0 && now.Add(d).Sub(start) > p.MaxElapsed {
+			m.retryGiveups.Inc()
+			return fmt.Errorf("transport: retry budget %v exhausted after %d attempts: %w",
+				p.MaxElapsed, attempt+1, err)
+		}
+		if deadline, ok := ctx.Deadline(); ok && now.Add(d).After(deadline) {
+			m.retryGiveups.Inc()
+			return fmt.Errorf("transport: backoff %v crosses context deadline: %w: %w",
+				d, context.DeadlineExceeded, err)
+		}
 		m.retries.Inc()
-		if serr := p.sleep(ctx, p.delay(attempt)); serr != nil {
+		if serr := p.sleep(ctx, d); serr != nil {
 			return err
 		}
 	}

@@ -1,0 +1,90 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestRetryStopsBeforeContextDeadline: a backoff that cannot finish before
+// the context deadline is never slept — Do returns promptly with the
+// deadline error wrapping the last cause.
+func TestRetryStopsBeforeContextDeadline(t *testing.T) {
+	cause := errors.New("transient")
+	slept := 0
+	p := RetryPolicy{
+		Attempts:  5,
+		BaseDelay: time.Second,
+		Jitter:    -1,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			slept++
+			return nil
+		},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := p.Do(ctx, func() error { return cause })
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("Do took %v — waited out a dead deadline", took)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded in chain", err)
+	}
+	if !errors.Is(err, cause) {
+		t.Fatalf("err = %v must keep the last cause", err)
+	}
+	if slept != 0 {
+		t.Fatalf("slept %d times; the crossing backoff must not be slept", slept)
+	}
+}
+
+// TestRetryMaxElapsedBudget: the total-time budget stops the loop before a
+// backoff that would cross it, wrapping the last cause.
+func TestRetryMaxElapsedBudget(t *testing.T) {
+	cause := errors.New("transient")
+	now := time.Unix(1_700_000_000, 0)
+	slept := 0
+	p := RetryPolicy{
+		Attempts:   10,
+		BaseDelay:  40 * time.Millisecond,
+		Jitter:     -1,
+		MaxElapsed: 50 * time.Millisecond,
+		Clock:      func() time.Time { return now },
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			slept++
+			now = now.Add(d)
+			return nil
+		},
+	}
+	err := p.Do(context.Background(), func() error { return cause })
+	if err == nil {
+		t.Fatal("Do succeeded; want budget exhaustion")
+	}
+	if !errors.Is(err, cause) {
+		t.Fatalf("err = %v must keep the last cause", err)
+	}
+	if slept != 1 {
+		t.Fatalf("slept %d times, want 1 (40ms fits, 80ms crosses the 50ms budget)", slept)
+	}
+}
+
+// TestRetryMaxElapsedZeroMeansUnlimited: the zero value keeps the old
+// attempts-only contract.
+func TestRetryMaxElapsedZeroMeansUnlimited(t *testing.T) {
+	calls := 0
+	p := RetryPolicy{
+		Attempts:  4,
+		BaseDelay: time.Hour,
+		Jitter:    -1,
+		Sleep:     func(ctx context.Context, d time.Duration) error { return nil },
+	}
+	err := p.Do(context.Background(), func() error { calls++; return errors.New("x") })
+	if calls != 4 {
+		t.Fatalf("calls = %d, want all 4 attempts with no budget", calls)
+	}
+	if err == nil {
+		t.Fatal("want exhaustion error")
+	}
+}

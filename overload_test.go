@@ -1,0 +1,187 @@
+package sledzig
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"sledzig/internal/engine"
+)
+
+func overloadTestConfig() EngineConfig {
+	return EngineConfig{
+		Config:  Config{Modulation: QAM16, CodeRate: Rate12, Channel: CH2},
+		Workers: 1,
+	}
+}
+
+// TestFacadeOverloadTyped: an admission shed surfaces through the facade
+// as ErrOverloaded, with the *Overload detail recoverable via errors.As.
+func TestFacadeOverloadTyped(t *testing.T) {
+	cfg := overloadTestConfig()
+	cfg.MaxInflight = 1
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	defer eng.Close()
+
+	release := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	engine.SetFrameHook(func(engine.FrameHookInfo) {
+		entered <- struct{}{}
+		<-release
+	})
+	defer engine.SetFrameHook(nil)
+
+	payload := []byte("facade overload probe payload")
+	var wg sync.WaitGroup
+	first := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		outs := eng.EncodeEach(context.Background(), [][]byte{payload})
+		first <- outs[0].Err
+	}()
+	<-entered // one frame admitted and wedged
+
+	outs := eng.EncodeEach(context.Background(), [][]byte{payload})
+	if !errors.Is(outs[0].Err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", outs[0].Err)
+	}
+	var ov *Overload
+	if !errors.As(outs[0].Err, &ov) {
+		t.Fatalf("err %v does not carry *Overload detail", outs[0].Err)
+	}
+	if ov.Reason != engine.OverloadInflight {
+		t.Fatalf("reason = %q, want %q", ov.Reason, engine.OverloadInflight)
+	}
+	if eng.Health() != EngineDegraded {
+		t.Fatalf("health after shed = %s, want degraded", eng.Health())
+	}
+
+	close(release)
+	wg.Wait()
+	if err := <-first; err != nil {
+		t.Fatalf("wedged frame: %v", err)
+	}
+}
+
+// TestFacadeDrain: Drain through the facade reports clean on an idle
+// engine, flips Health to closed, and post-drain submissions fail with
+// ErrEngineClosed.
+func TestFacadeDrain(t *testing.T) {
+	eng, err := NewEngine(overloadTestConfig())
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	payload := []byte("facade drain payload")
+	if outs := eng.EncodeEach(context.Background(), [][]byte{payload}); outs[0].Err != nil {
+		t.Fatalf("warmup: %v", outs[0].Err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	rep := eng.Drain(ctx)
+	if !rep.Clean || rep.Shed != 0 || rep.Abandoned != 0 {
+		t.Fatalf("report = %+v, want clean", rep)
+	}
+	if eng.Health() != EngineClosed {
+		t.Fatalf("health = %s, want closed", eng.Health())
+	}
+	outs := eng.EncodeEach(context.Background(), [][]byte{payload})
+	if !errors.Is(outs[0].Err, ErrEngineClosed) {
+		t.Fatalf("post-drain err = %v, want ErrEngineClosed", outs[0].Err)
+	}
+}
+
+// TestFacadeDrainingSheds: a drain blocked on a wedged frame rejects new
+// work with ErrDraining through the facade taxonomy.
+func TestFacadeDrainingSheds(t *testing.T) {
+	eng, err := NewEngine(overloadTestConfig())
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	release := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	engine.SetFrameHook(func(engine.FrameHookInfo) {
+		entered <- struct{}{}
+		<-release
+	})
+	defer engine.SetFrameHook(nil)
+
+	payload := []byte("facade draining payload")
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		eng.EncodeEach(context.Background(), [][]byte{payload})
+	}()
+	<-entered
+
+	drainDone := make(chan DrainReport, 1)
+	go func() { drainDone <- eng.Drain(context.Background()) }()
+	waitDraining := time.After(5 * time.Second)
+	for eng.Health() != EngineDraining {
+		select {
+		case <-waitDraining:
+			t.Fatal("engine never entered draining")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	outs := eng.EncodeEach(context.Background(), [][]byte{payload})
+	if !errors.Is(outs[0].Err, ErrDraining) {
+		t.Fatalf("err while draining = %v, want ErrDraining", outs[0].Err)
+	}
+
+	close(release)
+	rep := <-drainDone
+	wg.Wait()
+	if !rep.Clean {
+		t.Fatalf("drain after release: %+v", rep)
+	}
+}
+
+// TestFacadeBreakerCircuitOpen: a breaker trip surfaces as ErrCircuitOpen
+// through the facade.
+func TestFacadeBreakerCircuitOpen(t *testing.T) {
+	cfg := overloadTestConfig()
+	cfg.Breaker = BreakerConfig{Window: 4, MinSamples: 2, FailureRate: 0.5, Cooldown: time.Hour, Probes: 1}
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	defer eng.Close()
+
+	engine.SetFrameHook(func(engine.FrameHookInfo) { panic("poisoned") })
+	payload := []byte("facade breaker payload")
+	outs := eng.EncodeEach(context.Background(), [][]byte{payload, payload, payload})
+	engine.SetFrameHook(nil)
+	for i, o := range outs {
+		if !errors.Is(o.Err, ErrFramePanicked) && !errors.Is(o.Err, ErrCircuitOpen) {
+			t.Fatalf("frame %d: err = %v, want panic or circuit-open taxonomy", i, o.Err)
+		}
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		outs = eng.EncodeEach(context.Background(), [][]byte{payload})
+		if errors.Is(outs[0].Err, ErrCircuitOpen) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never opened; last err = %v", outs[0].Err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rep := eng.HealthReport()
+	if rep.Breaker != "open" {
+		t.Fatalf("report breaker = %q, want open", rep.Breaker)
+	}
+	if rep.Shed.CircuitOpen == 0 {
+		t.Fatal("circuit-open sheds not tallied")
+	}
+}
