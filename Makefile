@@ -1,10 +1,10 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test race bench bench-json bench-compare bench-baseline experiments selfcheck conformance cover fmt fmt-check vet sledvet lint fuzz-smoke chaos chaos-overload trace-smoke
+.PHONY: test race bench bench-json bench-compare bench-baseline experiments selfcheck conformance cover fmt fmt-check vet sledvet lint lint-report fuzz-smoke chaos chaos-overload trace-smoke
 
 # Benchmarks gated by the checked-in allocation baseline (hot encode and
 # decode paths, plus every codec backend through the public facade).
-BENCH_GATED = BenchmarkSledZigEncode1500B$$|BenchmarkCoreEncodeTo1500B$$|BenchmarkWaveformSynthesis$$|BenchmarkAppendWaveform$$|BenchmarkReceiverDecode1500B$$|BenchmarkReceiverDecode1500BWide$$|BenchmarkViterbiDecodeInto$$|BenchmarkViterbiDecodeSoftInto$$|BenchmarkViterbiACSReferenceHard$$|BenchmarkViterbiACSReferenceSoft$$|BenchmarkDepunctureInto$$|BenchmarkFFTPlanForward64$$|BenchmarkCodecOOKEncode400B$$|BenchmarkCodecOfdmFiEncode400B$$|BenchmarkQfunc$$|BenchmarkQfuncExact$$
+BENCH_GATED = BenchmarkSledZigEncode1500B$$|BenchmarkCoreEncodeTo1500B$$|BenchmarkWaveformSynthesis$$|BenchmarkAppendWaveform$$|BenchmarkReceiverDecode1500B$$|BenchmarkReceiverDecode1500BWide$$|BenchmarkViterbiDecodeInto$$|BenchmarkViterbiDecodeSoftInto$$|BenchmarkViterbiACSReferenceHard$$|BenchmarkViterbiACSReferenceSoft$$|BenchmarkDepunctureInto$$|BenchmarkFFTPlanForward64$$|BenchmarkCodecOOKEncode400B$$|BenchmarkCodecOfdmFiEncode400B$$|BenchmarkQfunc$$|BenchmarkQfuncExact$$|BenchmarkSledvetWholeTree$$
 
 test: conformance
 	go test ./...
@@ -33,12 +33,12 @@ bench-json:
 # with BENCHTIME=100x without weakening the gate.
 BENCHTIME ?= 1s
 bench-compare:
-	go test -run '^$$' -bench '$(BENCH_GATED)' -benchtime $(BENCHTIME) -benchmem . ./internal/mac/ | tee bench.current.txt
+	go test -run '^$$' -bench '$(BENCH_GATED)' -benchtime $(BENCHTIME) -benchmem . ./internal/mac/ ./internal/analysis/driver/ | tee bench.current.txt
 	go run ./cmd/benchdiff -baseline bench.baseline.txt -current bench.current.txt
 
 # Refresh the checked-in baseline after an intentional allocation change.
 bench-baseline:
-	go test -run '^$$' -bench '$(BENCH_GATED)' -benchmem . ./internal/mac/ | tee bench.baseline.txt
+	go test -run '^$$' -bench '$(BENCH_GATED)' -benchmem . ./internal/mac/ ./internal/analysis/driver/ | tee bench.baseline.txt
 
 experiments:
 	go run ./cmd/experiments
@@ -65,6 +65,16 @@ vet:
 sledvet:
 	go run ./cmd/sledvet ./...
 
+# Machine-readable lint artifacts: the version-1 JSON report (then
+# re-validated through -check-json, so the emitter can never drift from
+# the documented schema) and a SARIF 2.1.0 log for code-scanning UIs.
+# `|| true` keeps artifact production going when diagnostics exist; the
+# plain `lint` target is what gates.
+LINT_DIR ?= .
+lint-report:
+	go run ./cmd/sledvet -json -sarif $(LINT_DIR)/sledvet.sarif ./... > $(LINT_DIR)/sledvet.json || true
+	go run ./cmd/sledvet -check-json $(LINT_DIR)/sledvet.json
+
 # The single lint entry point CI runs: formatting, go vet, staticcheck
 # (when installed — CI pins a version; locally it is optional), and the
 # project analyzers.
@@ -85,6 +95,7 @@ fuzz-smoke:
 	go test -run '^$$' -fuzz '^FuzzViterbiDecode$$' -fuzztime $(FUZZTIME) ./internal/wifi
 	go test -run '^$$' -fuzz '^FuzzDemap64RoundTrip$$' -fuzztime $(FUZZTIME) ./internal/wifi
 	go test -run '^$$' -fuzz '^FuzzCodecRegistry$$' -fuzztime $(FUZZTIME) ./internal/codec
+	go test -run '^$$' -fuzz '^FuzzCFGBuild$$' -fuzztime $(FUZZTIME) ./internal/analysis/cfg
 
 # Fault-injection soak of the decode pipeline (see docs/robustness.md).
 # Exits non-zero on any untyped error, escaped panic, or goroutine leak.

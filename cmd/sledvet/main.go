@@ -1,13 +1,17 @@
-// Command sledvet is the project's static-analysis suite: six custom
-// analyzers that turn SledZig's pipeline conventions (typed facade errors,
-// pooled-scratch hygiene, literal metric names, literal trace span names,
-// seeded randomness, no float equality in DSP code) into compile-loop
-// checks.
+// Command sledvet is the project's static-analysis suite: eleven custom
+// analyzers that turn SledZig's pipeline conventions into compile-loop
+// checks. Six are syntactic (typed facade errors, pooled-scratch hygiene,
+// literal metric names, literal trace span names, seeded randomness, no
+// float equality in DSP code); five are CFG/dataflow checks (lock/unlock
+// balance, goroutine exit reachability, //sledzig:noalloc hot-path
+// contracts, trace-span Begin/End pairing, atomic/plain access mixing).
 //
 // Standalone:
 //
 //	go run ./cmd/sledvet ./...              # analyze package patterns
-//	go run ./cmd/sledvet -floateq.allowzero=false ./internal/dsp
+//	go run ./cmd/sledvet -json ./...        # machine-readable diagnostics
+//	go run ./cmd/sledvet -sarif out.sarif ./...
+//	go run ./cmd/sledvet -check-json report.json   # validate an artifact
 //
 // As a go vet tool (single-unit protocol, incremental and build-cached):
 //
@@ -18,7 +22,8 @@
 //
 //	//sledvet:ignore <analyzer>[,<analyzer>] <reason>
 //
-// See docs/static-analysis.md for each analyzer's invariant.
+// See docs/static-analysis.md for each analyzer's invariant and the JSON
+// output schema.
 package main
 
 import (
@@ -32,43 +37,30 @@ import (
 	"strings"
 
 	"sledzig/internal/analysis"
+	"sledzig/internal/analysis/all"
 	"sledzig/internal/analysis/driver"
-	"sledzig/internal/analysis/floateq"
-	"sledzig/internal/analysis/metriclit"
-	"sledzig/internal/analysis/poolescape"
-	"sledzig/internal/analysis/seededrand"
-	"sledzig/internal/analysis/spanlit"
-	"sledzig/internal/analysis/typederr"
 )
-
-func analyzers() []*analysis.Analyzer {
-	return []*analysis.Analyzer{
-		typederr.Analyzer,
-		poolescape.Analyzer,
-		metriclit.Analyzer,
-		spanlit.Analyzer,
-		seededrand.Analyzer,
-		floateq.Analyzer,
-	}
-}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sledvet: ")
 
-	all := analyzers()
-	for _, a := range all {
+	suite := all.Analyzers()
+	for _, a := range suite {
 		prefix := a.Name + "."
 		a.Flags.VisitAll(func(f *flag.Flag) {
 			flag.Var(f.Value, prefix+f.Name, f.Usage)
 		})
 	}
 	printflags := flag.Bool("flags", false, "print analyzer flags in JSON (go vet protocol)")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON report on stdout (schema in docs/static-analysis.md)")
+	sarifPath := flag.String("sarif", "", "also write diagnostics as SARIF 2.1.0 to `file`")
+	checkJSON := flag.String("check-json", "", "validate `file` against the sledvet JSON report schema and exit")
 	flag.Var(versionFlag{}, "V", "print version and exit (go vet protocol)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: sledvet [flags] [package pattern ...]\n")
 		fmt.Fprintf(os.Stderr, "       sledvet unit.cfg   (go vet -vettool protocol)\n\nAnalyzers:\n")
-		for _, a := range all {
+		for _, a := range suite {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
 		}
 		fmt.Fprintf(os.Stderr, "\nFlags:\n")
@@ -80,33 +72,85 @@ func main() {
 		printFlags()
 		return
 	}
+	if *checkJSON != "" {
+		os.Exit(runCheckJSON(*checkJSON, os.Stdout, os.Stderr))
+	}
 
 	args := flag.Args()
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
-		driver.RunUnit(args[0], all) // exits
+		driver.RunUnit(args[0], suite) // exits
 		return
 	}
 	if len(args) == 0 {
 		args = []string{"./..."}
 	}
+	os.Exit(runStandalone(suite, args, *jsonOut, *sarifPath, os.Stdout, os.Stderr))
+}
 
-	pkgs, err := driver.Load("", args)
+// runStandalone loads the patterns, runs the suite, and renders text or
+// JSON (plus optional SARIF). Exit codes: 0 clean, 1 diagnostics found,
+// 2 the run itself failed (bad pattern, unbuildable target, I/O error).
+func runStandalone(suite []*analysis.Analyzer, patterns []string, jsonOut bool, sarifPath string, stdout, stderr io.Writer) int {
+	pkgs, err := driver.Load("", patterns)
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(stderr, "sledvet: %v\n", err)
+		return 2
 	}
-	diags, err := driver.Run(pkgs, all)
+	diags, err := driver.Run(pkgs, suite)
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(stderr, "sledvet: %v\n", err)
+		return 2
 	}
 	if wd, err := os.Getwd(); err == nil {
 		driver.Relativize(diags, wd)
 	}
-	for _, d := range diags {
-		fmt.Printf("%s\n", d)
+	if sarifPath != "" {
+		f, err := os.Create(sarifPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "sledvet: %v\n", err)
+			return 2
+		}
+		werr := driver.WriteSARIF(f, diags, suite)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(stderr, "sledvet: writing %s: %v\n", sarifPath, werr)
+			return 2
+		}
+	}
+	if jsonOut {
+		if err := driver.WriteJSON(stdout, diags); err != nil {
+			fmt.Fprintf(stderr, "sledvet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "%s\n", d)
+		}
 	}
 	if len(diags) > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// runCheckJSON validates a previously produced JSON artifact, so CI can
+// prove the emitter and the documented schema agree.
+func runCheckJSON(path string, stdout, stderr io.Writer) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "sledvet: %v\n", err)
+		return 2
+	}
+	defer f.Close()
+	n, err := driver.ValidateJSON(f)
+	if err != nil {
+		fmt.Fprintf(stderr, "sledvet: %s: %v\n", path, err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "sledvet: %s: valid version-1 report, %d diagnostic(s)\n", path, n)
+	return 0
 }
 
 // printFlags emits the flag-description JSON the go command requests with

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sledzig/internal/analysis/all"
+	"sledzig/internal/analysis/driver"
+)
+
+// The standalone driver must fail loudly — a distinct exit code and a
+// message on stderr — when the target cannot be loaded, never exit 0
+// after analyzing nothing.
+func TestStandaloneFailsLoudlyOnBadPattern(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := runStandalone(all.Analyzers(), []string{"./nosuchdir/..."}, false, "", &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "sledvet:") {
+		t.Errorf("stderr %q lacks a sledvet-prefixed error", stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("unexpected stdout: %q", stdout.String())
+	}
+}
+
+// A clean run with -json must produce a report that -check-json accepts.
+func TestStandaloneJSONIsSelfValidating(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := runStandalone(all.Analyzers(), []string{"sledzig/internal/analysis/all"}, true, "", &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr: %s\nstdout: %s", code, stderr.String(), stdout.String())
+	}
+	if n, err := driver.ValidateJSON(bytes.NewReader(stdout.Bytes())); err != nil || n != 0 {
+		t.Errorf("ValidateJSON = (%d, %v), want (0, nil); report:\n%s", n, err, stdout.String())
+	}
+}
+
+func TestCheckJSONModes(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(good, []byte(`{"version":1,"diagnostics":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bad, []byte(`{"version":9,"diagnostics":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := runCheckJSON(good, &stdout, &stderr); code != 0 {
+		t.Errorf("valid report: exit %d, stderr %q", code, stderr.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := runCheckJSON(bad, &stdout, &stderr); code != 1 {
+		t.Errorf("invalid report: exit %d, want 1", code)
+	}
+	if code := runCheckJSON(filepath.Join(dir, "absent.json"), &stdout, &stderr); code != 2 {
+		t.Errorf("missing file: exit %d, want 2", code)
+	}
+}

@@ -1,0 +1,41 @@
+// Package all is the canonical registry of sledvet's analyzers. The
+// sledvet command, the whole-tree benchmark, and any future embedder pull
+// the suite from here so "the eleven analyzers" is defined in one place.
+//
+// Ordering is presentation order: syntactic checks first (in their
+// original registration order), then the CFG/dataflow generation.
+package all
+
+import (
+	"sledzig/internal/analysis"
+	"sledzig/internal/analysis/atomicmix"
+	"sledzig/internal/analysis/ctxexit"
+	"sledzig/internal/analysis/floateq"
+	"sledzig/internal/analysis/hotalloc"
+	"sledzig/internal/analysis/lockbalance"
+	"sledzig/internal/analysis/metriclit"
+	"sledzig/internal/analysis/poolescape"
+	"sledzig/internal/analysis/seededrand"
+	"sledzig/internal/analysis/spanlit"
+	"sledzig/internal/analysis/spanpair"
+	"sledzig/internal/analysis/typederr"
+)
+
+// Analyzers returns the full suite in registration order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		// Syntactic checks (PR 5 generation).
+		typederr.Analyzer,
+		poolescape.Analyzer,
+		metriclit.Analyzer,
+		spanlit.Analyzer,
+		seededrand.Analyzer,
+		floateq.Analyzer,
+		// CFG/dataflow checks.
+		lockbalance.Analyzer,
+		ctxexit.Analyzer,
+		hotalloc.Analyzer,
+		spanpair.Analyzer,
+		atomicmix.Analyzer,
+	}
+}

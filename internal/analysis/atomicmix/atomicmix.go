@@ -1,0 +1,156 @@
+// Package atomicmix flags variables that are accessed through sync/atomic
+// in one place and plainly in another. Mixed access is how torn reads and
+// lost updates enter a codebase late: the atomic call sites advertise
+// "this is shared", but nothing stops a later edit from writing `c.n = 0`
+// — the race detector only notices if a test happens to race the two, and
+// the engine's fate-CAS/kernel-dispatch seams are exactly where such an
+// edit would be made under pressure.
+//
+// Per package, the analyzer first collects every object whose address is
+// passed to a sync/atomic function (`atomic.AddInt64(&c.n, 1)` blesses
+// c.n), then reports any other plain use of those objects: direct reads,
+// direct writes, or taking the address for a non-atomic callee.
+//
+// Two contexts stay exempt:
+//
+//   - the blessed atomic call sites themselves;
+//   - composite-literal keys (`counter{n: 0}`): initialization before the
+//     value is shared is the standard construction pattern.
+//
+// The repo's own code prefers the typed atomics (atomic.Int64 and
+// friends), which make mixing impossible — this check guards the
+// function-style seams where that protection does not exist. Intentional
+// pre-publication plain access takes //sledvet:ignore atomicmix with the
+// reason spelled out.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"sledzig/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc:  "a variable accessed via sync/atomic must not be read or written plainly elsewhere",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	// Phase 1: bless objects whose address feeds a sync/atomic function,
+	// remembering the identifier positions of those sanctioned uses.
+	blessed := map[types.Object]token.Pos{} // first atomic site, for messages
+	allowed := map[token.Pos]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				obj, id := addressedObject(pass, un.X)
+				if obj == nil {
+					continue
+				}
+				if _, seen := blessed[obj]; !seen {
+					blessed[obj] = id.Pos()
+				}
+				// Every ident inside the addressed expression is part of
+				// the sanctioned access path.
+				ast.Inspect(un.X, func(m ast.Node) bool {
+					if mid, ok := m.(*ast.Ident); ok {
+						allowed[mid.Pos()] = true
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+	if len(blessed) == 0 {
+		return nil, nil
+	}
+
+	// Phase 2: any other use of a blessed object is a mix.
+	for _, file := range pass.Files {
+		exempt := map[token.Pos]bool{}
+		ast.Inspect(file, func(n ast.Node) bool {
+			if cl, ok := n.(*ast.CompositeLit); ok {
+				for _, el := range cl.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							exempt[id.Pos()] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil {
+				return true
+			}
+			first, ok := blessed[obj]
+			if !ok || allowed[id.Pos()] || exempt[id.Pos()] {
+				return true
+			}
+			pass.Reportf(id.Pos(),
+				"%s is accessed with sync/atomic (first at line %d) but used plainly here: mixed access tears; use sync/atomic or an atomic.Int64-style type everywhere",
+				id.Name, pass.Fset.Position(first).Line)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isAtomicCall reports whether call invokes a function from sync/atomic
+// (package-qualified: atomic.AddInt64, atomic.LoadUint32, ...).
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	x, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := pass.TypesInfo.Uses[x].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	return pkg.Imported().Path() == "sync/atomic"
+}
+
+// addressedObject resolves &X to the variable object being addressed: the
+// field of a selector chain, or a plain identifier. It returns the ident
+// naming the object so its position can be sanctioned.
+func addressedObject(pass *analysis.Pass, e ast.Expr) (types.Object, *ast.Ident) {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[v]; obj != nil {
+			if _, isVar := obj.(*types.Var); isVar {
+				return obj, v
+			}
+		}
+	case *ast.SelectorExpr:
+		if selection, ok := pass.TypesInfo.Selections[v]; ok {
+			if obj, isVar := selection.Obj().(*types.Var); isVar {
+				return obj, v.Sel
+			}
+		}
+	case *ast.IndexExpr:
+		// &xs[i]: element accesses have no per-element object; skip.
+	}
+	return nil, nil
+}

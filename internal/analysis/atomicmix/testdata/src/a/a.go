@@ -1,0 +1,66 @@
+// Fixture for the atomicmix analyzer: no mixed atomic/plain access.
+package a
+
+import "sync/atomic"
+
+type counter struct {
+	n     int64
+	other int64
+}
+
+// Atomic accesses bless the field.
+func (c *counter) inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counter) read() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+func (c *counter) cas() bool {
+	return atomic.CompareAndSwapInt64(&c.n, 0, 1)
+}
+
+// Plain reads and writes of a blessed field are mixes.
+func (c *counter) badRead() int64 {
+	return c.n // want `n is accessed with sync/atomic \(first at line 13\) but used plainly here`
+}
+
+func (c *counter) badWrite() {
+	c.n = 0 // want `n is accessed with sync/atomic .* used plainly here`
+}
+
+// Taking the address for a non-atomic callee leaks plain access too.
+func scribble(p *int64) { *p = 7 }
+
+func (c *counter) badAddr() {
+	scribble(&c.n) // want `n is accessed with sync/atomic .* used plainly here`
+}
+
+// A field never touched atomically is free.
+func (c *counter) okOther() int64 {
+	c.other++
+	return c.other
+}
+
+// Composite-literal initialization happens before the value is shared.
+func newCounter() *counter {
+	return &counter{n: 42}
+}
+
+// Package-level variables are covered as well.
+var total int64
+
+func addTotal(d int64) {
+	atomic.AddInt64(&total, d)
+}
+
+func badTotal() int64 {
+	return total // want `total is accessed with sync/atomic \(first at line 55\) but used plainly here`
+}
+
+// Pre-publication plain access needs the reason written down.
+func (c *counter) reset() {
+	//sledvet:ignore atomicmix called only from the constructor before the counter escapes
+	c.n = 0
+}

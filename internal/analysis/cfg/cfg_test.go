@@ -1,0 +1,362 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseBody parses `src` as the body of one function and returns its CFG.
+func parseBody(t testing.TB, src string) *CFG {
+	t.Helper()
+	g, err := buildBody(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return g
+}
+
+// buildBody wraps src in a function, parses it, and builds the CFG. Shared
+// with FuzzCFGBuild, which cannot call t.Fatal on parse errors.
+func buildBody(src string) (*CFG, error) {
+	file := "package p\nfunc f() {\n" + src + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "body.go", file, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	fn := f.Decls[0].(*ast.FuncDecl)
+	return New(fn.Body), nil
+}
+
+func TestStraightLine(t *testing.T) {
+	g := parseBody(t, `x := 1; y := x; _ = y; return`)
+	if s := g.Sanity(); s != "" {
+		t.Fatal(s)
+	}
+	if !g.ExitReachable() {
+		t.Fatal("straight-line function must reach exit")
+	}
+	if len(g.ReturnBlocks()) != 1 {
+		t.Fatalf("want 1 return block, got %d", len(g.ReturnBlocks()))
+	}
+}
+
+func TestIfElseBothPathsMerge(t *testing.T) {
+	g := parseBody(t, `
+if cond() {
+	a()
+} else {
+	b()
+}
+c()`)
+	if s := g.Sanity(); s != "" {
+		t.Fatal(s)
+	}
+	// The merged block holding c() must be reachable from both branches.
+	var cBlock *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "c" {
+						cBlock = b
+					}
+				}
+			}
+		}
+	}
+	if cBlock == nil {
+		t.Fatal("no block holds c()")
+	}
+	if len(cBlock.Preds) != 2 {
+		t.Fatalf("merge block should have 2 preds, got %d\n%s", len(cBlock.Preds), g.Dump())
+	}
+}
+
+func TestUnconditionalLoopHasNoExit(t *testing.T) {
+	g := parseBody(t, `for { work() }`)
+	if g.ExitReachable() {
+		t.Fatalf("for {} must not reach exit\n%s", g.Dump())
+	}
+}
+
+func TestLoopWithBreakReachesExit(t *testing.T) {
+	g := parseBody(t, `for { if done() { break }; work() }`)
+	if !g.ExitReachable() {
+		t.Fatalf("break must make exit reachable\n%s", g.Dump())
+	}
+}
+
+func TestLabeledBreakFromSelect(t *testing.T) {
+	// The engine's Stream feed loop: for + select + labeled break.
+	g := parseBody(t, `
+feed:
+for {
+	select {
+	case <-a:
+		break feed
+	case v, ok := <-b:
+		if !ok {
+			break feed
+		}
+		use(v)
+	}
+}
+done()`)
+	if s := g.Sanity(); s != "" {
+		t.Fatal(s)
+	}
+	if !g.ExitReachable() {
+		t.Fatalf("labeled break must make exit reachable\n%s", g.Dump())
+	}
+}
+
+func TestSelectWithoutCasesBlocksForever(t *testing.T) {
+	g := parseBody(t, `select {}`)
+	if g.ExitReachable() {
+		t.Fatalf("select{} must not reach exit\n%s", g.Dump())
+	}
+}
+
+func TestRangeOverChannelReachesExit(t *testing.T) {
+	g := parseBody(t, `for v := range ch { use(v) }`)
+	if !g.ExitReachable() {
+		t.Fatal("range loop has a natural exit edge")
+	}
+}
+
+func TestInfiniteLoopWithOnlyContinue(t *testing.T) {
+	g := parseBody(t, `for { if x() { continue }; work() }`)
+	if g.ExitReachable() {
+		t.Fatalf("continue does not leave the loop\n%s", g.Dump())
+	}
+}
+
+func TestPanicTerminatesBlock(t *testing.T) {
+	g := parseBody(t, `if bad() { panic("boom") }; ok()`)
+	var panics int
+	for _, b := range g.Blocks {
+		if b.Panics {
+			panics++
+		}
+	}
+	if panics != 1 {
+		t.Fatalf("want exactly one panicking block, got %d\n%s", panics, g.Dump())
+	}
+	// The crash edge must not count as normal termination on its own.
+	g2 := parseBody(t, `for { panic("always") }`)
+	if g2.ExitReachable() {
+		t.Fatal("a loop that only panics must not count as terminating")
+	}
+}
+
+func TestOsExitTerminates(t *testing.T) {
+	g := parseBody(t, `for { os.Exit(1) }`)
+	if g.ExitReachable() {
+		t.Fatal("os.Exit is a crash edge, not a normal exit")
+	}
+	found := false
+	for _, b := range g.Blocks {
+		if b.Panics {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("os.Exit must mark its block as panicking")
+	}
+}
+
+func TestGotoForwardAndBackward(t *testing.T) {
+	g := parseBody(t, `
+	i := 0
+loop:
+	i++
+	if i < 10 {
+		goto loop
+	}
+	if i > 100 {
+		goto end
+	}
+	work()
+end:
+	return`)
+	if s := g.Sanity(); s != "" {
+		t.Fatal(s)
+	}
+	if !g.ExitReachable() {
+		t.Fatalf("goto-built loop terminates\n%s", g.Dump())
+	}
+}
+
+func TestSwitchFallthroughAndDefault(t *testing.T) {
+	g := parseBody(t, `
+switch x {
+case 1:
+	a()
+	fallthrough
+case 2:
+	b()
+default:
+	c()
+}
+after()`)
+	if s := g.Sanity(); s != "" {
+		t.Fatal(s)
+	}
+	if !g.ExitReachable() {
+		t.Fatal("switch must fall through to after()")
+	}
+	// With a default present there must be no direct head→done edge: the
+	// only way past the switch is through a clause body.
+	var aBlock, bBlock *Block
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			ast.Inspect(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok {
+						switch id.Name {
+						case "a":
+							aBlock = blk
+						case "b":
+							bBlock = blk
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	if aBlock == nil || bBlock == nil {
+		t.Fatal("case bodies not found")
+	}
+	// fallthrough: a's block must have an edge to b's block.
+	found := false
+	for _, s := range aBlock.Succs {
+		if s == bBlock {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("fallthrough edge a→b missing\n%s", g.Dump())
+	}
+}
+
+func TestReturnMakesRestDead(t *testing.T) {
+	g := parseBody(t, `return
+unreachable()`)
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if strings.Contains(exprText(es.X), "unreachable") && b.Live {
+					t.Fatal("code after return must be in a dead block")
+				}
+			}
+		}
+	}
+}
+
+func exprText(e ast.Expr) string {
+	if call, ok := e.(*ast.CallExpr); ok {
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			return id.Name
+		}
+	}
+	return ""
+}
+
+func TestDeferAppearsAsNode(t *testing.T) {
+	g := parseBody(t, `mu.Lock()
+defer mu.Unlock()
+work()`)
+	found := false
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("defer statement must appear as a block node")
+	}
+}
+
+func TestForwardFixpointMayMust(t *testing.T) {
+	// held on one branch only → May without Must at the merge.
+	g := parseBody(t, `
+if c() {
+	acquire()
+}
+use()`)
+	transfer := func(b *Block, in State) State {
+		for _, n := range b.Nodes {
+			ast.Inspect(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "acquire" {
+						in.Set("lock", May|Must)
+					}
+				}
+				return true
+			})
+		}
+		return in
+	}
+	_, out := Forward(g, State{}, transfer)
+	var useBlock *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok && exprText(es.X) == "use" {
+				useBlock = b
+			}
+		}
+	}
+	if useBlock == nil {
+		t.Fatal("use() block not found")
+	}
+	st := out[useBlock]
+	if st.Get("lock")&May == 0 {
+		t.Fatalf("lock must be may-held at the merge, state %v", st)
+	}
+	if st.Get("lock")&Must != 0 {
+		t.Fatalf("lock must not be must-held at the merge, state %v", st)
+	}
+}
+
+func TestForwardLoopFixpointTerminates(t *testing.T) {
+	g := parseBody(t, `
+for i := 0; i < 10; i++ {
+	if c() {
+		acquire()
+	} else {
+		release()
+	}
+}
+done()`)
+	calls := 0
+	transfer := func(b *Block, in State) State {
+		calls++
+		for _, n := range b.Nodes {
+			ast.Inspect(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok {
+						switch id.Name {
+						case "acquire":
+							in.Set("lock", May|Must)
+						case "release":
+							in.Set("lock", 0)
+						}
+					}
+				}
+				return true
+			})
+		}
+		return in
+	}
+	Forward(g, State{}, transfer)
+	if calls == 0 || calls > 10*len(g.Blocks) {
+		t.Fatalf("fixpoint ran %d transfers over %d blocks", calls, len(g.Blocks))
+	}
+}

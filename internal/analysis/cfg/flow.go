@@ -1,0 +1,198 @@
+package cfg
+
+// The forward-dataflow fixpoint engine. Facts are keyed by string (a lock
+// expression, a span variable, ...) and carry two bits:
+//
+//   - May:  the fact holds on at least one path reaching this point.
+//   - Must: the fact holds on every path reaching this point.
+//
+// Join is the natural lattice operation — May ors, Must ands — so a
+// "may-held lock at exit" query is path-sensitive in the way that matters
+// for leak checks, while "must-held" supports double-acquire checks. The
+// lattice has finite height (two bits per key, finitely many keys per
+// function), so any monotone transfer function reaches a fixpoint; the
+// solver additionally bounds iteration defensively.
+
+// Bits is the per-key dataflow value.
+type Bits uint8
+
+const (
+	// May is set when the fact holds on some path.
+	May Bits = 1 << iota
+	// Must is set when the fact holds on every path.
+	Must
+)
+
+// State maps fact keys to their dataflow bits. Keys absent from the map
+// have the bottom value 0 ("does not hold on any path").
+type State map[string]Bits
+
+// Clone returns an independent copy of s.
+func (s State) Clone() State {
+	c := make(State, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// Get returns the bits for key (0 when absent).
+func (s State) Get(key string) Bits {
+	return s[key]
+}
+
+// Set records bits for key, deleting the key at bottom.
+func (s State) Set(key string, v Bits) {
+	if v == 0 {
+		delete(s, key)
+		return
+	}
+	s[key] = v
+}
+
+// join merges two predecessor out-states: May ors, Must ands (a key
+// missing from either side has Must unset).
+func join(a, b State) State {
+	out := make(State, len(a)+len(b))
+	for k, va := range a {
+		vb := b[k]
+		v := (va | vb) & May
+		if va&Must != 0 && vb&Must != 0 {
+			v |= Must
+		}
+		out.Set(k, v)
+	}
+	for k, vb := range b {
+		if _, ok := a[k]; !ok {
+			out.Set(k, vb&May)
+		}
+	}
+	return out
+}
+
+func statesEqual(a, b State) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Forward runs transfer over g to fixpoint and returns the in- and
+// out-state of every live block. entry seeds the entry block's in-state;
+// transfer must be monotone over the May/Must lattice (the usual shape —
+// set bits on generating operations, clear on killing ones — is monotone).
+// Dead blocks keep nil states.
+func Forward(g *CFG, entry State, transfer func(b *Block, in State) State) (in, out map[*Block]State) {
+	in = make(map[*Block]State, len(g.Blocks))
+	out = make(map[*Block]State, len(g.Blocks))
+	in[g.Entry] = entry.Clone()
+
+	// Worklist over live blocks in creation order (≈ reverse post-order
+	// for the structured graphs the builder emits).
+	inList := make([]bool, len(g.Blocks))
+	var list []*Block
+	push := func(b *Block) {
+		if b.Live && !inList[b.Index] {
+			inList[b.Index] = true
+			list = append(list, b)
+		}
+	}
+	push(g.Entry)
+
+	// Defensive bound: each block can be reprocessed at most once per bit
+	// of lattice height per key; far below blocks² × 4 in practice.
+	budget := (len(g.Blocks) + 1) * (len(g.Blocks) + 4) * 4
+	for len(list) > 0 && budget > 0 {
+		budget--
+		b := list[0]
+		list = list[1:]
+		inList[b.Index] = false
+
+		st := in[b]
+		if st == nil {
+			st = State{}
+		}
+		o := transfer(b, st.Clone())
+		if prev, ok := out[b]; ok && statesEqual(prev, o) {
+			continue
+		}
+		out[b] = o
+		for _, s := range b.Succs {
+			merged := o
+			if cur, ok := in[s]; ok {
+				merged = join(cur, o)
+				if statesEqual(cur, merged) {
+					continue
+				}
+			}
+			in[s] = merged.Clone()
+			push(s)
+		}
+	}
+	return in, out
+}
+
+// CanReach reports whether a path exists from b (inclusive) to some block
+// satisfying ok, following only Succs edges.
+func (g *CFG) CanReach(b *Block, ok func(*Block) bool) bool {
+	seen := make([]bool, len(g.Blocks))
+	stack := []*Block{b}
+	seen[b.Index] = true
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if ok(blk) {
+			return true
+		}
+		for _, s := range blk.Succs {
+			if !seen[s.Index] {
+				seen[s.Index] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+// ExitReachable reports whether the function can terminate at all: some
+// path from entry reaches Exit through a non-crash edge (a return, or
+// falling off the end). A goroutine whose body fails this check can only
+// leak or crash — the ctxexit invariant.
+func (g *CFG) ExitReachable() bool {
+	for _, p := range g.Exit.Preds {
+		if p.Live && !p.Panics {
+			return true
+		}
+	}
+	return false
+}
+
+// ReturnBlocks returns the live predecessors of Exit that end in an
+// explicit return statement.
+func (g *CFG) ReturnBlocks() []*Block {
+	var outBlocks []*Block
+	for _, p := range g.Exit.Preds {
+		if p.Live && p.Returns {
+			outBlocks = append(outBlocks, p)
+		}
+	}
+	return outBlocks
+}
+
+// ExitBlocks returns the live predecessors of Exit that terminate
+// normally — explicit returns and the fall-off-the-end block — excluding
+// crash edges.
+func (g *CFG) ExitBlocks() []*Block {
+	var outBlocks []*Block
+	for _, p := range g.Exit.Preds {
+		if p.Live && !p.Panics {
+			outBlocks = append(outBlocks, p)
+		}
+	}
+	return outBlocks
+}

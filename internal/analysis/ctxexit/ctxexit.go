@@ -1,0 +1,126 @@
+// Package ctxexit proves that every goroutine spawned in the engine and
+// transport layers can terminate: its body's control-flow graph must reach
+// the function exit through at least one non-crash path. A goroutine whose
+// only shape is
+//
+//	go func() {
+//		for {
+//			job := <-queue
+//			process(job)
+//		}
+//	}()
+//
+// can never return — no break, no return, no `case <-ctx.Done()`, no
+// range-over-channel (whose close ends the loop). Each engine restart then
+// leaks one more of them; under the ROADMAP's networked sledzigd tier the
+// leak multiplies per connection. The fix is always structural (add a
+// cancellation arm or range the channel), which is exactly what a
+// reachability query over the CFG can enforce.
+//
+// For `go f(...)` the analyzer resolves f to its declaration when it lives
+// in the same package (function literals are checked directly). Cross-
+// package spawn targets are outside the intraprocedural horizon and are
+// skipped — spawning a leaky helper from another package is caught when
+// that package is analyzed, provided it is in scope.
+//
+// The check is deliberately "can exit", not "does exit": a path to the
+// exit suffices, since termination in general is undecidable. Blocking
+// forever in `select {}` or a no-exit loop is precisely what it rejects.
+// Scope: internal/engine and internal/transport (flag -ctxexit.scope).
+package ctxexit
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"sledzig/internal/analysis"
+	"sledzig/internal/analysis/cfg"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxexit",
+	Doc:  "goroutines spawned in engine/transport must have a reachable exit (ctx.Done, channel close, break)",
+	Run:  run,
+}
+
+var scope = regexp.MustCompile(`^sledzig/internal/(engine|transport)(/|$)`)
+
+func init() {
+	Analyzer.Flags.Func("scope", "regexp of module package paths to analyze", func(s string) error {
+		re, err := regexp.Compile(s)
+		if err != nil {
+			return err
+		}
+		scope = re
+		return nil
+	})
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !analysis.InScope(pass, scope) {
+		return nil, nil
+	}
+
+	// Index this package's function declarations by their object so
+	// `go e.worker(i)` and `go drain(q)` resolve to bodies.
+	decls := map[types.Object]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				if obj := pass.TypesInfo.Defs[fn.Name]; obj != nil {
+					decls[obj] = fn
+				}
+			}
+		}
+	}
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body, name := spawnedBody(pass, decls, gs)
+			if body == nil {
+				return true // cross-package or dynamic target
+			}
+			g := cfg.New(body)
+			if !g.ExitReachable() {
+				pass.Reportf(gs.Pos(),
+					"goroutine %s has no reachable exit: every path loops or blocks forever; add a ctx.Done()/close-signal arm or range over the channel",
+					name)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// spawnedBody returns the body of the function started by gs, when it is
+// statically known and declared in this package, along with a display name.
+func spawnedBody(pass *analysis.Pass, decls map[types.Object]*ast.FuncDecl, gs *ast.GoStmt) (*ast.BlockStmt, string) {
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body, "literal"
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[fun]; obj != nil {
+			if fn := decls[obj]; fn != nil {
+				return fn.Body, fun.Name
+			}
+		}
+	case *ast.SelectorExpr:
+		var obj types.Object
+		if selection, ok := pass.TypesInfo.Selections[fun]; ok {
+			obj = selection.Obj()
+		} else if o := pass.TypesInfo.Uses[fun.Sel]; o != nil {
+			obj = o // package-qualified call
+		}
+		if obj != nil {
+			if fn := decls[obj]; fn != nil {
+				return fn.Body, obj.Name()
+			}
+		}
+	}
+	return nil, ""
+}

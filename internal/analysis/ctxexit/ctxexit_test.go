@@ -1,0 +1,12 @@
+package ctxexit_test
+
+import (
+	"testing"
+
+	"sledzig/internal/analysis/analysistest"
+	"sledzig/internal/analysis/ctxexit"
+)
+
+func TestCtxexit(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), ctxexit.Analyzer, "a")
+}

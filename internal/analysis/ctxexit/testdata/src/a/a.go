@@ -1,0 +1,123 @@
+// Fixture for the ctxexit analyzer: spawned goroutines must be able to exit.
+package a
+
+import "context"
+
+type engine struct {
+	jobs chan int
+	quit chan struct{}
+}
+
+func use(int) {}
+
+// A plain worker that finishes is fine.
+func (e *engine) runOnce() {
+	go func() {
+		use(<-e.jobs)
+	}()
+}
+
+// Range over a channel exits when the channel is closed.
+func (e *engine) worker() {
+	for j := range e.jobs {
+		use(j)
+	}
+}
+
+func (e *engine) spawnWorker() {
+	go e.worker()
+}
+
+// A cancellation arm makes the exit reachable.
+func (e *engine) cancellable(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case j := <-e.jobs:
+				use(j)
+			}
+		}
+	}()
+}
+
+// Labeled break out of the feed loop is an exit.
+func (e *engine) feeder() {
+	go func() {
+	feed:
+		for {
+			select {
+			case <-e.quit:
+				break feed
+			case j, ok := <-e.jobs:
+				if !ok {
+					break feed
+				}
+				use(j)
+			}
+		}
+	}()
+}
+
+// No arm ever leaves the loop: the goroutine can only leak.
+func (e *engine) leakyLiteral() {
+	go func() { // want `goroutine literal has no reachable exit`
+		for {
+			use(<-e.jobs)
+		}
+	}()
+}
+
+// Same defect through a declared function.
+func pump(ch chan int) {
+	for {
+		use(<-ch)
+	}
+}
+
+func (e *engine) spawnPump() {
+	go pump(e.jobs) // want `goroutine pump has no reachable exit`
+}
+
+// And through a method value.
+func (e *engine) spin() {
+	for {
+		select {
+		case j := <-e.jobs:
+			use(j)
+		case <-e.quit:
+			// drains but never leaves
+		}
+	}
+}
+
+func (e *engine) spawnSpin() {
+	go e.spin() // want `goroutine spin has no reachable exit`
+}
+
+// A goroutine that only panics out is still a leak-or-crash shape.
+func (e *engine) crashOnly() {
+	go func() { // want `goroutine literal has no reachable exit`
+		for {
+			if <-e.jobs < 0 {
+				panic("negative job")
+			}
+		}
+	}()
+}
+
+// Dynamic targets cannot be resolved and are skipped.
+func spawnDynamic(fns []func()) {
+	go fns[0]()
+}
+
+// Intentional run-forever daemons need a written justification.
+func (e *engine) daemon() {
+	//sledvet:ignore ctxexit metrics flusher runs for process lifetime by design
+	go func() {
+		for {
+			use(<-e.jobs)
+		}
+	}()
+}

@@ -1,0 +1,28 @@
+package driver_test
+
+import (
+	"testing"
+
+	"sledzig/internal/analysis/all"
+	"sledzig/internal/analysis/driver"
+)
+
+// BenchmarkSledvetWholeTree measures the full eleven-analyzer suite over
+// every package in the module — the cost `make lint` pays on each run.
+// Loading (go list + typecheck) happens once outside the timed region;
+// the benchmark isolates analyzer execution, which is where CFG building
+// and dataflow fixpoints dominate.
+func BenchmarkSledvetWholeTree(b *testing.B) {
+	pkgs, err := driver.Load("", []string{"sledzig/..."})
+	if err != nil {
+		b.Fatal(err)
+	}
+	suite := all.Analyzers()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := driver.Run(pkgs, suite); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

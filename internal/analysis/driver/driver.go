@@ -66,7 +66,11 @@ type listPkg struct {
 // (non-dependency) package from source, importing dependencies from export
 // data. dir is the working directory for the go invocation ("" = cwd).
 func Load(dir string, patterns []string) ([]*Package, error) {
-	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	// -e keeps go list's exit status 0 for broken packages and reports
+	// them through each package's Error field instead, so the caller gets
+	// one clear "cannot analyze <pkg>: <why>" rather than a raw stderr
+	// dump (and never a silent empty run).
+	args := append([]string{"list", "-e", "-deps", "-export", "-json"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	var stdout, stderr bytes.Buffer
@@ -99,17 +103,29 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 
 	var pkgs []*Package
 	for _, p := range order {
-		if p.DepOnly || p.Name == "" || len(p.GoFiles) == 0 {
+		if p.DepOnly {
 			continue
 		}
+		// A broken target surfaces its error BEFORE the shape checks: a
+		// package that failed to load often has no Name/GoFiles, and
+		// skipping it on shape would silently shrink the run to nothing.
 		if p.Error != nil {
-			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+			return nil, fmt.Errorf("cannot analyze %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Name == "" || len(p.GoFiles) == 0 {
+			continue // test-only or empty directory listed as a pattern
 		}
 		pkg, err := check(fset, imp, p)
 		if err != nil {
 			return nil, err
 		}
 		pkgs = append(pkgs, pkg)
+	}
+	if len(pkgs) == 0 {
+		// `go list` exits 0 when a wildcard matches nothing (it only
+		// warns on stderr), so an explicit error here is the difference
+		// between "clean tree" and "analyzed nothing".
+		return nil, fmt.Errorf("no Go packages matched %s: nothing was analyzed", strings.Join(patterns, " "))
 	}
 	return pkgs, nil
 }
@@ -181,6 +197,13 @@ func Run(pkgs []*Package, analyzers []*analysis.Analyzer) ([]Diag, error) {
 		directives, malformed := analysis.Directives(pkg.Fset, pkg.Files)
 		for _, d := range malformed {
 			out = append(out, Diag{Analyzer: "sledvet", Pos: pkg.Fset.Position(d.Pos), Message: d.Message})
+		}
+		for _, d := range analysis.UnknownNames(directives, analyzers) {
+			posn := pkg.Fset.Position(d.Pos)
+			if strings.HasSuffix(posn.Filename, "_test.go") {
+				continue
+			}
+			out = append(out, Diag{Analyzer: "sledvet", Pos: posn, Message: d.Message})
 		}
 		for _, a := range analyzers {
 			var diags []analysis.Diagnostic

@@ -1,0 +1,169 @@
+package driver
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sledzig/internal/analysis"
+)
+
+// writeModule materializes a throwaway module so Load can be pointed at
+// deliberately broken targets without touching the real tree.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestLoadErrorsWhenNothingMatches(t *testing.T) {
+	// A wildcard over an existing directory containing no Go files: go list
+	// exits 0 with only a stderr warning, which is exactly the silent-empty-
+	// run trap Load must convert into an error.
+	dir := writeModule(t, map[string]string{
+		"go.mod":      "module example.test/empty\n\ngo 1.21\n",
+		"sub/KEEP.md": "no Go code here\n",
+	})
+	_, err := Load(dir, []string{"./sub/..."})
+	if err == nil {
+		t.Fatal("Load succeeded on a pattern matching no packages; want an explicit error, not a silent empty run")
+	}
+	if !strings.Contains(err.Error(), "nothing was analyzed") {
+		t.Errorf("error %q does not explain that nothing was analyzed", err)
+	}
+}
+
+func TestLoadErrorsOnNonexistentPath(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module example.test/empty\n\ngo 1.21\n",
+	})
+	_, err := Load(dir, []string{"./nosuchdir/..."})
+	if err == nil {
+		t.Fatal("Load succeeded on a nonexistent path; want a clear error")
+	}
+	if !strings.Contains(err.Error(), "cannot analyze") && !strings.Contains(err.Error(), "nothing was analyzed") {
+		t.Errorf("error %q does not identify the bad pattern", err)
+	}
+}
+
+func TestLoadErrorsOnTypeErrorPackage(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":  "module example.test/broken\n\ngo 1.21\n",
+		"main.go": "package main\n\nfunc main() {\n\tvar s string = 42\n\t_ = s\n}\n",
+	})
+	_, err := Load(dir, []string{"./..."})
+	if err == nil {
+		t.Fatal("Load succeeded on a package with a type error; want a clear failure")
+	}
+	// Whether go list's -export build or our own typecheck catches it first,
+	// the error must name the problem rather than panic or return nothing.
+	msg := err.Error()
+	if !strings.Contains(msg, "example.test/broken") && !strings.Contains(msg, "cannot use 42") {
+		t.Errorf("error %q does not identify the broken package", err)
+	}
+}
+
+func TestLoadErrorsOnSyntaxErrorPackage(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":  "module example.test/syntax\n\ngo 1.21\n",
+		"main.go": "package main\n\nfunc main() {\n", // unclosed body
+	})
+	_, err := Load(dir, []string{"./..."})
+	if err == nil {
+		t.Fatal("Load succeeded on a package with a syntax error; want a clear failure")
+	}
+}
+
+// checkSource type-checks one in-memory file into a driver Package, the
+// same shape Load produces, so Run can be exercised hermetically.
+func checkSource(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "a.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := analysis.NewInfo()
+	conf := &types.Config{}
+	tpkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{Path: "p", Fset: fset, Files: []*ast.File{f}, Types: tpkg, Info: info}
+}
+
+func TestRunReportsUnknownIgnoreNames(t *testing.T) {
+	pkg := checkSource(t, `package p
+
+//sledvet:ignore lockbalence caller unlocks later
+var A int
+`)
+	dummy := &analysis.Analyzer{
+		Name: "lockbalance",
+		Doc:  "dummy",
+		Run:  func(*analysis.Pass) (any, error) { return nil, nil },
+	}
+	diags, err := Run([]*Package{pkg}, []*analysis.Analyzer{dummy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "sledvet" {
+		t.Errorf("diagnostic attributed to %q, want sledvet", d.Analyzer)
+	}
+	if !strings.Contains(d.Message, `"lockbalence"`) {
+		t.Errorf("message %q does not name the unknown analyzer", d.Message)
+	}
+	if d.Pos.Line != 3 {
+		t.Errorf("diagnostic at line %d, want 3 (the directive)", d.Pos.Line)
+	}
+}
+
+func TestRunSuppressesWithDirective(t *testing.T) {
+	pkg := checkSource(t, `package p
+
+//sledvet:ignore noisy fixture exercises the directive path
+var A int
+
+var B int
+`)
+	noisy := &analysis.Analyzer{
+		Name: "noisy",
+		Doc:  "flags every package-level var",
+		Run: func(pass *analysis.Pass) (any, error) {
+			for _, f := range pass.Files {
+				for _, decl := range f.Decls {
+					pass.Reportf(decl.Pos(), "var declared")
+				}
+			}
+			return nil, nil
+		},
+	}
+	diags, err := Run([]*Package{pkg}, []*analysis.Analyzer{noisy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1 (A suppressed, B kept): %v", len(diags), diags)
+	}
+	if diags[0].Pos.Line != 6 {
+		t.Errorf("survivor at line %d, want 6", diags[0].Pos.Line)
+	}
+}

@@ -1,0 +1,207 @@
+package driver
+
+// Machine-readable diagnostic output. Two formats:
+//
+//   - JSON: sledvet's own schema (documented in docs/static-analysis.md,
+//     validated by ValidateJSON — CI runs `sledvet -check-json` over the
+//     artifact it just produced so the schema and the emitter cannot
+//     drift apart silently).
+//   - SARIF 2.1.0: the minimal subset code-scanning UIs need to annotate
+//     pull requests (tool + rules + results with physical locations).
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"sledzig/internal/analysis"
+)
+
+// JSONReport is the top-level object `sledvet -json` emits.
+//
+// Schema (version 1): every diagnostic carries the analyzer name, a file
+// path (relative to the working directory when possible), 1-based line
+// and column, and the message text. Consumers must reject reports whose
+// version they do not know.
+type JSONReport struct {
+	Version     int        `json:"version"`
+	Diagnostics []JSONDiag `json:"diagnostics"`
+}
+
+// JSONDiag is one diagnostic in a JSONReport.
+type JSONDiag struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// jsonVersion is the current JSONReport schema version.
+const jsonVersion = 1
+
+// Report converts driver diagnostics into the JSON schema. The
+// Diagnostics field is always non-nil so a clean run serializes as
+// `"diagnostics": []`, not `null`.
+func Report(diags []Diag) JSONReport {
+	r := JSONReport{Version: jsonVersion, Diagnostics: []JSONDiag{}}
+	for _, d := range diags {
+		r.Diagnostics = append(r.Diagnostics, JSONDiag{
+			Analyzer: d.Analyzer,
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+	return r
+}
+
+// WriteJSON emits the version-1 JSON report for diags.
+func WriteJSON(w io.Writer, diags []Diag) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(Report(diags))
+}
+
+// ValidateJSON strictly decodes a JSON report and checks the version-1
+// schema invariants. It returns the number of diagnostics and the first
+// violation found.
+func ValidateJSON(r io.Reader) (int, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var rep JSONReport
+	if err := dec.Decode(&rep); err != nil {
+		return 0, fmt.Errorf("not a sledvet JSON report: %v", err)
+	}
+	if rep.Version != jsonVersion {
+		return 0, fmt.Errorf("unsupported report version %d (want %d)", rep.Version, jsonVersion)
+	}
+	if rep.Diagnostics == nil {
+		return 0, fmt.Errorf("diagnostics must be an array, not null")
+	}
+	for i, d := range rep.Diagnostics {
+		switch {
+		case d.Analyzer == "":
+			return 0, fmt.Errorf("diagnostics[%d]: missing analyzer", i)
+		case d.File == "":
+			return 0, fmt.Errorf("diagnostics[%d]: missing file", i)
+		case d.Line < 1:
+			return 0, fmt.Errorf("diagnostics[%d]: line %d is not 1-based", i, d.Line)
+		case d.Column < 1:
+			return 0, fmt.Errorf("diagnostics[%d]: column %d is not 1-based", i, d.Column)
+		case d.Message == "":
+			return 0, fmt.Errorf("diagnostics[%d]: missing message", i)
+		}
+	}
+	// Trailing garbage after the report object is also a malformed artifact.
+	if _, err := dec.Token(); err != io.EOF {
+		return 0, fmt.Errorf("trailing data after report object")
+	}
+	return len(rep.Diagnostics), nil
+}
+
+// SARIF 2.1.0 skeleton — only the fields PR-annotation consumers read.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF emits diags as a single-run SARIF 2.1.0 log. analyzers
+// populates the rule table (one rule per analyzer, described by the first
+// line of its Doc); the pseudo-rule "sledvet" covers driver-level
+// diagnostics such as malformed ignore directives.
+func WriteSARIF(w io.Writer, diags []Diag, analyzers []*analysis.Analyzer) error {
+	rules := []sarifRule{{
+		ID:               "sledvet",
+		ShortDescription: sarifText{Text: "sledvet driver diagnostics (directive hygiene)"},
+	}}
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifText{Text: strings.SplitN(a.Doc, "\n", 2)[0]},
+		})
+	}
+	results := []sarifResult{}
+	for _, d := range diags {
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "warning",
+			Message: sarifText{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: toURI(d.Pos.Filename)},
+					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "sledvet", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(log)
+}
+
+// toURI normalizes a file path for SARIF's artifactLocation.uri field.
+func toURI(path string) string {
+	return strings.ReplaceAll(path, "\\", "/")
+}

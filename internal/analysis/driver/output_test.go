@@ -1,0 +1,158 @@
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+
+	"sledzig/internal/analysis"
+)
+
+func sampleDiags() []Diag {
+	return []Diag{
+		{
+			Analyzer: "lockbalance",
+			Pos:      token.Position{Filename: "internal/engine/engine.go", Line: 42, Column: 2},
+			Message:  "mu may still be held",
+		},
+		{
+			Analyzer: "sledvet",
+			Pos:      token.Position{Filename: "internal/obs/obs.go", Line: 7, Column: 1},
+			Message:  `//sledvet:ignore names unknown analyzer "nope"`,
+		},
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, sampleDiags()); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ValidateJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("emitter produced an invalid report: %v\n%s", err, buf.String())
+	}
+	if n != 2 {
+		t.Errorf("validated %d diagnostics, want 2", n)
+	}
+}
+
+func TestJSONEmptyRunIsValidArray(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"diagnostics": []`) {
+		t.Errorf("clean run must serialize diagnostics as [], got:\n%s", buf.String())
+	}
+	if n, err := ValidateJSON(bytes.NewReader(buf.Bytes())); err != nil || n != 0 {
+		t.Errorf("ValidateJSON = (%d, %v), want (0, nil)", n, err)
+	}
+}
+
+func TestValidateJSONRejectsBadReports(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"not json", "garbage", "not a sledvet JSON report"},
+		{"wrong version", `{"version":2,"diagnostics":[]}`, "unsupported report version"},
+		{"null diagnostics", `{"version":1,"diagnostics":null}`, "must be an array"},
+		{"unknown field", `{"version":1,"diagnostics":[],"extra":true}`, "not a sledvet JSON report"},
+		{"missing analyzer", `{"version":1,"diagnostics":[{"analyzer":"","file":"a.go","line":1,"column":1,"message":"m"}]}`, "missing analyzer"},
+		{"zero line", `{"version":1,"diagnostics":[{"analyzer":"x","file":"a.go","line":0,"column":1,"message":"m"}]}`, "not 1-based"},
+		{"missing message", `{"version":1,"diagnostics":[{"analyzer":"x","file":"a.go","line":1,"column":1,"message":""}]}`, "missing message"},
+		{"trailing data", `{"version":1,"diagnostics":[]}{}`, "trailing data"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ValidateJSON(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatalf("accepted invalid report %q", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestWriteSARIF(t *testing.T) {
+	analyzers := []*analysis.Analyzer{
+		{Name: "lockbalance", Doc: "check lock/unlock balance on every path\n\nlong text"},
+		{Name: "spanpair", Doc: "check trace span pairing"},
+	}
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, sampleDiags(), analyzers); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID               string `json:"id"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "sledvet" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	// Rules: the sledvet pseudo-rule plus one per analyzer, with first
+	// Doc lines as descriptions.
+	if len(run.Tool.Driver.Rules) != 3 {
+		t.Fatalf("got %d rules, want 3", len(run.Tool.Driver.Rules))
+	}
+	if run.Tool.Driver.Rules[0].ID != "sledvet" {
+		t.Errorf("rule 0 = %q, want sledvet pseudo-rule first", run.Tool.Driver.Rules[0].ID)
+	}
+	if got := run.Tool.Driver.Rules[1].ShortDescription.Text; strings.Contains(got, "long text") {
+		t.Errorf("rule description %q should be only the first Doc line", got)
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(run.Results))
+	}
+	r := run.Results[0]
+	if r.RuleID != "lockbalance" || r.Level != "warning" {
+		t.Errorf("result 0 = %s/%s, want lockbalance/warning", r.RuleID, r.Level)
+	}
+	loc := r.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/engine/engine.go" || loc.Region.StartLine != 42 {
+		t.Errorf("result 0 location = %s:%d", loc.ArtifactLocation.URI, loc.Region.StartLine)
+	}
+}

@@ -1,0 +1,143 @@
+// Fixture for the hotalloc analyzer: //sledzig:noalloc contracts.
+package a
+
+import "sync"
+
+type result struct{ data []float64 }
+
+type scratch struct{ buf []float64 }
+
+var pool = sync.Pool{New: func() any { return &scratch{} }}
+
+var sharedBuf [64]float64
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+func errOf(s string) error { return errorString(s) }
+
+func box(v any) {}
+
+// Un-annotated functions allocate freely.
+func unannotated(n int) []float64 {
+	return make([]float64, n)
+}
+
+// The canonical pooled hot path: Get/defer Put plus amortized grow.
+//
+//sledzig:noalloc
+func pooled(n int) float64 {
+	s := pool.Get().(*scratch)
+	defer pool.Put(s)
+	if cap(s.buf) < n {
+		s.buf = make([]float64, n)
+	}
+	s.buf = s.buf[:n]
+	return s.buf[0]
+}
+
+// Capacity guards make the grow amortized: allowed.
+//
+//sledzig:noalloc
+func guarded(s *scratch, n int) []float64 {
+	if cap(s.buf) < n {
+		s.buf = make([]float64, n)
+	}
+	return s.buf[:n]
+}
+
+// Nil guards are the lazy-init flavor of the same idiom.
+//
+//sledzig:noalloc
+func nilGuard(r *result, n int) {
+	if r.data == nil {
+		r.data = make([]float64, n)
+	}
+}
+
+// Allocation on the error path is cold and allowed.
+//
+//sledzig:noalloc
+func coldAlloc(n int) ([]float64, error) {
+	if n < 0 || n > 64 {
+		b := []byte("bad length")
+		return nil, errOf(string(b))
+	}
+	return sharedBuf[:n], nil
+}
+
+// Unguarded make on the success path breaks the contract.
+//
+//sledzig:noalloc
+func hotMake(n int) []float64 {
+	return make([]float64, n) // want `make on a path to a successful return`
+}
+
+//sledzig:noalloc
+func hotNew() *result {
+	return new(result) // want `new on a path to a successful return`
+}
+
+//sledzig:noalloc
+func hotAppend(dst []float64, v float64) []float64 {
+	return append(dst, v) // want `append \(may grow the backing array\) on a path`
+}
+
+//sledzig:noalloc
+func hotComposite() *result {
+	return &result{} // want `heap-allocated composite &result\{\} on a path`
+}
+
+//sledzig:noalloc
+func sliceLit() float64 {
+	xs := []float64{1, 2, 3} // want `slice literal on a path`
+	return xs[0]
+}
+
+//sledzig:noalloc
+func convert(b []byte) string {
+	return string(b) // want `converting between string and byte/rune slice`
+}
+
+// Capturing closures materialize per call; capture-free ones are static.
+//
+//sledzig:noalloc
+func closures(n int) int {
+	f := func() int { return n } // want `function literal capturing n`
+	g := func() int { return 42 }
+	return f() + g()
+}
+
+// Boxing a concrete value into an interface argument allocates; passing a
+// pointer does not.
+//
+//sledzig:noalloc
+func boxes(x int, p *result) {
+	box(x) // want `boxing int into interface argument`
+	box(p)
+}
+
+// budget=N mode: one-time allocations are the contract; per-iteration
+// allocations inside loops are not.
+//
+//sledzig:noalloc budget=2
+func budgeted(n int) []float64 {
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		tmp := make([]float64, 4) // want `make inside a loop .* allocates per iteration`
+		out[i] = tmp[0]
+	}
+	return out
+}
+
+//sledzig:noalloc budget=soon
+func malformed() {} // want `malformed //sledzig:noalloc directive`
+
+// Contract exceptions carry a written reason.
+//
+//sledzig:noalloc
+func justifiedAlloc(n int) []float64 {
+	//sledvet:ignore hotalloc one-time warmup buffer, measured outside steady state
+	return make([]float64, n)
+}

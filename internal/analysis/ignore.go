@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/token"
+	"strconv"
 	"strings"
 )
 
@@ -60,6 +61,30 @@ func Directives(fset *token.FileSet, files []*ast.File) (ds []Directive, malform
 		}
 	}
 	return ds, malformed
+}
+
+// UnknownNames reports directives that name analyzers absent from known:
+// such a directive silences nothing — usually a typo ("lockbalence") or a
+// stale name after a rename — and silently keeping it around would let the
+// author believe the finding is suppressed. One diagnostic per unknown
+// name, anchored at the directive.
+func UnknownNames(ds []Directive, known []*Analyzer) []Diagnostic {
+	names := make(map[string]bool, len(known))
+	for _, a := range known {
+		names[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, d := range ds {
+		for _, n := range d.Names {
+			if !names[n] {
+				out = append(out, Diagnostic{
+					Pos:     d.Pos,
+					Message: "//sledvet:ignore names unknown analyzer " + strconv.Quote(n) + ": the directive suppresses nothing (check for typos or a renamed analyzer)",
+				})
+			}
+		}
+	}
+	return out
 }
 
 // covers reports whether d silences analyzer name at file:line.

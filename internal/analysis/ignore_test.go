@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "a.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func TestDirectivesParse(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+//sledvet:ignore metriclit counters validated at registration
+var a int
+
+func f() {
+	_ = a //sledvet:ignore floateq,seededrand deterministic test vector
+}
+`)
+	ds, malformed := Directives(fset, files)
+	if len(malformed) != 0 {
+		t.Fatalf("unexpected malformed directives: %v", malformed)
+	}
+	if len(ds) != 2 {
+		t.Fatalf("got %d directives, want 2", len(ds))
+	}
+	if got := ds[0].Names; len(got) != 1 || got[0] != "metriclit" {
+		t.Errorf("directive 0 names = %v, want [metriclit]", got)
+	}
+	if ds[0].Reason != "counters validated at registration" {
+		t.Errorf("directive 0 reason = %q", ds[0].Reason)
+	}
+	if got := ds[1].Names; len(got) != 2 || got[0] != "floateq" || got[1] != "seededrand" {
+		t.Errorf("directive 1 names = %v, want [floateq seededrand]", got)
+	}
+}
+
+func TestDirectivesMalformed(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+//sledvet:ignore metriclit
+var a int
+
+//sledvet:ignore
+var b int
+
+//sledvet:ignoreme not a directive at all
+var c int
+`)
+	ds, malformed := Directives(fset, files)
+	if len(ds) != 0 {
+		t.Fatalf("unexpected directives: %v", ds)
+	}
+	// The name-only and empty forms are malformed; the ignoreXXX typo is
+	// not recognized as a directive at all.
+	if len(malformed) != 2 {
+		t.Fatalf("got %d malformed, want 2: %v", len(malformed), malformed)
+	}
+	for _, d := range malformed {
+		if !strings.Contains(d.Message, "malformed //sledvet:ignore") {
+			t.Errorf("message %q lacks malformed marker", d.Message)
+		}
+	}
+}
+
+func TestUnknownNames(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+//sledvet:ignore lockbalence caller unlocks
+var a int
+
+//sledvet:ignore lockbalance,spanpear both misspelled halves
+var b int
+
+//sledvet:ignore lockbalance caller unlocks
+var c int
+`)
+	ds, malformed := Directives(fset, files)
+	if len(malformed) != 0 {
+		t.Fatalf("unexpected malformed: %v", malformed)
+	}
+	known := []*Analyzer{{Name: "lockbalance"}, {Name: "spanpair"}}
+	got := UnknownNames(ds, known)
+	if len(got) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(got), got)
+	}
+	if !strings.Contains(got[0].Message, `"lockbalence"`) {
+		t.Errorf("diagnostic 0 = %q, want mention of lockbalence", got[0].Message)
+	}
+	if !strings.Contains(got[1].Message, `"spanpear"`) {
+		t.Errorf("diagnostic 1 = %q, want mention of spanpear", got[1].Message)
+	}
+	// Positions should anchor at the offending directives (lines 3 and 6).
+	if l := fset.Position(got[0].Pos).Line; l != 3 {
+		t.Errorf("diagnostic 0 at line %d, want 3", l)
+	}
+	if l := fset.Position(got[1].Pos).Line; l != 6 {
+		t.Errorf("diagnostic 1 at line %d, want 6", l)
+	}
+}
+
+func TestSuppressCoversSameLineAndNextLine(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+//sledvet:ignore demo reason one
+var a int
+
+var b int //sledvet:ignore demo reason two
+
+var c int
+`)
+	ds, _ := Directives(fset, files)
+	mk := func(line int) Diagnostic {
+		// Fabricate a position on the requested line of a.go.
+		f := fset.File(files[0].Pos())
+		return Diagnostic{Pos: f.LineStart(line), Message: "x"}
+	}
+	diags := []Diagnostic{mk(4), mk(6), mk(8)}
+	kept := Suppress(fset, "demo", ds, diags)
+	if len(kept) != 1 {
+		t.Fatalf("kept %d diagnostics, want 1 (only line 8): %v", len(kept), kept)
+	}
+	if l := fset.Position(kept[0].Pos).Line; l != 8 {
+		t.Errorf("survivor at line %d, want 8", l)
+	}
+	// A different analyzer name is not covered.
+	kept = Suppress(fset, "other", ds, []Diagnostic{mk(4)})
+	if len(kept) != 1 {
+		t.Errorf("directive for demo suppressed analyzer other")
+	}
+}

@@ -1,0 +1,332 @@
+// Package lockbalance proves, path by path, that every sync.Mutex/RWMutex
+// acquisition in the engine and observability kernels is released on every
+// non-crash exit. The six syntactic analyzers cannot see that
+//
+//	e.mu.Lock()
+//	if e.state == draining {
+//		return ErrDraining // leaks e.mu
+//	}
+//	e.mu.Unlock()
+//
+// leaks: the admission/breaker/drain code is exactly the kind of multi-exit
+// state machine where such leaks survive review, and a held lock there
+// stalls the whole pipeline rather than one request.
+//
+// The analyzer builds the control-flow graph of every function (and every
+// function literal, as its own frame) and runs a forward may/must dataflow
+// over lock facts keyed by the written receiver expression ("e.mu:w",
+// "s.statsMu:r"):
+//
+//   - Lock/RLock sets the fact; Unlock/RUnlock clears it. Read and write
+//     sides of an RWMutex balance independently.
+//   - defer x.Unlock() — directly or inside a deferred function literal —
+//     covers the key for all exits that follow registration.
+//   - At every live non-panicking exit block, a key that may be held and is
+//     not defer-covered is reported. Crash edges (panic, log.Fatal) are
+//     deliberately unbound: the process is gone anyway.
+//   - A second Lock while the first must still be held is a guaranteed
+//     self-deadlock and reported at the second Lock. An Unlock when the
+//     lock cannot be held (and the frame does Lock it somewhere) is a
+//     double-unlock and reported too.
+//
+// The analysis is function-local by design: a method that intentionally
+// returns with the lock held (caller-unlocks protocols) needs a
+// //sledvet:ignore lockbalance with the ownership story written down.
+// Scope: internal/engine and internal/obs (flag -lockbalance.scope), the
+// packages whose lock discipline the throughput claims rest on.
+package lockbalance
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"sledzig/internal/analysis"
+	"sledzig/internal/analysis/cfg"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockbalance",
+	Doc:  "sync.Mutex/RWMutex Lock must be matched by Unlock on every non-crash exit path",
+	Run:  run,
+}
+
+var scope = regexp.MustCompile(`^sledzig/internal/(engine|obs)(/|$)`)
+
+func init() {
+	Analyzer.Flags.Func("scope", "regexp of module package paths to analyze", func(s string) error {
+		re, err := regexp.Compile(s)
+		if err != nil {
+			return err
+		}
+		scope = re
+		return nil
+	})
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !analysis.InScope(pass, scope) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFrame(pass, fn.Body)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok && lit.Body != nil {
+					checkFrame(pass, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// lockSide classifies a selector call as one of the four mutex operations.
+type lockOp int
+
+const (
+	opNone lockOp = iota
+	opLock
+	opUnlock
+)
+
+// mutexOp resolves call through the type checker: is it Lock/Unlock (write
+// side) or RLock/RUnlock (read side) on a sync.Mutex or sync.RWMutex? It
+// returns the operation, the dataflow key ("expr:w" / "expr:r"), and the
+// receiver rendering for messages.
+func mutexOp(pass *analysis.Pass, call *ast.CallExpr) (op lockOp, key, recv string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return opNone, "", ""
+	}
+	var side string
+	switch sel.Sel.Name {
+	case "Lock":
+		op, side = opLock, "w"
+	case "Unlock":
+		op, side = opUnlock, "w"
+	case "RLock":
+		op, side = opLock, "r"
+	case "RUnlock":
+		op, side = opUnlock, "r"
+	default:
+		return opNone, "", ""
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok {
+		return opNone, "", ""
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok {
+		return opNone, "", ""
+	}
+	r := fn.Type().(*types.Signature).Recv()
+	if r == nil {
+		return opNone, "", ""
+	}
+	t := r.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return opNone, "", ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" ||
+		(obj.Name() != "Mutex" && obj.Name() != "RWMutex") {
+		return opNone, "", ""
+	}
+	recv = render(sel.X)
+	return op, recv + ":" + side, recv
+}
+
+// render produces the stable textual key for a lock receiver expression.
+func render(e ast.Expr) string {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return render(v.X) + "." + v.Sel.Name
+	case *ast.CallExpr:
+		return render(v.Fun) + "()"
+	case *ast.IndexExpr:
+		return render(v.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + render(v.X)
+	case *ast.UnaryExpr:
+		return v.Op.String() + render(v.X)
+	default:
+		return "mutex"
+	}
+}
+
+// deferKey namespaces defer-coverage facts away from held facts.
+func deferKey(key string) string { return "defer " + key }
+
+func checkFrame(pass *analysis.Pass, body *ast.BlockStmt) {
+	g := cfg.New(body)
+
+	// lockPos remembers where each key was (first) locked, for messages;
+	// it doubles as "this frame locks the key", gating double-unlock
+	// reports so unlock-only helper methods stay clean.
+	lockPos := map[string]token.Pos{}
+
+	// forCalls applies f to every mutex operation among the nodes of one
+	// block, in order, without descending into nested function literals
+	// (they are separate frames) — except that deferred literals are
+	// scanned for Unlocks, which register coverage.
+	forOps := func(b *cfg.Block, f func(op lockOp, key, recv string, n ast.Node, deferred bool)) {
+		for _, node := range b.Nodes {
+			ast.Inspect(node, func(n ast.Node) bool {
+				switch s := n.(type) {
+				case *ast.FuncLit:
+					return false
+				case *ast.DeferStmt:
+					if op, key, recv := mutexOp(pass, s.Call); op == opUnlock {
+						f(op, key, recv, s, true)
+						return false
+					}
+					if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+						ast.Inspect(lit.Body, func(m ast.Node) bool {
+							if c, ok := m.(*ast.CallExpr); ok {
+								if op, key, recv := mutexOp(pass, c); op == opUnlock {
+									f(op, key, recv, s, true)
+								}
+							}
+							return true
+						})
+					}
+					return false
+				case *ast.CallExpr:
+					if op, key, recv := mutexOp(pass, s); op != opNone {
+						f(op, key, recv, s, false)
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 1: syntactic — where does this frame lock what?
+	for _, b := range g.Blocks {
+		if !b.Live {
+			continue
+		}
+		forOps(b, func(op lockOp, key, recv string, n ast.Node, deferred bool) {
+			if op == opLock && !deferred {
+				if _, ok := lockPos[key]; !ok {
+					lockPos[key] = n.Pos()
+				}
+			}
+		})
+	}
+	if len(lockPos) == 0 {
+		return // nothing acquired here; nothing to balance
+	}
+
+	// Pass 2: dataflow. The transfer function interprets operations in
+	// block order; reports for double lock/unlock fire inside it, guarded
+	// by `reporting` so only the final fixpoint states report (the solver
+	// may visit a block several times on the way there).
+	reporting := false
+	transfer := func(b *cfg.Block, in cfg.State) cfg.State {
+		forOps(b, func(op lockOp, key, recv string, n ast.Node, deferred bool) {
+			switch {
+			case deferred: // defer x.Unlock(): coverage from here on
+				in.Set(deferKey(key), cfg.May|cfg.Must)
+			case op == opLock:
+				if reporting && in.Get(key)&cfg.Must != 0 {
+					pass.Reportf(n.Pos(),
+						"%s is locked again while already held (locked at line %d): guaranteed self-deadlock",
+						lockText(key, recv), line(pass, lockPos[key]))
+				}
+				in.Set(key, cfg.May|cfg.Must)
+			case op == opUnlock:
+				if reporting && in.Get(key)&cfg.May == 0 {
+					if _, locked := lockPos[key]; locked {
+						pass.Reportf(n.Pos(),
+							"%s is unlocked here but cannot be held on any path: double unlock", lockText(key, recv))
+					}
+				}
+				in.Set(key, 0)
+			}
+		})
+		return in
+	}
+	in, out := cfg.Forward(g, cfg.State{}, transfer)
+
+	// Re-run each block's transfer exactly once on its fixpoint in-state,
+	// now with in-block reports armed: this visits every live block a
+	// single time, so double-lock/double-unlock fire once per site.
+	reporting = true
+	for _, b := range g.Blocks {
+		if !b.Live {
+			continue
+		}
+		st := in[b]
+		if st == nil {
+			st = cfg.State{}
+		}
+		transfer(b, st.Clone())
+	}
+
+	// Exit check: a may-held, not defer-covered key at any non-crash exit.
+	reported := map[string]bool{}
+	for _, b := range g.ExitBlocks() {
+		st := out[b]
+		for key, pos := range lockPos {
+			if st.Get(key)&cfg.May == 0 || st.Get(deferKey(key))&cfg.May != 0 {
+				continue
+			}
+			// Returns anchor at the return statement; fall-off exits at
+			// the closing brace, where "still held at function end" reads.
+			at := body.Rbrace
+			if b.Returns {
+				if last := b.Last(); last != nil {
+					at = last.Pos()
+				}
+			}
+			k := fmt.Sprintf("%s@%d", key, at)
+			if reported[k] {
+				continue
+			}
+			reported[k] = true
+			what := "return"
+			if !b.Returns {
+				what = "function end"
+			}
+			pass.Reportf(at,
+				"%s (locked at line %d) may still be held at this %s; unlock on every path or defer the unlock",
+				lockText(key, keyRecv(key)), line(pass, pos), what)
+		}
+	}
+}
+
+func line(pass *analysis.Pass, pos token.Pos) int {
+	return pass.Fset.Position(pos).Line
+}
+
+func keyRecv(key string) string {
+	for i := len(key) - 1; i >= 0; i-- {
+		if key[i] == ':' {
+			return key[:i]
+		}
+	}
+	return key
+}
+
+// lockText names the lock side for diagnostics: "e.mu" or "read lock e.mu".
+func lockText(key, recv string) string {
+	if len(key) > 2 && key[len(key)-2:] == ":r" {
+		return "read lock " + recv
+	}
+	return "lock " + recv
+}

@@ -1,0 +1,12 @@
+package lockbalance_test
+
+import (
+	"testing"
+
+	"sledzig/internal/analysis/analysistest"
+	"sledzig/internal/analysis/lockbalance"
+)
+
+func TestLockbalance(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockbalance.Analyzer, "a")
+}

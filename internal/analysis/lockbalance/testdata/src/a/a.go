@@ -1,0 +1,137 @@
+// Fixture for the lockbalance analyzer: every Lock balanced on every path.
+package a
+
+import "sync"
+
+type engine struct {
+	mu      sync.Mutex
+	statsMu sync.RWMutex
+	state   int
+}
+
+func cond() bool { return true }
+
+// Balanced: the canonical defer pattern.
+func (e *engine) deferred() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if cond() {
+		return 1
+	}
+	return 2
+}
+
+// Balanced: explicit unlock on both paths.
+func (e *engine) explicit() int {
+	e.mu.Lock()
+	if cond() {
+		e.mu.Unlock()
+		return 1
+	}
+	e.mu.Unlock()
+	return 2
+}
+
+// Leak: the early return skips the unlock.
+func (e *engine) leaky() int {
+	e.mu.Lock()
+	if e.state == 2 {
+		return -1 // want `lock e\.mu \(locked at line 37\) may still be held at this return`
+	}
+	e.mu.Unlock()
+	return 0
+}
+
+// Leak at fall-off: no unlock at all on the main path.
+func (e *engine) leakyEnd() {
+	e.mu.Lock()
+	if cond() {
+		e.mu.Unlock()
+		return
+	}
+} // want `lock e\.mu \(locked at line 47\) may still be held at this function end`
+
+// Read and write sides balance independently.
+func (e *engine) rwLeak() int {
+	e.statsMu.RLock()
+	if cond() {
+		return 1 // want `read lock e\.statsMu \(locked at line 56\) may still be held`
+	}
+	e.statsMu.RUnlock()
+	return 0
+}
+
+// Conditional acquire with conditional release is balanced.
+func (e *engine) conditional() {
+	if cond() {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+	}
+}
+
+// Double lock: guaranteed self-deadlock.
+func (e *engine) doubleLock() {
+	e.mu.Lock()
+	e.mu.Lock() // want `locked again while already held .* self-deadlock`
+	e.mu.Unlock()
+}
+
+// Double unlock.
+func (e *engine) doubleUnlock() {
+	e.mu.Lock()
+	e.mu.Unlock()
+	e.mu.Unlock() // want `cannot be held on any path: double unlock`
+}
+
+// Unlock-only helpers are the caller's protocol, not a double unlock.
+func (e *engine) unlockHalf() {
+	e.mu.Unlock()
+}
+
+// A deferred closure releasing the lock counts as coverage.
+func (e *engine) deferredClosure() int {
+	e.mu.Lock()
+	defer func() {
+		e.state++
+		e.mu.Unlock()
+	}()
+	if cond() {
+		return 1
+	}
+	return 2
+}
+
+// Lock/unlock per loop iteration is balanced.
+func (e *engine) loop(n int) {
+	for i := 0; i < n; i++ {
+		e.mu.Lock()
+		e.state++
+		e.mu.Unlock()
+	}
+}
+
+// Crash edges are unbound: panicking with the lock held is not a leak.
+func (e *engine) panics() {
+	e.mu.Lock()
+	if e.state < 0 {
+		panic("corrupt state")
+	}
+	e.mu.Unlock()
+}
+
+// Function literals are their own frames.
+func (e *engine) inLiteral() func() {
+	return func() {
+		e.mu.Lock()
+		if cond() {
+			return // want `lock e\.mu \(locked at line 125\) may still be held at this return`
+		}
+		e.mu.Unlock()
+	}
+}
+
+// Intentional hold-across-return protocols need a written justification.
+func (e *engine) lockForCaller() {
+	e.mu.Lock()
+	//sledvet:ignore lockbalance caller-unlocks protocol: released by unlockHalf
+} // this line intentionally left unflagged

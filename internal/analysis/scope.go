@@ -1,0 +1,24 @@
+package analysis
+
+import (
+	"regexp"
+	"strings"
+)
+
+// modulePrefix is the import-path prefix of this repository's own packages.
+// Scoped analyzers restrict themselves to a sub-tree of the module but must
+// still run over analysistest fixtures (whose package paths are bare names
+// like "a") and any foreign module they are pointed at.
+const modulePrefix = "sledzig/"
+
+// InScope reports whether pass's package should be analyzed by an analyzer
+// scoped to the packages matching re. Packages outside this module are
+// always in scope; module packages are in scope only when re matches their
+// import path.
+func InScope(p *Pass, re *regexp.Regexp) bool {
+	path := p.Pkg.Path()
+	if !strings.HasPrefix(path, modulePrefix) {
+		return true
+	}
+	return re.MatchString(path)
+}

@@ -1,0 +1,12 @@
+package spanpair_test
+
+import (
+	"testing"
+
+	"sledzig/internal/analysis/analysistest"
+	"sledzig/internal/analysis/spanpair"
+)
+
+func TestSpanpair(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), spanpair.Analyzer, "a")
+}

@@ -1,0 +1,148 @@
+// Fixture for the spanpair analyzer: spans close on every path.
+package a
+
+import "trace"
+
+type job struct {
+	tr *trace.Frame
+}
+
+func cond() bool { return true }
+
+func register(m trace.Mark)   {}
+func adopt(f *trace.Frame)    {}
+func sink(ch chan trace.Mark) {}
+
+// Closed on the single path: fine.
+func simple(f *trace.Frame) {
+	mk := f.Begin("a.simple")
+	work()
+	mk.End()
+}
+
+// Deferred close covers all exits.
+func deferred(f *trace.Frame) int {
+	mk := f.Begin("a.deferred")
+	defer mk.End()
+	if cond() {
+		return 1
+	}
+	return 2
+}
+
+// Frame from Start, deferred Finish.
+func rooted() error {
+	tr := trace.Start("decode")
+	defer tr.Finish(nil)
+	return nil
+}
+
+// Early close on the error path, close again on the main path: fine.
+func branches(f *trace.Frame) error {
+	mk := f.Begin("a.branches")
+	if cond() {
+		mk.End()
+		return errFixed
+	}
+	work()
+	mk.End()
+	return nil
+}
+
+// Leak: the early return skips End.
+func leaky(f *trace.Frame) error {
+	mk := f.Begin("a.leaky")
+	if cond() {
+		return errFixed // want `span "mk" \(opened at line 54\) may reach this return without End`
+	}
+	mk.End()
+	return nil
+}
+
+// Leak at fall-off.
+func leakyEnd(f *trace.Frame) {
+	mk := f.Begin("a.leakyend")
+	if cond() {
+		mk.End()
+		return
+	}
+	work()
+} // want `span "mk" \(opened at line 64\) may reach this function end without End`
+
+// A frame without Finish on one path.
+func frameLeak() error {
+	tr := trace.Start("encode")
+	if cond() {
+		return errFixed // want `span "tr" \(opened at line 74\) may reach this return without Finish`
+	}
+	tr.Finish(nil)
+	return nil
+}
+
+// Discarded results can never be closed.
+func discarded(f *trace.Frame) {
+	f.Begin("a.discarded") // want `span result discarded: End can never be called`
+	_ = f.Begin("a.blank") // want `span result discarded: End can never be called`
+}
+
+// Overwriting a live span orphans its End.
+func overwrite(f *trace.Frame) {
+	mk := f.Begin("a.first")
+	mk = f.Begin("a.second") // want `span "mk" \(opened at line 90\) may still be open when reassigned`
+	mk.End()
+}
+
+// Escapes hand the obligation to the receiver: all fine here.
+func escapes(f *trace.Frame) *job {
+	j := &job{tr: trace.Start("decode")} // composite literal owns it
+	mk := f.Begin("a.handoff")
+	register(mk) // passed along
+	tr := trace.Start("waveform")
+	adopt(tr) // passed along
+	return j
+}
+
+// Returning the span transfers the obligation to the caller.
+func opener(f *trace.Frame) trace.Mark {
+	mk := f.Begin("a.opener")
+	return mk
+}
+
+// A deferred closure close counts as coverage.
+func deferredClosure(f *trace.Frame) int {
+	mk := f.Begin("a.closure")
+	defer func() {
+		work()
+		mk.End()
+	}()
+	if cond() {
+		return 1
+	}
+	return 2
+}
+
+// Crash edges do not bind.
+func panics(f *trace.Frame) {
+	mk := f.Begin("a.panics")
+	if !cond() {
+		panic("impossible")
+	}
+	mk.End()
+}
+
+// Intentional leaks need a written justification.
+func justified(f *trace.Frame) {
+	mk := f.Begin("a.justified")
+	if cond() {
+		mk.End()
+	}
+	//sledvet:ignore spanpair the non-flushed path is closed by the shutdown hook
+} // covered by the directive above
+
+var errFixed = errorString("fixed")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+func work() {}

@@ -123,6 +123,10 @@ func ofdmFiMessage(payload []byte) []bits.Bit {
 	return bits.FromBytes(framed)
 }
 
+// Encode backs the Contract's MaxEncodeAllocs=16: buffers are sized
+// before the symbol loop, which itself must not allocate per iteration.
+//
+//sledzig:noalloc budget=16
 func (c *ofdmFi) Encode(payload []byte) (*Encoded, error) {
 	if len(payload) > c.MaxPayload() {
 		return nil, fmt.Errorf("%w: ofdmfi payload of %d octets exceeds %d", core.ErrPayloadSize, len(payload), c.MaxPayload())
@@ -166,7 +170,7 @@ func (c *ofdmFi) Encode(payload []byte) (*Encoded, error) {
 		if err := dsp.IFFTInto(td, freq); err != nil {
 			return nil, err
 		}
-		wave = append(wave, td[wifi.NumSubcarriers-wifi.CPLength:]...)
+		wave = append(wave, td[wifi.NumSubcarriers-wifi.CPLength:]...) //sledvet:ignore hotalloc wave is pre-sized to PreambleLength+nSym*SymbolLength before the loop, so neither append ever grows the backing array
 		wave = append(wave, td...)
 	}
 	return &Encoded{

@@ -85,6 +85,10 @@ func ookMessage(payload []byte) []bits.Bit {
 	return msg
 }
 
+// Encode backs the Contract's MaxEncodeAllocs=48: masked layouts are
+// memoized per (plan, mask), so nothing here may allocate per symbol.
+//
+//sledzig:noalloc budget=48
 func (c *ook) Encode(payload []byte) (*Encoded, error) {
 	// MaxPayload is the worst-case (all-low) capacity; the actual capacity
 	// varies with the CRC's bit pattern. Enforce the conservative bound so

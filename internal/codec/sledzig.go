@@ -55,6 +55,11 @@ func (c *sledZig) Name() string { return "sledzig" }
 
 func (c *sledZig) SetTrace(tr *trace.Frame) { c.tr = tr }
 
+// Encode honours the Contract's MaxEncodeAllocs=64: steady-state work
+// happens in the facade's pooled EncodeTo path; the per-call slack covers
+// frame assembly and the waveform buffer.
+//
+//sledzig:noalloc budget=5
 func (c *sledZig) Encode(payload []byte) (*Encoded, error) {
 	c.enc.Trace = c.tr
 	if err := c.enc.EncodeTo(payload, &c.res); err != nil {

@@ -92,6 +92,8 @@ var encodeScratchPool = sync.Pool{New: func() any { return new(encodeScratch) }}
 // with the same res — results handed to other goroutines must not be
 // reused. res.Layout aliases the plan's shared, read-only layout. The
 // bit-stream outputs are identical to Encode's for the same payload.
+//
+//sledzig:noalloc
 func (e *Encoder) EncodeTo(payload []byte, res *EncodeResult) error {
 	m := metrics()
 	if e.Plan == nil {
@@ -259,6 +261,8 @@ var solveScratchPool = sync.Pool{New: func() any { return new(solveScratch) }}
 // solveClusters determines the extra bits in the scrambled stream x so
 // every cluster's pinned encoder outputs hold. Clusters are processed in
 // order; each is a small GF(2) linear solve.
+//
+//sledzig:noalloc
 func solveClusters(x []bits.Bit, clusters []Cluster) error {
 	s := solveScratchPool.Get().(*solveScratch)
 	defer solveScratchPool.Put(s)

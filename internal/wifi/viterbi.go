@@ -118,6 +118,8 @@ func growBits(dst []bits.Bit, n int) []bits.Bit {
 // ViterbiDecodeSoftInto is ViterbiDecodeSoft decoding into dst (reusing its
 // capacity) and returning the resized slice. llrs holds one value per
 // mother-coded bit (positive favours 0), zeros acting as erasures.
+//
+//sledzig:noalloc
 func ViterbiDecodeSoftInto(dst []bits.Bit, llrs []float64, terminated bool) ([]bits.Bit, error) {
 	if len(llrs)%2 != 0 {
 		return dst, fmt.Errorf("wifi: LLR stream length %d is odd", len(llrs))
@@ -147,6 +149,8 @@ func ViterbiDecodeSoftInto(dst []bits.Bit, llrs []float64, terminated bool) ([]b
 
 // ViterbiDecodeInto is ViterbiDecode decoding into dst (reusing its
 // capacity) and returning the resized slice.
+//
+//sledzig:noalloc
 func ViterbiDecodeInto(dst []bits.Bit, coded []bits.Bit, erased []bool, terminated bool) ([]bits.Bit, error) {
 	if len(coded)%2 != 0 {
 		return dst, fmt.Errorf("wifi: coded length %d is odd", len(coded))
